@@ -1,0 +1,254 @@
+package casyn
+
+// The repository benchmark harness: one benchmark per table and figure
+// of the paper's evaluation section, each regenerating its experiment
+// on a scaled-down circuit (the full-size tables are printed by the
+// cmd/ksweep, cmd/timing, and cmd/table1 tools), plus the DESIGN.md
+// ablations and per-stage pipeline benchmarks.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Reported custom metrics carry the experiment's headline numbers
+// (violations, areas, arrival times) so a benchmark run doubles as a
+// shape check.
+
+import (
+	"testing"
+
+	"casyn/internal/bench"
+	"casyn/internal/experiments"
+	"casyn/internal/flow"
+	"casyn/internal/library"
+	"casyn/internal/mapper"
+	"casyn/internal/place"
+	"casyn/internal/route"
+)
+
+// benchScale shrinks every benchmark circuit; the experiments keep
+// their structure but finish in seconds.
+const benchScale = 0.05
+
+// BenchmarkTable1 regenerates Table 1: TOO_LARGE mapped via the SIS
+// path and the structure-preserving DAGON path, placed and routed in
+// one fixed die.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Table1(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].CellArea, "sis-area")
+		b.ReportMetric(rows[1].CellArea, "dagon-area")
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: the SPLA K sweep.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.KSweep(bench.SPLA, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first := res.Rows[0]
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(first.CellArea, "area-K0")
+		b.ReportMetric(last.CellArea, "area-K1")
+		b.ReportMetric(float64(last.Violations), "viol-K1")
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: SPLA static timing across the
+// three synthesis variants at their minimal routable dies.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.STATable(bench.SPLA, benchScale, 0.001)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Arrival, "ns-K0")
+		b.ReportMetric(rows[1].Arrival, "ns-midK")
+		b.ReportMetric(rows[2].Arrival, "ns-SIS")
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4: the PDC K sweep.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.KSweep(bench.PDC, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].CellArea, "area-K0")
+		b.ReportMetric(float64(res.Rows[len(res.Rows)-1].Violations), "viol-K1")
+	}
+}
+
+// BenchmarkTable5 regenerates Table 5: PDC static timing.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.STATable(bench.PDC, benchScale, 0.001)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Arrival, "ns-K0")
+		b.ReportMetric(rows[2].Arrival, "ns-SIS")
+	}
+}
+
+// BenchmarkFigure1 regenerates Figure 1: the two mappings of the
+// motivating example.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		minArea, congestion, err := experiments.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(minArea.Wire, "minarea-wire")
+		b.ReportMetric(congestion.Wire, "cong-wire")
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3: the modified design flow
+// iterating K until the congestion map is clean.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3(bench.SPLA, benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Iterations)), "iterations")
+	}
+}
+
+// BenchmarkAblationPartition compares the three DAG partitioning
+// schemes (DESIGN.md ablation).
+func BenchmarkAblationPartition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.PartitionAblation(bench.SPLA, benchScale, 0.001)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].CellArea, "pdp-area")
+		b.ReportMetric(rows[1].CellArea, "dagon-area")
+	}
+}
+
+// BenchmarkAblationWireCost compares the paper's two-level WIRE scope
+// against WIRE1-only and the transitive-fanin cost of Pedram–Bhat [9].
+func BenchmarkAblationWireCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.WireCostAblation(bench.SPLA, benchScale, 0.005)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].WireEstimate, "two-level")
+		b.ReportMetric(rows[2].WireEstimate, "transitive")
+	}
+}
+
+// Pipeline-stage micro-benchmarks.
+
+func benchContext(b *testing.B) (*flow.Context, flow.Config) {
+	b.Helper()
+	spec := bench.SPLA.ScaledSpec(benchScale)
+	p, err := bench.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := bench.BuildSubject(p, bench.Direct, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout, err := place.NewLayout(float64(d.BaseGateCount())*4.6/0.58, 1.0, library.RowHeight)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := flow.Config{
+		Layout:         layout,
+		PlaceOpts:      experiments.PlaceOpts(),
+		RouteOpts:      experiments.RouteOpts(),
+		FreshPlacement: true,
+	}
+	ctx, err := flow.Prepare(d, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ctx, cfg
+}
+
+// BenchmarkSubjectPlacement measures the once-per-design placement of
+// the technology-independent netlist.
+func BenchmarkSubjectPlacement(b *testing.B) {
+	spec := bench.SPLA.ScaledSpec(benchScale)
+	p, err := bench.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := bench.BuildSubject(p, bench.Direct, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout, err := place.NewLayout(float64(d.BaseGateCount())*4.6/0.58, 1.0, library.RowHeight)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, _, err := mapper.SubjectPlacement(d, layout, experiments.PlaceOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMap measures one congestion-aware technology mapping.
+func BenchmarkMap(b *testing.B) {
+	ctx, _ := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mapper.Map(ctx.DAG, mapper.Input{Pos: ctx.Pos, POPads: ctx.POPads}, mapper.Options{K: 0.001})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.NumCells), "cells")
+	}
+}
+
+// BenchmarkPlaceAndRoute measures placement plus global routing of a
+// mapped netlist.
+func BenchmarkPlaceAndRoute(b *testing.B) {
+	ctx, cfg := benchContext(b)
+	mres, err := mapper.Map(ctx.DAG, mapper.Input{Pos: ctx.Pos, POPads: ctx.POPads}, mapper.Options{K: 0.001})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pn := mres.Netlist.ToPlacement(ctx.PIPads, ctx.POList)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl, err := place.PlaceNetlist(pn.Cells, cfg.Layout, cfg.PlaceOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rres, err := route.RouteNetlist(pn.Cells, pl, cfg.Layout, cfg.RouteOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rres.WireLength, "wirelength")
+	}
+}
+
+// BenchmarkFullFlow measures one complete flow iteration (map, place,
+// route, STA).
+func BenchmarkFullFlow(b *testing.B) {
+	ctx, cfg := benchContext(b)
+	cfg.RunSTA = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, err := flow.RunOnce(ctx, 0.001, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(it.Timing.MaxArrival, "arrival-ns")
+	}
+}

@@ -1,0 +1,224 @@
+// Package casyn is congestion-aware logic synthesis: a self-contained
+// reproduction of "Congestion-Aware Logic Synthesis" (Pandini, Pileggi,
+// Strojwas — DATE 2002) with every substrate it needs built in: a
+// two-level and multi-level logic optimizer, NAND2/INV decomposition, a
+// standard-cell library, recursive-bisection and analytic placement, a
+// congestion-driven global router, static timing analysis, and the
+// paper's congestion-aware technology mapper itself.
+//
+// The primary entry point is Synthesize, which runs the paper's flow
+// end to end:
+//
+//	pla, _ := casyn.ReadPLAFile("design.pla")
+//	result, err := casyn.Synthesize(pla, casyn.Options{
+//		K:       0.001,  // congestion minimization factor (Eq. 5)
+//		DieArea: 140000, // µm²; 0 derives a die at 58% utilization
+//	})
+//	fmt.Println(result.Report())
+//
+// Lower-level control — running individual pipeline stages, sweeping
+// K, reproducing the paper's tables — is available through the
+// internal packages; see the examples/ directory and DESIGN.md.
+package casyn
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"casyn/internal/bench"
+	"casyn/internal/bnet"
+	"casyn/internal/flow"
+	"casyn/internal/library"
+	"casyn/internal/logic"
+	"casyn/internal/netlist"
+	"casyn/internal/partition"
+	"casyn/internal/place"
+	"casyn/internal/route"
+	"casyn/internal/sta"
+	"casyn/internal/subject"
+)
+
+// Options configures Synthesize.
+type Options struct {
+	// K is the congestion minimization factor of the paper's Eq. 5;
+	// 0 reproduces DAGON-style minimum-area mapping.
+	K float64
+	// DieArea fixes the floorplan in µm². When 0, the die is sized so
+	// the minimum-area mapping sits at 58% utilization (the calibrated
+	// operating point of the paper's experiments).
+	DieArea float64
+	// AspectRatio is die width/height (default 1).
+	AspectRatio float64
+	// OptimizeTechIndependent runs two-level minimization and
+	// multi-level extraction before decomposition (the "SIS" path).
+	// Off by default: the paper's methodology maps the structural
+	// netlist.
+	OptimizeTechIndependent bool
+	// Partition selects the DAG partitioning scheme; the default is
+	// the paper's placement-driven partitioning (PDP).
+	Partition partition.Method
+	// Seed drives all randomized tie-breaking (default 1).
+	Seed int64
+	// RunTiming enables static timing analysis of the routed design.
+	RunTiming bool
+}
+
+// Result is a completed synthesis run.
+type Result struct {
+	// BaseGates is the technology-independent netlist size (NAND2s and
+	// inverters).
+	BaseGates int
+	// CellArea is the mapped cell area in µm² and NumCells the
+	// instance count.
+	CellArea float64
+	NumCells int
+	// Utilization is CellArea over die area.
+	Utilization float64
+	// Violations counts failed routing connections; Routable reports
+	// whether the design routed cleanly in the fixed die.
+	Violations int
+	Routable   bool
+	// WireLength is the routed wirelength in µm.
+	WireLength float64
+	// CriticalPathNs is the worst arrival time (only when RunTiming),
+	// with the endpoints in CriticalPath.
+	CriticalPathNs float64
+	CriticalPath   string
+	// Die is the floorplan used.
+	Die place.Layout
+	// Mapped is the technology-mapped netlist; use its WriteVerilog
+	// and WriteCellReport methods to export it.
+	Mapped *netlist.Netlist
+	// Timing is the full STA result (only when RunTiming): slack
+	// reports, per-endpoint arrivals, path dumps.
+	Timing *sta.Result
+}
+
+// Report formats the result like the paper's tables.
+func (r *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "base gates:        %d\n", r.BaseGates)
+	fmt.Fprintf(&b, "cell area:         %.1f µm² (%d cells)\n", r.CellArea, r.NumCells)
+	fmt.Fprintf(&b, "die:               %.0f µm² (%d rows), utilization %.2f%%\n",
+		r.Die.Area(), r.Die.NumRows, r.Utilization*100)
+	fmt.Fprintf(&b, "routing violations: %d (routable: %v)\n", r.Violations, r.Routable)
+	fmt.Fprintf(&b, "routed wirelength: %.0f µm\n", r.WireLength)
+	if r.CriticalPath != "" {
+		fmt.Fprintf(&b, "critical path:     %s\n", r.CriticalPath)
+	}
+	return b.String()
+}
+
+// ReadPLAFile reads a Berkeley-format PLA from disk.
+func ReadPLAFile(path string) (*logic.PLA, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return logic.ReadPLA(f)
+}
+
+// ReadPLA reads a Berkeley-format PLA from a reader.
+func ReadPLA(r io.Reader) (*logic.PLA, error) { return logic.ReadPLA(r) }
+
+// Synthesize runs the full congestion-aware flow on a PLA: Boolean
+// network construction (optionally SIS-style optimized), NAND2/INV
+// decomposition, technology-independent placement, congestion-aware
+// technology mapping with the given K, placement, global routing, and
+// optional timing.
+func Synthesize(p *logic.PLA, opts Options) (*Result, error) {
+	if opts.AspectRatio == 0 {
+		opts.AspectRatio = 1
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	style := bench.Direct
+	if opts.OptimizeTechIndependent {
+		style = bench.SISOptimized
+	}
+	dag, err := bench.BuildSubject(p, style, 0)
+	if err != nil {
+		return nil, err
+	}
+	return SynthesizeSubject(dag, opts)
+}
+
+// SynthesizeNetwork runs the flow on an already-built Boolean network.
+func SynthesizeNetwork(n *bnet.Network, opts Options) (*Result, error) {
+	if opts.OptimizeTechIndependent {
+		bnet.FastExtract(n, bnet.FastExtractOptions{})
+		n.Sweep()
+	}
+	dag, err := subject.Decompose(n)
+	if err != nil {
+		return nil, err
+	}
+	return SynthesizeSubject(dag, opts)
+}
+
+// SynthesizeSubject runs placement, mapping, routing, and timing on a
+// decomposed subject DAG.
+func SynthesizeSubject(dag *subject.DAG, opts Options) (*Result, error) {
+	if opts.AspectRatio == 0 {
+		opts.AspectRatio = 1
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	dieArea := opts.DieArea
+	if dieArea == 0 {
+		// Size from the base-gate estimate at the calibrated fraction.
+		dieArea = float64(dag.BaseGateCount()) * 4.6 / 0.58
+	}
+	layout, err := place.NewLayout(dieArea, opts.AspectRatio, library.RowHeight)
+	if err != nil {
+		return nil, err
+	}
+	cfg := flow.Config{
+		Layout:         layout,
+		Method:         opts.Partition,
+		PlaceOpts:      place.Options{Seed: opts.Seed, RefinePasses: 8},
+		RouteOpts:      route.Options{GCellSize: 26.6, RipupIterations: 6, CapacityScale: 1.98},
+		FreshPlacement: true,
+		RunSTA:         opts.RunTiming,
+		STAOpts:        sta.Options{},
+		KSchedule:      []float64{opts.K},
+	}
+	ctx, err := flow.Prepare(dag, cfg)
+	if err != nil {
+		return nil, err
+	}
+	it, err := flow.RunOnce(ctx, opts.K, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		BaseGates:   dag.BaseGateCount(),
+		CellArea:    it.CellArea,
+		NumCells:    it.NumCells,
+		Utilization: it.Utilization,
+		Violations:  it.FailedConnections,
+		Routable:    it.FailedConnections == 0,
+		WireLength:  it.WireLength,
+		Die:         layout,
+		Mapped:      it.Netlist,
+	}
+	if it.Timing != nil {
+		res.CriticalPathNs = it.Timing.MaxArrival
+		res.CriticalPath = it.Timing.String()
+		res.Timing = it.Timing
+	}
+	return res, nil
+}
+
+// bnetFromPLA is a convenience re-export of bnet.FromPLA for callers
+// that want to optimize the network before synthesis.
+func bnetFromPLA(p *logic.PLA) (*bnet.Network, error) { return bnet.FromPLA(p) }
+
+// FromPLA builds the multi-level Boolean network for a PLA, the input
+// to SynthesizeNetwork.
+func FromPLA(p *logic.PLA) (*bnet.Network, error) { return bnet.FromPLA(p) }

@@ -1,0 +1,69 @@
+// Command benchgen emits the synthetic benchmark circuits as Berkeley
+// PLA files so they can be inspected or fed to other tools.
+//
+// Usage:
+//
+//	benchgen -out ./benchmarks
+//	benchgen -bench spla -scale 0.1 -out .
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"casyn/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgen: ")
+	var (
+		outDir    = flag.String("out", ".", "output directory")
+		benchName = flag.String("bench", "", "single class to emit (spla, pdc); default: all PLA classes")
+		scale     = flag.Float64("scale", 1.0, "benchmark scale factor")
+	)
+	flag.Parse()
+
+	classes := []bench.Class{bench.SPLA, bench.PDC}
+	if *benchName != "" {
+		switch *benchName {
+		case "spla":
+			classes = []bench.Class{bench.SPLA}
+		case "pdc":
+			classes = []bench.Class{bench.PDC}
+		default:
+			log.Fatalf("unknown benchmark %q (want spla or pdc; too_large is a layered netlist, not a PLA)", *benchName)
+		}
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, class := range classes {
+		spec := class.Spec()
+		if *scale != 1.0 {
+			spec = class.ScaledSpec(*scale)
+		}
+		p, err := bench.Generate(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(*outDir, spec.Name+".pla")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.Write(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		s := p.Stats()
+		fmt.Printf("%s: %d inputs, %d outputs, %d terms, %d literals\n",
+			path, s.Inputs, s.Outputs, s.Terms, s.Literals)
+	}
+}

@@ -1,0 +1,124 @@
+// Command casyn runs the congestion-aware synthesis flow end to end on
+// a PLA file or a built-in benchmark class and prints the paper-style
+// report: cell area, utilization, routing violations, and timing.
+//
+// Usage:
+//
+//	casyn -pla design.pla -k 0.001 -timing
+//	casyn -bench spla -scale 0.1 -k 0.0005
+//	casyn -bench too_large -sis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"casyn"
+	"casyn/internal/bench"
+	"casyn/internal/partition"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("casyn: ")
+	var (
+		plaPath   = flag.String("pla", "", "Berkeley PLA file to synthesize")
+		benchName = flag.String("bench", "", "built-in benchmark class: spla, pdc, too_large")
+		scale     = flag.Float64("scale", 1.0, "benchmark scale factor (1.0 = full size)")
+		k         = flag.Float64("k", 0, "congestion minimization factor K (Eq. 5)")
+		dieArea   = flag.Float64("die", 0, "die area in µm² (0 = auto-size at 58% utilization)")
+		sis       = flag.Bool("sis", false, "run SIS-style technology-independent optimization first")
+		timing    = flag.Bool("timing", false, "run static timing analysis")
+		method    = flag.String("partition", "pdp", "DAG partitioning: pdp, dagon, cone")
+		seed      = flag.Int64("seed", 1, "placement seed")
+		verilog   = flag.String("verilog", "", "write the mapped netlist as structural Verilog to FILE")
+		cellRep   = flag.Bool("cells", false, "print the per-cell usage report")
+	)
+	flag.Parse()
+
+	opts := casyn.Options{
+		K:                       *k,
+		DieArea:                 *dieArea,
+		OptimizeTechIndependent: *sis,
+		RunTiming:               *timing,
+		Seed:                    *seed,
+	}
+	switch *method {
+	case "pdp":
+		opts.Partition = partition.PDP
+	case "dagon":
+		opts.Partition = partition.Dagon
+	case "cone":
+		opts.Partition = partition.Cone
+	default:
+		log.Fatalf("unknown partition method %q", *method)
+	}
+
+	var res *casyn.Result
+	var err error
+	switch {
+	case *plaPath != "":
+		p, rerr := casyn.ReadPLAFile(*plaPath)
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		res, err = casyn.Synthesize(p, opts)
+	case *benchName != "":
+		class, ok := classByName(*benchName)
+		if !ok {
+			log.Fatalf("unknown benchmark %q (want spla, pdc, too_large)", *benchName)
+		}
+		spec := class.Spec()
+		if *scale != 1.0 {
+			spec = class.ScaledSpec(*scale)
+		}
+		p, gerr := bench.Generate(spec)
+		if gerr != nil {
+			log.Fatal(gerr)
+		}
+		res, err = casyn.Synthesize(p, opts)
+	default:
+		fmt.Fprintln(os.Stderr, "casyn: need -pla FILE or -bench NAME")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Report())
+	if *cellRep {
+		fmt.Println()
+		if err := res.Mapped.WriteCellReport(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *verilog != "" {
+		f, err := os.Create(*verilog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Mapped.WriteVerilog(f, "casyn_top"); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *verilog)
+	}
+}
+
+func classByName(name string) (bench.Class, bool) {
+	switch name {
+	case "spla":
+		return bench.SPLA, true
+	case "pdc":
+		return bench.PDC, true
+	case "too_large":
+		return bench.TooLarge, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,56 @@
+// Command ksweep reproduces the paper's Table 2 (SPLA) and Table 4
+// (PDC): the congestion-minimization factor K swept over the paper's
+// ladder against a fixed die, reporting cell area, cell count, area
+// utilization, and routing violations per K.
+//
+// Usage:
+//
+//	ksweep -bench spla          # full-size Table 2 (≈1 min)
+//	ksweep -bench pdc           # full-size Table 4
+//	ksweep -bench spla -scale 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"casyn/internal/bench"
+	"casyn/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ksweep: ")
+	var (
+		benchName = flag.String("bench", "spla", "benchmark class: spla or pdc")
+		scale     = flag.Float64("scale", 1.0, "benchmark scale factor")
+	)
+	flag.Parse()
+
+	var class bench.Class
+	switch *benchName {
+	case "spla":
+		class = bench.SPLA
+	case "pdc":
+		class = bench.PDC
+	default:
+		log.Fatalf("unknown benchmark %q (want spla or pdc)", *benchName)
+	}
+	res, err := experiments.KSweep(class, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table := "Table 2"
+	if class == bench.PDC {
+		table = "Table 4"
+	}
+	fmt.Printf("%s: %s congestion minimization vs place&route results\n", table, class)
+	fmt.Printf("die %.0f µm², %d rows, 3 metal layers\n\n", res.Layout.Area(), res.Layout.NumRows)
+	fmt.Printf("%-9s %-12s %-9s %-14s %-10s\n", "K", "Cell Area", "No. of", "Area", "Routing")
+	fmt.Printf("%-9s %-12s %-9s %-14s %-10s\n", "", "(µm²)", "Cells", "Utilization%", "violations")
+	for _, r := range res.Rows {
+		fmt.Printf("%-9g %-12.0f %-9d %-14.2f %-10d\n",
+			r.K, r.CellArea, r.NumCells, r.Utilization*100, r.Violations)
+	}
+}

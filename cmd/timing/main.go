@@ -1,0 +1,54 @@
+// Command timing reproduces the paper's Table 3 (SPLA) and Table 5
+// (PDC): static timing analysis of the K=0 mapping, a routable mid-K
+// mapping, and the SIS baseline, each routed in the smallest die that
+// accepts it.
+//
+// Usage:
+//
+//	timing -bench spla           # full-size Table 3 (a few minutes)
+//	timing -bench pdc -midk 0.001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"casyn/internal/bench"
+	"casyn/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("timing: ")
+	var (
+		benchName = flag.String("bench", "spla", "benchmark class: spla or pdc")
+		scale     = flag.Float64("scale", 1.0, "benchmark scale factor")
+		midK      = flag.Float64("midk", 0.001, "mid-ladder K for the congestion-aware row")
+	)
+	flag.Parse()
+
+	var class bench.Class
+	switch *benchName {
+	case "spla":
+		class = bench.SPLA
+	case "pdc":
+		class = bench.PDC
+	default:
+		log.Fatalf("unknown benchmark %q (want spla or pdc)", *benchName)
+	}
+	rows, err := experiments.STATable(class, *scale, *midK)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table := "Table 3"
+	if class == bench.PDC {
+		table = "Table 5"
+	}
+	fmt.Printf("%s: %s static timing analysis results\n\n", table, class)
+	fmt.Printf("%-9s %-34s %-22s %-18s\n", "K", "Critical Path Arrival Time", "Same path as K=0", "Chip Area / rows")
+	for _, r := range rows {
+		fmt.Printf("%-9s %s(in) %s(out)  %6.2f ns   %14.2f ns   %10.0f µm² / %d\n",
+			r.Label, r.CriticalPI, r.CriticalPO, r.Arrival, r.SameK0PathArrival, r.ChipArea, r.NumRows)
+	}
+}

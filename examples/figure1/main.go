@@ -1,0 +1,35 @@
+// Figure 1: the paper's motivating example. One small unbound netlist,
+// two technology mappings — minimum cell area versus congestion
+// minimization — showing the area/wirelength trade-off that motivates
+// the whole methodology.
+//
+//	go run ./examples/figure1
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"casyn/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	minArea, congestion, err := experiments.Figure1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 1: minimum area vs congestion mapping")
+	fmt.Println()
+	for _, m := range []experiments.Figure1Mapping{minArea, congestion} {
+		fmt.Printf("%s mapping:\n", m.Label)
+		fmt.Printf("  cells:      %v\n", m.Cells)
+		fmt.Printf("  cell area:  %.3f µm²\n", m.CellArea)
+		fmt.Printf("  fanin wire: %.1f µm\n", m.Wire)
+		fmt.Println()
+	}
+	fmt.Printf("the congestion mapping pays %.1f µm² of cell area to cut\n",
+		congestion.CellArea-minArea.CellArea)
+	fmt.Printf("the interconnection length by %.1f µm (%.0f%%)\n",
+		minArea.Wire-congestion.Wire, (1-congestion.Wire/minArea.Wire)*100)
+}

@@ -1,0 +1,3 @@
+module casyn
+
+go 1.22

@@ -1,0 +1,299 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"casyn/internal/bnet"
+	"casyn/internal/subject"
+)
+
+// LayeredSpec parameterizes the deep random-logic generator used for
+// the TOO_LARGE-class circuit. The IWLS93 too_large is deep multilevel
+// logic with 38 inputs and 3 outputs — not a flat PLA — and its
+// defining property for Table 1 is *locality*: wiring between adjacent
+// logic levels stays short, so the structure-preserving mapping routes
+// even at 84% utilization, while SIS's extraction creates heavily
+// shared nodes whose fanouts span the die.
+type LayeredSpec struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	// Layers × Width is the logic grid; each node is a small SOP over
+	// nodes of the previous layer.
+	Layers int
+	Width  int
+	// Window is the neighborhood radius (in node positions) a node
+	// draws its fanins from; LongEdgeFrac is the fraction of fanins
+	// that ignore it.
+	Window       int
+	LongEdgeFrac float64
+	// Controls is the number of PI-derived control functions the
+	// datapath consumes; ControlUse is the probability a layer node
+	// references one. Under SharedControls a single instance of each
+	// control drives every consumer (the SIS sharing signature); under
+	// duplicated controls each layer band rebuilds its own copy — more
+	// gates, but only local wiring. This is the Table 1 contrast.
+	Controls   int
+	ControlUse float64
+	// SharedControls selects the sharing variant; GenerateLayered's
+	// callers set it per synthesis style.
+	SharedControls bool
+	// ControlBands is the number of layer bands that get their own
+	// control copies in the duplicated variant (default 8).
+	ControlBands int
+	Seed         int64
+}
+
+// TooLargeLayered returns the calibrated full-size spec.
+func TooLargeLayered() LayeredSpec {
+	// Width 82 calibrates the Direct decomposition to 27,682 base
+	// gates (the paper's too_large: 27,977, -1.1%).
+	return LayeredSpec{
+		Name: "too_large", Inputs: 38, Outputs: 3,
+		Layers: 44, Width: 82, Window: 7, LongEdgeFrac: 0.05,
+		Controls: 36, ControlUse: 0.30, ControlBands: 8,
+		Seed: 0x70014,
+	}
+}
+
+// Scaled shrinks the spec to roughly scale× the node count.
+func (s LayeredSpec) Scaled(scale float64) LayeredSpec {
+	out := s
+	out.Name = fmt.Sprintf("%s-x%.3g", s.Name, scale)
+	f := 1.0
+	for f*f > scale {
+		f *= 0.9
+	}
+	out.Layers = int(float64(s.Layers)*f + 0.5)
+	out.Width = int(float64(s.Width)*f + 0.5)
+	if out.Layers < 3 {
+		out.Layers = 3
+	}
+	if out.Width < 4 {
+		out.Width = 4
+	}
+	return out
+}
+
+// GenerateLayered builds the deep random-logic network.
+func GenerateLayered(spec LayeredSpec) (*bnet.Network, error) {
+	if spec.Inputs < 2 || spec.Outputs < 1 || spec.Layers < 2 || spec.Width < 2 {
+		return nil, fmt.Errorf("bench: degenerate layered spec")
+	}
+	if spec.ControlBands == 0 {
+		spec.ControlBands = 8
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	n := bnet.New()
+	pis := make([]bnet.NodeID, spec.Inputs)
+	for i := range pis {
+		pis[i] = n.AddPI(fmt.Sprintf("in%d", i))
+	}
+	// Control functions: small ANDs of PI literals. The shared variant
+	// builds one instance of each; the duplicated variant builds one
+	// per layer band, each with an independently drawn but functionally
+	// identical cube (duplication the paper's "traditional" netlists
+	// carry, and SIS's extraction removes).
+	type controlDef struct {
+		lits bnet.Cube
+	}
+	controls := make([]controlDef, spec.Controls)
+	for ci := range controls {
+		var lits []bnet.Lit
+		k := 3 + rng.Intn(3)
+		for len(lits) < k {
+			lits = append(lits, bnet.Lit{Node: pis[rng.Intn(len(pis))], Neg: rng.Intn(2) == 0})
+		}
+		cube, ok := bnet.NewCube(lits...)
+		if !ok || len(cube) < 2 {
+			cube, _ = bnet.NewCube(bnet.Lit{Node: pis[ci%len(pis)]}, bnet.Lit{Node: pis[(ci+1)%len(pis)], Neg: true})
+		}
+		controls[ci] = controlDef{lits: cube}
+	}
+	bands := spec.ControlBands
+	if spec.SharedControls {
+		bands = 1
+	}
+	// ctlInst[band][ci] is the node providing control ci in that band.
+	ctlInst := make([][]bnet.NodeID, bands)
+	for b := range ctlInst {
+		ctlInst[b] = make([]bnet.NodeID, spec.Controls)
+		for ci, def := range controls {
+			ctlInst[b][ci] = buildControlCopy(n, fmt.Sprintf("ctl%d_%d", ci, b), def.lits, b)
+		}
+	}
+	consumed := make(map[bnet.NodeID]bool)
+	var all []bnet.NodeID
+	prev := pis
+	for layer := 0; layer < spec.Layers; layer++ {
+		band := layer * bands / spec.Layers
+		cur := make([]bnet.NodeID, spec.Width)
+		for w := 0; w < spec.Width; w++ {
+			// Anchor position in the previous layer proportional to w.
+			anchor := w * len(prev) / spec.Width
+			pick := func() bnet.NodeID {
+				if rng.Float64() < spec.LongEdgeFrac {
+					return prev[rng.Intn(len(prev))]
+				}
+				lo := anchor - spec.Window
+				if lo < 0 {
+					lo = 0
+				}
+				hi := anchor + spec.Window
+				if hi >= len(prev) {
+					hi = len(prev) - 1
+				}
+				return prev[lo+rng.Intn(hi-lo+1)]
+			}
+			fn, ins := randomNodeFn(rng, pick)
+			if spec.Controls > 0 && rng.Float64() < spec.ControlUse {
+				// Attach a control literal to the node's first cube.
+				ci := rng.Intn(spec.Controls)
+				ctl := ctlInst[band][ci]
+				cube, ok := fn[0].Merge(bnet.Cube{bnet.Lit{Node: ctl}})
+				if ok {
+					fn = append(bnet.Sop{cube}, fn[1:]...)
+					fn = bnet.NewSop(fn...)
+					ins = append(ins, ctl)
+					consumed[ctl] = true
+				}
+			}
+			id := n.AddInternal(fmt.Sprintf("l%dw%d", layer, w), fn)
+			cur[w] = id
+			for _, in := range ins {
+				consumed[in] = true
+			}
+		}
+		all = append(all, cur...)
+		prev = cur
+	}
+	// Unused control instances are left dead and swept by the caller;
+	// collecting them into the outputs would make the shared and
+	// duplicated variants functionally different.
+	// Collect dangling nodes (no consumer) into the output cones so
+	// nothing is swept: each output ORs the dangling signals of its
+	// region plus a handful of final-layer nodes.
+	var dangling []bnet.NodeID
+	for _, id := range all {
+		if !consumed[id] {
+			dangling = append(dangling, id)
+		}
+	}
+	for o := 0; o < spec.Outputs; o++ {
+		var lits []bnet.Cube
+		for i := o; i < len(dangling); i += spec.Outputs {
+			c, _ := bnet.NewCube(bnet.Lit{Node: dangling[i]})
+			lits = append(lits, c)
+		}
+		if len(lits) == 0 {
+			c, _ := bnet.NewCube(bnet.Lit{Node: prev[o%len(prev)]})
+			lits = append(lits, c)
+		}
+		out := n.AddInternal(fmt.Sprintf("collect%d", o), bnet.NewSop(lits...))
+		n.AddPO(fmt.Sprintf("out%d", o), out, false)
+	}
+	return n, nil
+}
+
+// buildControlCopy builds one instance of the AND-of-literals control
+// function as a tree of two-input AND nodes. The variant index selects
+// a literal rotation and an association shape (left-chain or balanced)
+// so that distinct copies are structurally distinct — functionally
+// equal duplicates that structural hashing cannot merge, exactly the
+// redundancy SIS's restructuring eliminates.
+func buildControlCopy(n *bnet.Network, name string, lits bnet.Cube, variant int) bnet.NodeID {
+	k := len(lits)
+	rot := variant % k
+	order := make([]bnet.Lit, 0, k)
+	for i := 0; i < k; i++ {
+		order = append(order, lits[(i+rot)%k])
+	}
+	mkNode := func(sub string, a, b bnet.Lit) bnet.Lit {
+		cube, ok := bnet.NewCube(a, b)
+		if !ok {
+			// Contradictory pair cannot happen: control cubes are
+			// normalized, but stay safe.
+			cube, _ = bnet.NewCube(a)
+		}
+		id := n.AddInternal(name+sub, bnet.Sop{cube})
+		return bnet.Lit{Node: id}
+	}
+	if (variant/k)%2 == 0 {
+		// Left-associated chain.
+		acc := order[0]
+		for i := 1; i < k; i++ {
+			acc = mkNode(fmt.Sprintf("_c%d", i), acc, order[i])
+		}
+		return acc.Node
+	}
+	// Balanced tree.
+	level := append([]bnet.Lit(nil), order...)
+	step := 0
+	for len(level) > 1 {
+		var next []bnet.Lit
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, mkNode(fmt.Sprintf("_b%d_%d", step, i), level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+		step++
+	}
+	return level[0].Node
+}
+
+// randomNodeFn builds a small SOP (1-3 cubes of 2-3 literals) over
+// picked fanins, returning the function and the distinct fanins used.
+func randomNodeFn(rng *rand.Rand, pick func() bnet.NodeID) (bnet.Sop, []bnet.NodeID) {
+	nCubes := 1 + rng.Intn(3)
+	var cubes []bnet.Cube
+	seen := map[bnet.NodeID]bool{}
+	var ins []bnet.NodeID
+	for c := 0; c < nCubes; c++ {
+		nLits := 2 + rng.Intn(2)
+		var lits []bnet.Lit
+		for l := 0; l < nLits; l++ {
+			id := pick()
+			if !seen[id] {
+				seen[id] = true
+				ins = append(ins, id)
+			}
+			lits = append(lits, bnet.Lit{Node: id, Neg: rng.Intn(3) == 0})
+		}
+		if cube, ok := bnet.NewCube(lits...); ok {
+			cubes = append(cubes, cube)
+		}
+	}
+	if len(cubes) == 0 {
+		// All cube draws were contradictory; fall back to a buffer.
+		a := pick()
+		cube, _ := bnet.NewCube(bnet.Lit{Node: a})
+		cubes = append(cubes, cube)
+		if !seen[a] {
+			seen[a] = true
+			ins = append(ins, a)
+		}
+	}
+	return bnet.NewSop(cubes...), ins
+}
+
+// BuildLayeredSubject lowers the layered network to a subject DAG
+// under the chosen synthesis style. Direct preserves the layered
+// structure including its duplicated control copies; SISOptimized
+// shares a single copy of every control (SIS's restructuring merges
+// functionally redundant logic) and runs the scalable extraction, so
+// its netlist is smaller but wires every control consumer to one hub.
+func BuildLayeredSubject(spec LayeredSpec, style SynthesisStyle) (*subject.DAG, error) {
+	spec.SharedControls = style == SISOptimized
+	n, err := GenerateLayered(spec)
+	if err != nil {
+		return nil, err
+	}
+	if style == SISOptimized {
+		bnet.FastExtract(n, bnet.FastExtractOptions{MinPairCount: 3})
+	}
+	n.Sweep()
+	return subject.Decompose(n)
+}

@@ -1,0 +1,289 @@
+package bnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteBLIF emits the network in Berkeley Logic Interchange Format:
+// one .names block per internal node with its SOP in PLA notation.
+// Primary outputs that are complements of their driver get an explicit
+// inverter block. The result is readable by SIS, ABC, and ReadBLIF.
+func (n *Network) WriteBLIF(w io.Writer, model string) error {
+	if model == "" {
+		model = "casyn"
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".model %s\n", model)
+
+	names := make([]string, 0, len(n.pis))
+	for _, pi := range n.pis {
+		names = append(names, n.Node(pi).Name)
+	}
+	fmt.Fprintf(bw, ".inputs %s\n", strings.Join(names, " "))
+	names = names[:0]
+	for _, po := range n.pos {
+		names = append(names, n.Node(po).Name)
+	}
+	fmt.Fprintf(bw, ".outputs %s\n", strings.Join(names, " "))
+
+	order, err := n.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, id := range order {
+		node := n.Node(id)
+		switch node.Kind {
+		case KindInternal:
+			// A nil Fn is a constant-false function (possibly a swept
+			// node; emitting those too is harmless).
+			if err := writeNames(bw, n, node.Name, node.Fn); err != nil {
+				return err
+			}
+		case KindPO:
+			l := node.Fn[0][0]
+			drv := n.Node(l.Node).Name
+			if l.Neg {
+				fmt.Fprintf(bw, ".names %s %s\n0 1\n", drv, node.Name)
+			} else {
+				fmt.Fprintf(bw, ".names %s %s\n1 1\n", drv, node.Name)
+			}
+		}
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+// writeNames emits one .names block for fn.
+func writeNames(w io.Writer, n *Network, name string, fn Sop) error {
+	supp := fn.Support()
+	col := make(map[NodeID]int, len(supp))
+	hdr := make([]string, 0, len(supp)+1)
+	for i, id := range supp {
+		col[id] = i
+		hdr = append(hdr, n.Node(id).Name)
+	}
+	hdr = append(hdr, name)
+	if _, err := fmt.Fprintf(w, ".names %s\n", strings.Join(hdr, " ")); err != nil {
+		return err
+	}
+	if len(fn) == 0 {
+		// Constant false: a .names block with no cubes.
+		return nil
+	}
+	for _, c := range fn {
+		row := make([]byte, len(supp))
+		for i := range row {
+			row[i] = '-'
+		}
+		for _, l := range c {
+			if l.Neg {
+				row[col[l.Node]] = '0'
+			} else {
+				row[col[l.Node]] = '1'
+			}
+		}
+		if len(supp) == 0 {
+			// Constant true: an empty input plane.
+			if _, err := fmt.Fprintln(w, "1"); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s 1\n", row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBLIF parses the single-model subset of BLIF this package writes:
+// .model/.inputs/.outputs/.names/.end with 1-terminated single-output
+// cover rows (the SIS default). Don't-care output rows and multiple
+// models are rejected. Line continuations with '\' are handled.
+func ReadBLIF(r io.Reader) (*Network, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	var lines []string
+	var cont strings.Builder
+	for sc.Scan() {
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if strings.HasSuffix(text, "\\") {
+			cont.WriteString(strings.TrimSuffix(text, "\\"))
+			cont.WriteByte(' ')
+			continue
+		}
+		cont.WriteString(text)
+		line := strings.TrimSpace(cont.String())
+		cont.Reset()
+		if line != "" {
+			lines = append(lines, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	var (
+		inputs, outputs []string
+		blocks          []namesBlock
+		sawModel        bool
+	)
+	for li := 0; li < len(lines); li++ {
+		fields := strings.Fields(lines[li])
+		switch fields[0] {
+		case ".model":
+			if sawModel {
+				return nil, fmt.Errorf("bnet: multiple .model blocks unsupported")
+			}
+			sawModel = true
+		case ".inputs":
+			inputs = append(inputs, fields[1:]...)
+		case ".outputs":
+			outputs = append(outputs, fields[1:]...)
+		case ".names":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("bnet: .names with no signals")
+			}
+			b := namesBlock{signals: fields[1:]}
+			for li+1 < len(lines) && !strings.HasPrefix(lines[li+1], ".") {
+				li++
+				row := strings.Fields(lines[li])
+				nIn := len(b.signals) - 1
+				switch {
+				case nIn == 0 && len(row) == 1 && row[0] == "1":
+					b.rows = append(b.rows, "")
+				case len(row) == 2 && len(row[0]) == nIn:
+					if row[1] != "1" {
+						return nil, fmt.Errorf("bnet: only 1-terminated covers supported, got %q", row[1])
+					}
+					b.rows = append(b.rows, row[0])
+				default:
+					return nil, fmt.Errorf("bnet: malformed cover row %q", lines[li])
+				}
+			}
+			blocks = append(blocks, b)
+		case ".end":
+			// done
+		case ".latch", ".subckt", ".gate":
+			return nil, fmt.Errorf("bnet: %s unsupported (combinational .names only)", fields[0])
+		default:
+			return nil, fmt.Errorf("bnet: unsupported directive %s", fields[0])
+		}
+	}
+	if len(inputs) == 0 && len(blocks) == 0 {
+		return nil, fmt.Errorf("bnet: empty BLIF")
+	}
+
+	n := New()
+	sig := map[string]NodeID{}
+	for _, name := range inputs {
+		sig[name] = n.AddPI(name)
+	}
+	// Blocks may be out of order; resolve iteratively.
+	isOutput := map[string]bool{}
+	for _, o := range outputs {
+		isOutput[o] = true
+	}
+	pending := blocks
+	for len(pending) > 0 {
+		progress := false
+		var next []namesBlock
+		for _, b := range pending {
+			ready := true
+			for _, s := range b.signals[:len(b.signals)-1] {
+				if _, ok := sig[s]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, b)
+				continue
+			}
+			progress = true
+			outName := b.signals[len(b.signals)-1]
+			fn, err := sopFromRows(b, sig)
+			if err != nil {
+				return nil, err
+			}
+			internalName := outName
+			if isOutput[outName] {
+				internalName = "n_" + outName
+			}
+			for {
+				if _, taken := n.Lookup(internalName); !taken {
+					break
+				}
+				internalName += "_"
+			}
+			id := n.AddInternal(internalName, fn)
+			sig[outName] = id
+		}
+		if !progress {
+			missing := map[string]bool{}
+			for _, b := range next {
+				for _, s := range b.signals[:len(b.signals)-1] {
+					if _, ok := sig[s]; !ok {
+						missing[s] = true
+					}
+				}
+			}
+			var names []string
+			for s := range missing {
+				names = append(names, s)
+			}
+			sort.Strings(names)
+			return nil, fmt.Errorf("bnet: undriven signals %v (cyclic or incomplete BLIF)", names)
+		}
+		pending = next
+	}
+	for _, o := range outputs {
+		drv, ok := sig[o]
+		if !ok {
+			return nil, fmt.Errorf("bnet: output %s has no driver", o)
+		}
+		n.AddPO(o, drv, false)
+	}
+	return n, nil
+}
+
+// namesBlock is one parsed .names cover.
+type namesBlock struct {
+	signals []string // inputs... output
+	rows    []string // input-plane rows (output column must be 1)
+}
+
+// sopFromRows converts a .names cover to an algebraic SOP.
+func sopFromRows(b namesBlock, sig map[string]NodeID) (Sop, error) {
+	nIn := len(b.signals) - 1
+	var cubes []Cube
+	for _, row := range b.rows {
+		var lits []Lit
+		for i := 0; i < nIn && i < len(row); i++ {
+			switch row[i] {
+			case '1':
+				lits = append(lits, Lit{Node: sig[b.signals[i]]})
+			case '0':
+				lits = append(lits, Lit{Node: sig[b.signals[i]], Neg: true})
+			case '-':
+			default:
+				return nil, fmt.Errorf("bnet: invalid cover character %q", row[i])
+			}
+		}
+		c, ok := NewCube(lits...)
+		if !ok {
+			continue // contradictory row contributes nothing
+		}
+		cubes = append(cubes, c)
+	}
+	return NewSop(cubes...), nil
+}

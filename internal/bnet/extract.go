@@ -1,0 +1,198 @@
+package bnet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ExtractOptions tunes the greedy shared-divisor extraction pass.
+type ExtractOptions struct {
+	// MaxIterations bounds the number of divisors extracted.
+	// 0 means the package default (1000).
+	MaxIterations int
+	// MaxKernelsPerNode bounds kernel enumeration per node per round.
+	// 0 means the default (30).
+	MaxKernelsPerNode int
+	// MinSaving is the minimum literal saving for a divisor to be
+	// extracted. The default 1 extracts every profitable divisor.
+	MinSaving int
+}
+
+func (o *ExtractOptions) defaults() {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 1000
+	}
+	if o.MaxKernelsPerNode == 0 {
+		o.MaxKernelsPerNode = 30
+	}
+	if o.MinSaving == 0 {
+		o.MinSaving = 1
+	}
+}
+
+// ExtractReport summarizes an extraction run.
+type ExtractReport struct {
+	Iterations     int
+	LiteralsBefore int
+	LiteralsAfter  int
+	NewNodes       int
+}
+
+// String implements fmt.Stringer.
+func (r ExtractReport) String() string {
+	return fmt.Sprintf("extract: %d divisors, literals %d -> %d",
+		r.NewNodes, r.LiteralsBefore, r.LiteralsAfter)
+}
+
+// Extract performs SIS-style greedy shared-divisor extraction on the
+// network: in each round it enumerates kernel and common-cube divisor
+// candidates over all internal nodes, scores each by total literal
+// saving across the network, extracts the best one as a new node, and
+// substitutes it everywhere it divides. The loop stops when no
+// candidate saves at least opts.MinSaving literals.
+//
+// This is the behaviour the paper attributes to SIS's technology-
+// independent phase: it minimizes literals aggressively and creates
+// heavily shared (high-fanout) nodes.
+func Extract(n *Network, opts ExtractOptions) ExtractReport {
+	opts.defaults()
+	rep := ExtractReport{LiteralsBefore: n.NumLiterals()}
+	for rep.Iterations < opts.MaxIterations {
+		div, saving := bestDivisor(n, opts)
+		if saving < opts.MinSaving || len(div) == 0 {
+			break
+		}
+		applyDivisor(n, div)
+		rep.Iterations++
+		rep.NewNodes++
+	}
+	rep.LiteralsAfter = n.NumLiterals()
+	return rep
+}
+
+// candidate is a divisor with its accumulated saving.
+type candidate struct {
+	div    Sop
+	saving int
+}
+
+// bestDivisor scores all candidate divisors and returns the best.
+func bestDivisor(n *Network, opts ExtractOptions) (Sop, int) {
+	ids := n.InternalIDs()
+	// Gather candidates, deduplicated by canonical key.
+	cands := map[string]Sop{}
+	for _, id := range ids {
+		fn := n.Node(id).Fn
+		if len(fn) < 2 {
+			continue
+		}
+		for _, kp := range fn.Kernels(opts.MaxKernelsPerNode) {
+			// A kernel with many cubes is rarely shared; keep divisors
+			// small (double-cube divisors dominate in fast_extract).
+			if len(kp.Kernel) > 4 {
+				continue
+			}
+			cands[kp.Kernel.key()] = kp.Kernel
+		}
+		for _, c := range fn.CubeDivisors() {
+			s := Sop{c}
+			cands[s.key()] = s
+		}
+	}
+	if len(cands) == 0 {
+		return nil, 0
+	}
+	// Deterministic iteration order.
+	keys := make([]string, 0, len(cands))
+	for k := range cands {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	best := candidate{}
+	for _, k := range keys {
+		div := cands[k]
+		s := divisorSaving(n, ids, div)
+		if s > best.saving {
+			best = candidate{div: div, saving: s}
+		}
+	}
+	return best.div, best.saving
+}
+
+// divisorSaving computes the network-wide literal saving of extracting
+// div as a new node: for each node where div divides with a non-empty
+// quotient, before = lits(F), after = lits(Q) + |Q| + lits(R); the
+// divisor itself costs lits(div) once. Single-cube divisors use the
+// cube-quotient.
+func divisorSaving(n *Network, ids []NodeID, div Sop) int {
+	saving := 0
+	uses := 0
+	for _, id := range ids {
+		fn := n.Node(id).Fn
+		q, r := divide(fn, div)
+		if len(q) == 0 {
+			continue
+		}
+		before := fn.NumLiterals()
+		after := q.NumLiterals() + len(q) + r.NumLiterals()
+		if after < before {
+			saving += before - after
+			uses++
+		}
+	}
+	if uses < 2 && len(div) > 1 {
+		// A multi-cube divisor used once only moves literals around.
+		return 0
+	}
+	if uses < 2 && len(div) == 1 {
+		// A common cube inside a single node is still profitable if it
+		// appears in several cubes of that node, which the per-node
+		// saving above already captured — but extracting it adds a
+		// level for no sharing; require sharing.
+		return 0
+	}
+	return saving - div.NumLiterals()
+}
+
+// divide dispatches to cube or weak division.
+func divide(fn, div Sop) (q, r Sop) {
+	if len(div) == 1 {
+		q, r = fn.DivideByCube(div[0])
+		return q, r
+	}
+	return fn.WeakDivide(div)
+}
+
+// applyDivisor creates a node for div and substitutes it into every
+// node it profitably divides.
+func applyDivisor(n *Network, div Sop) NodeID {
+	name := fmt.Sprintf("ext%d", n.NumNodes())
+	newID := n.AddInternal(name, div.Clone())
+	for _, id := range n.InternalIDs() {
+		if id == newID {
+			continue
+		}
+		fn := n.Node(id).Fn
+		q, r := divide(fn, div)
+		if len(q) == 0 {
+			continue
+		}
+		before := fn.NumLiterals()
+		after := q.NumLiterals() + len(q) + r.NumLiterals()
+		if after >= before {
+			continue
+		}
+		// F = Q·d + R.
+		var cubes []Cube
+		for _, qc := range q {
+			nc, ok := qc.Merge(Cube{Lit{Node: newID}})
+			if !ok {
+				continue
+			}
+			cubes = append(cubes, nc)
+		}
+		cubes = append(cubes, r...)
+		n.SetFn(id, NewSop(cubes...))
+	}
+	return newID
+}

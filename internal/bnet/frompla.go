@@ -1,0 +1,63 @@
+package bnet
+
+import (
+	"fmt"
+
+	"casyn/internal/logic"
+)
+
+// FromPLA builds a Boolean network from a two-level PLA description:
+// one primary input per PLA input, one internal node per output
+// holding that output's cover as a SOP over the PIs, and one PO per
+// output.
+func FromPLA(p *logic.PLA) (*Network, error) {
+	n := New()
+	piIDs := make([]NodeID, p.NumInputs)
+	for i := 0; i < p.NumInputs; i++ {
+		name := fmt.Sprintf("in%d", i)
+		if i < len(p.InputNames) && p.InputNames[i] != "" {
+			name = p.InputNames[i]
+		}
+		piIDs[i] = n.AddPI(name)
+	}
+	for o := 0; o < p.NumOutputs; o++ {
+		cov := p.OutputCover(o)
+		sop, err := sopFromCover(cov, piIDs)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("out%d", o)
+		if o < len(p.OutputNames) && p.OutputNames[o] != "" {
+			name = p.OutputNames[o]
+		}
+		fnID := n.AddInternal("n_"+name, sop)
+		n.AddPO(name, fnID, false)
+	}
+	return n, nil
+}
+
+// sopFromCover converts a two-level cover into an algebraic SOP whose
+// literals reference the given PI node IDs.
+func sopFromCover(cov *logic.Cover, piIDs []NodeID) (Sop, error) {
+	if cov.Inputs() != len(piIDs) {
+		return nil, fmt.Errorf("bnet: cover width %d vs %d PIs", cov.Inputs(), len(piIDs))
+	}
+	var cubes []Cube
+	for _, cb := range cov.Cubes {
+		var lits []Lit
+		for i := 0; i < cov.Inputs(); i++ {
+			switch cb.Lit(i) {
+			case 1:
+				lits = append(lits, Lit{Node: piIDs[i]})
+			case -1:
+				lits = append(lits, Lit{Node: piIDs[i], Neg: true})
+			}
+		}
+		c, ok := NewCube(lits...)
+		if !ok {
+			return nil, fmt.Errorf("bnet: contradictory cube %s", cb)
+		}
+		cubes = append(cubes, c)
+	}
+	return NewSop(cubes...), nil
+}

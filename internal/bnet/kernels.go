@@ -1,0 +1,107 @@
+package bnet
+
+import "sort"
+
+// KernelPair is a kernel of an SOP together with one of its
+// co-kernels. A kernel is a cube-free quotient of the SOP by a cube;
+// kernels are the algebraic divisors with more than one cube that can
+// be shared between expressions (Brayton–McMullen theorem).
+type KernelPair struct {
+	Kernel   Sop
+	CoKernel Cube
+}
+
+// Kernels enumerates the kernels of s (level-0 and higher) using the
+// classic recursive co-kernel algorithm with literal-order pruning.
+// The SOP itself is included when it is cube-free. maxKernels bounds
+// the enumeration (0 means no bound); enumeration stops once the bound
+// is reached.
+func (s Sop) Kernels(maxKernels int) []KernelPair {
+	lits := s.literalUniverse()
+	var out []KernelPair
+	seen := map[string]bool{}
+
+	var rec func(cur Sop, coKernel Cube, minLitIdx int)
+	rec = func(cur Sop, coKernel Cube, minLitIdx int) {
+		if maxKernels > 0 && len(out) >= maxKernels {
+			return
+		}
+		cf, extra := cur.MakeCubeFree()
+		if len(extra) > 0 {
+			merged, ok := coKernel.Merge(extra)
+			if !ok {
+				return
+			}
+			coKernel = merged
+		}
+		if len(cf) >= 2 {
+			k := cf.key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, KernelPair{Kernel: cf, CoKernel: coKernel})
+			}
+		}
+		for i := minLitIdx; i < len(lits); i++ {
+			l := lits[i]
+			// Count cubes containing l.
+			cnt := 0
+			for _, c := range cf {
+				if c.Contains(l) {
+					cnt++
+				}
+			}
+			if cnt < 2 {
+				continue
+			}
+			q, _ := cf.DivideByCube(Cube{l})
+			merged, ok := coKernel.Merge(Cube{l})
+			if !ok {
+				continue
+			}
+			rec(NewSop(q...), merged, i+1)
+			if maxKernels > 0 && len(out) >= maxKernels {
+				return
+			}
+		}
+	}
+	rec(s.Clone(), Cube{}, 0)
+	return out
+}
+
+// literalUniverse returns the distinct literals of s in canonical
+// order.
+func (s Sop) literalUniverse() []Lit {
+	seen := map[Lit]bool{}
+	for _, c := range s {
+		for _, l := range c {
+			seen[l] = true
+		}
+	}
+	out := make([]Lit, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// CubeDivisors enumerates candidate single-cube divisors of s: every
+// pairwise cube intersection with at least two literals. These feed
+// the common-cube extraction step of the optimizer.
+func (s Sop) CubeDivisors() []Cube {
+	seen := map[string]Cube{}
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j < len(s); j++ {
+			in := s[i].Intersect(s[j])
+			if len(in) >= 2 {
+				seen[in.key()] = in
+			}
+		}
+	}
+	out := make([]Cube, 0, len(seen))
+	for _, c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}

@@ -1,0 +1,299 @@
+package bnet
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"casyn/internal/logic"
+)
+
+// buildXorNet builds f = a·b' + a'·b.
+func buildXorNet() (*Network, NodeID, NodeID) {
+	n := New()
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	f := n.AddInternal("f", NewSop(
+		mkCube(Lit{a, false}, Lit{b, true}),
+		mkCube(Lit{a, true}, Lit{b, false}),
+	))
+	n.AddPO("out", f, false)
+	return n, a, b
+}
+
+func TestNetworkBasics(t *testing.T) {
+	n, a, b := buildXorNet()
+	if n.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d", n.NumNodes())
+	}
+	if len(n.PIs()) != 2 || len(n.POs()) != 1 {
+		t.Fatal("PI/PO counts wrong")
+	}
+	f, ok := n.Lookup("f")
+	if !ok {
+		t.Fatal("Lookup failed")
+	}
+	fi := n.Fanins(f)
+	if len(fi) != 2 || fi[0] != a || fi[1] != b {
+		t.Errorf("Fanins = %v", fi)
+	}
+	fo := n.Fanouts(a)
+	if len(fo) != 1 || fo[0] != f {
+		t.Errorf("Fanouts = %v", fo)
+	}
+}
+
+func TestNetworkEval(t *testing.T) {
+	n, _, _ := buildXorNet()
+	cases := []struct {
+		in   []bool
+		want bool
+	}{
+		{[]bool{false, false}, false},
+		{[]bool{true, false}, true},
+		{[]bool{false, true}, true},
+		{[]bool{true, true}, false},
+	}
+	for _, c := range cases {
+		out, err := n.EvalOutputs(c.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != c.want {
+			t.Errorf("Eval(%v) = %v, want %v", c.in, out[0], c.want)
+		}
+	}
+	if _, err := n.EvalOutputs([]bool{true}); err == nil {
+		t.Error("wrong PI count must error")
+	}
+}
+
+func TestNegatedPO(t *testing.T) {
+	n := New()
+	a := n.AddPI("a")
+	buf := n.AddInternal("buf", NewSop(mkCube(Lit{a, false})))
+	n.AddPO("nout", buf, true)
+	out, err := n.EvalOutputs([]bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] {
+		t.Error("negated PO of true input must be false")
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	n, _, _ := buildXorNet()
+	order, err := n.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[NodeID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, node := range []string{"f"} {
+		id, _ := n.Lookup(node)
+		for _, fi := range n.Fanins(id) {
+			if pos[fi] > pos[id] {
+				t.Errorf("fanin %d after node %d", fi, id)
+			}
+		}
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	n := New()
+	a := n.AddPI("a")
+	x := n.AddInternal("x", nil)
+	y := n.AddInternal("y", NewSop(mkCube(Lit{x, false}, Lit{a, false})))
+	n.SetFn(x, NewSop(mkCube(Lit{y, false})))
+	if _, err := n.TopoOrder(); err == nil {
+		t.Error("cycle not detected")
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate name must panic")
+		}
+	}()
+	n := New()
+	n.AddPI("a")
+	n.AddPI("a")
+}
+
+func TestSweep(t *testing.T) {
+	n := New()
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	dead := n.AddInternal("dead", NewSop(mkCube(Lit{a, false})))
+	buf := n.AddInternal("buf", NewSop(mkCube(Lit{b, false})))
+	f := n.AddInternal("f", NewSop(mkCube(Lit{buf, false}, Lit{a, false})))
+	n.AddPO("out", f, false)
+	_ = dead
+	removed := n.Sweep()
+	if removed < 2 {
+		t.Errorf("Sweep removed %d, want >= 2 (dead node + buffer)", removed)
+	}
+	// The buffer must have been bypassed.
+	fi := n.Fanins(f)
+	for _, id := range fi {
+		if id == buf {
+			t.Error("buffer not collapsed")
+		}
+	}
+	out, err := n.EvalOutputs([]bool{true, true})
+	if err != nil || !out[0] {
+		t.Errorf("function changed by sweep: %v %v", out, err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	n, a, _ := buildXorNet()
+	c := n.Clone()
+	f, _ := n.Lookup("f")
+	n.SetFn(f, NewSop(mkCube(Lit{a, false})))
+	outN, _ := n.EvalOutputs([]bool{true, true})
+	outC, _ := c.EvalOutputs([]bool{true, true})
+	if outN[0] == outC[0] {
+		t.Error("clone shares function storage with original")
+	}
+}
+
+func TestFromPLA(t *testing.T) {
+	src := ".i 3\n.o 2\n.ilb a b c\n.ob f g\n1-0 10\n-11 11\n0-- 01\n.e\n"
+	p, err := logic.ReadPLA(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := FromPLA(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.PIs()) != 3 || len(n.POs()) != 2 {
+		t.Fatalf("interface %d/%d", len(n.PIs()), len(n.POs()))
+	}
+	assign := make([]bool, 3)
+	for m := 0; m < 8; m++ {
+		for i := range assign {
+			assign[i] = m>>i&1 == 1
+		}
+		want := p.Eval(assign)
+		got, err := n.EvalOutputs(assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for o := range want {
+			if want[o] != got[o] {
+				t.Errorf("minterm %d output %d: PLA=%v net=%v", m, o, want[o], got[o])
+			}
+		}
+	}
+}
+
+func TestExtractSharesKernel(t *testing.T) {
+	// f = ac + bc, g = ad + bd: the divisor (a+b) is shared.
+	n := New()
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	c := n.AddPI("c")
+	d := n.AddPI("d")
+	f := n.AddInternal("f", NewSop(
+		mkCube(Lit{a, false}, Lit{c, false}),
+		mkCube(Lit{b, false}, Lit{c, false}),
+	))
+	g := n.AddInternal("g", NewSop(
+		mkCube(Lit{a, false}, Lit{d, false}),
+		mkCube(Lit{b, false}, Lit{d, false}),
+	))
+	n.AddPO("of", f, false)
+	n.AddPO("og", g, false)
+	before := n.Clone()
+	rep := Extract(n, ExtractOptions{})
+	if rep.NewNodes < 1 {
+		t.Fatalf("no divisor extracted: %+v", rep)
+	}
+	if rep.LiteralsAfter >= rep.LiteralsBefore {
+		t.Errorf("literals did not decrease: %+v", rep)
+	}
+	if err := CheckEquivalence(before, n, 64, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractPreservesFunctionRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		ni, no := 6, 3
+		p := logic.NewPLA(ni, no)
+		for k := 0; k < 14; k++ {
+			cb := logic.NewCube(ni)
+			for i := 0; i < ni; i++ {
+				switch rng.Intn(3) {
+				case 0:
+					cb.SetPos(i)
+				case 1:
+					cb.SetNeg(i)
+				}
+			}
+			row := make([]bool, no)
+			row[rng.Intn(no)] = true
+			if rng.Intn(2) == 0 {
+				row[rng.Intn(no)] = true
+			}
+			if err := p.AddTerm(cb, row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n, err := FromPLA(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := n.Clone()
+		Extract(n, ExtractOptions{MaxIterations: 50})
+		if err := CheckEquivalence(before, n, 128, rng); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestExtractIncreasesSharing(t *testing.T) {
+	// A PLA with many shared subterms must end with higher max fanout
+	// after extraction — the SIS signature the experiments rely on.
+	rng := rand.New(rand.NewSource(13))
+	ni, no := 8, 6
+	p := logic.NewPLA(ni, no)
+	for k := 0; k < 30; k++ {
+		cb := logic.NewCube(ni)
+		// Bias literals to a small pool so sharing exists.
+		for i := 0; i < 4; i++ {
+			if rng.Intn(2) == 0 {
+				cb.SetPos(i)
+			}
+		}
+		cb.SetPos(4 + rng.Intn(4))
+		row := make([]bool, no)
+		row[rng.Intn(no)] = true
+		if err := p.AddTerm(cb, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := FromPLA(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxBefore, _ := n.MaxFanout()
+	rep := Extract(n, ExtractOptions{})
+	maxAfter, _ := n.MaxFanout()
+	if rep.NewNodes > 0 && maxAfter < maxBefore {
+		t.Errorf("extraction reduced max fanout: %d -> %d", maxBefore, maxAfter)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindPI.String() != "pi" || KindInternal.String() != "internal" || KindPO.String() != "po" {
+		t.Error("Kind.String broken")
+	}
+}

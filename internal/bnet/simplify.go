@@ -1,0 +1,98 @@
+package bnet
+
+import (
+	"casyn/internal/logic"
+)
+
+// SimplifyReport summarizes a SimplifyNodes run.
+type SimplifyReport struct {
+	NodesSimplified int
+	LiteralsBefore  int
+	LiteralsAfter   int
+}
+
+// SimplifyNodes runs two-level minimization on every internal node's
+// SOP — SIS's `simplify` step: each node function is re-expressed over
+// its own support as a PLA cover, minimized with the espresso-style
+// EXPAND/IRREDUNDANT pass, and written back when that saves literals.
+// The node's Boolean function is preserved exactly.
+//
+// maxSupport bounds the per-node support size the minimizer will touch
+// (the cover operations are exponential in the worst case); 0 means
+// the default of 12.
+func SimplifyNodes(n *Network, maxSupport int) SimplifyReport {
+	if maxSupport == 0 {
+		maxSupport = 12
+	}
+	rep := SimplifyReport{LiteralsBefore: n.NumLiterals()}
+	for _, id := range n.InternalIDs() {
+		fn := n.Node(id).Fn
+		if len(fn) < 2 {
+			continue
+		}
+		supp := fn.Support()
+		if len(supp) > maxSupport {
+			continue
+		}
+		cov, ok := coverFromSop(fn, supp)
+		if !ok {
+			continue
+		}
+		before := fn.NumLiterals()
+		cov.Minimize(nil)
+		after := cov.NumLiterals()
+		if after >= before {
+			continue
+		}
+		n.SetFn(id, sopFromCoverLocal(cov, supp))
+		rep.NodesSimplified++
+	}
+	rep.LiteralsAfter = n.NumLiterals()
+	return rep
+}
+
+// coverFromSop re-expresses an algebraic SOP as a two-level cover over
+// its support columns. Returns ok=false for SOPs the cover
+// representation cannot hold (none currently, but kept for safety).
+func coverFromSop(fn Sop, supp []NodeID) (*logic.Cover, bool) {
+	col := make(map[NodeID]int, len(supp))
+	for i, id := range supp {
+		col[id] = i
+	}
+	cov := logic.NewCover(len(supp))
+	for _, c := range fn {
+		cb := logic.NewCube(len(supp))
+		for _, l := range c {
+			if l.Neg {
+				cb.SetNeg(col[l.Node])
+			} else {
+				cb.SetPos(col[l.Node])
+			}
+		}
+		cov.Add(cb)
+	}
+	return cov, true
+}
+
+// sopFromCoverLocal converts a minimized cover back to an algebraic
+// SOP over the same support.
+func sopFromCoverLocal(cov *logic.Cover, supp []NodeID) Sop {
+	var cubes []Cube
+	for _, cb := range cov.Cubes {
+		var lits []Lit
+		for i := 0; i < cov.Inputs(); i++ {
+			switch cb.Lit(i) {
+			case 1:
+				lits = append(lits, Lit{Node: supp[i]})
+			case -1:
+				lits = append(lits, Lit{Node: supp[i], Neg: true})
+			}
+		}
+		c, ok := NewCube(lits...)
+		if !ok {
+			continue
+		}
+		cubes = append(cubes, c)
+	}
+	return NewSop(cubes...)
+}

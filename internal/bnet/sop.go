@@ -1,0 +1,378 @@
+package bnet
+
+import (
+	"sort"
+	"strings"
+)
+
+// Lit is a literal in a node's SOP: another node's output, possibly
+// complemented. For the algebraic model a literal and its complement
+// are treated as independent variables.
+type Lit struct {
+	Node NodeID
+	Neg  bool
+}
+
+// Less orders literals by (Node, phase) with the positive phase first.
+func (l Lit) Less(m Lit) bool {
+	if l.Node != m.Node {
+		return l.Node < m.Node
+	}
+	return !l.Neg && m.Neg
+}
+
+// Cube is a product of literals, kept sorted and duplicate-free.
+type Cube []Lit
+
+// NewCube returns a normalized cube: literals sorted, duplicates
+// removed. It returns ok=false if the cube contains a literal and its
+// complement (algebraically null product).
+func NewCube(lits ...Lit) (Cube, bool) {
+	c := append(Cube(nil), lits...)
+	sort.Slice(c, func(i, j int) bool { return c[i].Less(c[j]) })
+	out := c[:0]
+	for i, l := range c {
+		if i > 0 && l == c[i-1] {
+			continue
+		}
+		if i > 0 && l.Node == c[i-1].Node && l.Neg != c[i-1].Neg {
+			return nil, false
+		}
+		out = append(out, l)
+	}
+	return out, true
+}
+
+// Contains reports whether the cube includes literal l.
+func (c Cube) Contains(l Lit) bool {
+	i := sort.Search(len(c), func(i int) bool { return !c[i].Less(l) })
+	return i < len(c) && c[i] == l
+}
+
+// ContainsAll reports whether every literal of d appears in c.
+func (c Cube) ContainsAll(d Cube) bool {
+	i := 0
+	for _, l := range d {
+		for i < len(c) && c[i].Less(l) {
+			i++
+		}
+		if i >= len(c) || c[i] != l {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// Remove returns c with the literals of d removed. The caller must
+// ensure d ⊆ c.
+func (c Cube) Remove(d Cube) Cube {
+	out := make(Cube, 0, len(c)-len(d))
+	i := 0
+	for _, l := range c {
+		if i < len(d) && d[i] == l {
+			i++
+			continue
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// Intersect returns the literals common to c and d.
+func (c Cube) Intersect(d Cube) Cube {
+	var out Cube
+	i, j := 0, 0
+	for i < len(c) && j < len(d) {
+		switch {
+		case c[i] == d[j]:
+			out = append(out, c[i])
+			i++
+			j++
+		case c[i].Less(d[j]):
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Merge returns the normalized union of c and d.
+func (c Cube) Merge(d Cube) (Cube, bool) {
+	return NewCube(append(append(Cube(nil), c...), d...)...)
+}
+
+// Equal reports whether c and d have identical literals.
+func (c Cube) Equal(d Cube) bool {
+	if len(c) != len(d) {
+		return false
+	}
+	for i := range c {
+		if c[i] != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of c.
+func (c Cube) Clone() Cube { return append(Cube(nil), c...) }
+
+// key returns a canonical string key for maps.
+func (c Cube) key() string {
+	var b strings.Builder
+	for _, l := range c {
+		if l.Neg {
+			b.WriteByte('!')
+		}
+		b.WriteString(nodeIDString(l.Node))
+		b.WriteByte('.')
+	}
+	return b.String()
+}
+
+// Sop is a sum of cubes: the algebraic expression form used by the
+// technology-independent optimizer.
+type Sop []Cube
+
+// NewSop normalizes a cube list: each cube normalized, null cubes
+// dropped, duplicate cubes removed, single-cube containment applied
+// (a + ab = a), cubes sorted canonically.
+func NewSop(cubes ...Cube) Sop {
+	var s Sop
+	for _, c := range cubes {
+		nc, ok := NewCube(c...)
+		if !ok {
+			continue
+		}
+		s = append(s, nc)
+	}
+	s.normalize()
+	return s
+}
+
+func (s *Sop) normalize() {
+	in := *s
+	sort.Slice(in, func(i, j int) bool {
+		if len(in[i]) != len(in[j]) {
+			return len(in[i]) < len(in[j])
+		}
+		return in[i].key() < in[j].key()
+	})
+	var out Sop
+	for _, c := range in {
+		dup := false
+		for _, k := range out {
+			if c.ContainsAll(k) { // k ⊆ c means k absorbs c
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c)
+		}
+	}
+	*s = out
+}
+
+// Clone returns a deep copy of s.
+func (s Sop) Clone() Sop {
+	out := make(Sop, len(s))
+	for i, c := range s {
+		out[i] = c.Clone()
+	}
+	return out
+}
+
+// NumLiterals returns the total literal count.
+func (s Sop) NumLiterals() int {
+	n := 0
+	for _, c := range s {
+		n += len(c)
+	}
+	return n
+}
+
+// Support returns the sorted distinct node IDs referenced by s.
+func (s Sop) Support() []NodeID {
+	seen := map[NodeID]bool{}
+	for _, c := range s {
+		for _, l := range c {
+			seen[l.Node] = true
+		}
+	}
+	out := make([]NodeID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Eval evaluates s given the value of every node.
+func (s Sop) Eval(val []bool) bool {
+	for _, c := range s {
+		ok := true
+		for _, l := range c {
+			if val[l.Node] == l.Neg {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Rename substitutes every reference to old with new, renormalizing.
+func (s Sop) Rename(old, new NodeID) Sop {
+	out := make([]Cube, 0, len(s))
+	for _, c := range s {
+		nc := c.Clone()
+		for i, l := range nc {
+			if l.Node == old {
+				nc[i].Node = new
+			}
+		}
+		out = append(out, nc)
+	}
+	return NewSop(out...)
+}
+
+// DivideByCube computes the algebraic quotient and remainder of s
+// divided by cube d: s = d·Q + R where no cube of R contains d.
+func (s Sop) DivideByCube(d Cube) (q, r Sop) {
+	for _, c := range s {
+		if c.ContainsAll(d) {
+			q = append(q, c.Remove(d))
+		} else {
+			r = append(r, c.Clone())
+		}
+	}
+	return q, r
+}
+
+// WeakDivide computes the algebraic (weak) division of s by divisor d:
+// s = d·Q + R. Q is the intersection of the cube-quotients of s by
+// each cube of d; R is what remains. Returns empty Q when d does not
+// divide s.
+func (s Sop) WeakDivide(d Sop) (q, r Sop) {
+	if len(d) == 0 {
+		return nil, s.Clone()
+	}
+	// Quotient = ∩_{cube di ∈ d} (s / di).
+	q0, _ := s.DivideByCube(d[0])
+	qset := map[string]Cube{}
+	for _, c := range q0 {
+		qset[c.key()] = c
+	}
+	for _, di := range d[1:] {
+		qi, _ := s.DivideByCube(di)
+		next := map[string]Cube{}
+		for _, c := range qi {
+			if k := c.key(); qset[k] != nil {
+				next[k] = c
+			}
+		}
+		qset = next
+		if len(qset) == 0 {
+			return nil, s.Clone()
+		}
+	}
+	for _, c := range qset {
+		q = append(q, c)
+	}
+	sort.Slice(q, func(i, j int) bool { return q[i].key() < q[j].key() })
+	// R = s minus the cubes generated by d·Q.
+	used := map[string]bool{}
+	for _, qc := range q {
+		for _, dc := range d {
+			m, ok := qc.Merge(dc)
+			if ok {
+				used[m.key()] = true
+			}
+		}
+	}
+	for _, c := range s {
+		if !used[c.key()] {
+			r = append(r, c.Clone())
+		}
+	}
+	return q, r
+}
+
+// CommonCube returns the largest cube common to every cube of s (the
+// "biggest common divisor" cube). Empty when s has fewer than two
+// cubes or no shared literal.
+func (s Sop) CommonCube() Cube {
+	if len(s) == 0 {
+		return nil
+	}
+	common := s[0].Clone()
+	for _, c := range s[1:] {
+		common = common.Intersect(c)
+		if len(common) == 0 {
+			return nil
+		}
+	}
+	return common
+}
+
+// IsCubeFree reports whether no single literal divides every cube.
+func (s Sop) IsCubeFree() bool {
+	return len(s) >= 2 && len(s.CommonCube()) == 0
+}
+
+// MakeCubeFree divides out the common cube, returning the cube-free
+// SOP and the extracted co-kernel cube.
+func (s Sop) MakeCubeFree() (Sop, Cube) {
+	cc := s.CommonCube()
+	if len(cc) == 0 {
+		return s.Clone(), nil
+	}
+	out := make(Sop, len(s))
+	for i, c := range s {
+		out[i] = c.Remove(cc)
+	}
+	return out, cc
+}
+
+// key returns a canonical representation of the whole SOP.
+func (s Sop) key() string {
+	cp := s.Clone()
+	cp.normalize()
+	parts := make([]string, len(cp))
+	for i, c := range cp {
+		parts[i] = c.key()
+	}
+	return strings.Join(parts, "+")
+}
+
+// Equal reports whether s and t normalize to the same SOP.
+func (s Sop) Equal(t Sop) bool { return s.key() == t.key() }
+
+func nodeIDString(id NodeID) string {
+	// Small fast positive-int formatter to keep key() cheap.
+	if id == 0 {
+		return "0"
+	}
+	neg := id < 0
+	if neg {
+		id = -id
+	}
+	var buf [20]byte
+	i := len(buf)
+	for id > 0 {
+		i--
+		buf[i] = byte('0' + id%10)
+		id /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,255 @@
+// Package cover implements dynamic-programming tree covering with the
+// paper's congestion-aware cost function (Section 3.2, Eqs. 1–5):
+//
+//	AREA(m,v)  = area(m) + Σ areaCost(v_i)                      (1)
+//	WIRE1(m,v) = Σ dist(pos(m,v), pos(match(v_i), v_i))         (2)
+//	WIRE2(m,v) = Σ wireCost(v_i)                                (3)
+//	WIRE(m,v)  = WIRE1(m,v) + WIRE2(m,v)                        (4)
+//	COST(m,v)  = AREA(m,v) + K · WIRE(m,v)                      (5)
+//
+// pos(m,v) is the center of mass, on the chip layout image, of the
+// base gates covered by match m; when a match is selected the covered
+// gates' positions are replaced by that center of mass, which is how
+// the companion placement is incrementally updated. wireCost(v) is the
+// WIRE1 of the match selected at v — the wire contribution between
+// that match and its fanins — so WIRE totals the match's own fanin
+// wires plus those of its immediate children, exactly the two-level
+// scope the paper argues for (against the transitive-fanin cost of
+// Pedram–Bhat [9], available here as an ablation option).
+//
+// K = 0 reduces COST to the classic minimum-area objective of DAGON.
+package cover
+
+import (
+	"fmt"
+	"math"
+
+	"casyn/internal/geom"
+	"casyn/internal/library"
+	"casyn/internal/match"
+	"casyn/internal/partition"
+	"casyn/internal/subject"
+)
+
+// Objective selects the covering optimization target.
+type Objective int
+
+const (
+	// MinArea is the paper's objective: COST = AREA + K·WIRE.
+	MinArea Objective = iota
+	// MinDelay is the Rudell/Touati extension the paper cites in
+	// Section 3.2: the DP minimizes the load-aware arrival time at
+	// each vertex (plus K·WIRE), breaking ties toward smaller area.
+	MinDelay
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	if o == MinDelay {
+		return "min-delay"
+	}
+	return "min-area"
+}
+
+// Options tunes the coverer.
+type Options struct {
+	// K is the congestion minimization factor of Eq. 5.
+	K float64
+	// Objective selects area- or delay-oriented covering.
+	Objective Objective
+	// Metric is the layout distance function (default Manhattan).
+	Metric geom.Metric
+	// WireUnit is the length unit, in µm, that WIRE is expressed in
+	// (default 0.5, one routing half-pitch). It calibrates the K scale
+	// so the paper's K ladder lands on the same regions.
+	WireUnit float64
+	// TransitiveWire switches WIRE2 to the full transitive
+	// accumulation (the Pedram–Bhat-style cost the paper criticizes);
+	// used by the ablation benchmarks.
+	TransitiveWire bool
+	// NoWire2 drops WIRE2 entirely (WIRE = WIRE1), the other ablation.
+	NoWire2 bool
+}
+
+// Solution is the optimal cover decision at one tree vertex.
+type Solution struct {
+	Match match.Match
+	// AreaCost is Eq. 1 evaluated for the selected match.
+	AreaCost float64
+	// WireCost is the stored wireCost(v): WIRE1 of the selected match
+	// (or the transitive accumulation under Options.TransitiveWire).
+	WireCost float64
+	// Wire is Eq. 4 for the selected match (reporting only).
+	Wire float64
+	// Arrival is the estimated arrival time at the vertex under the
+	// MinDelay objective (ns); zero under MinArea.
+	Arrival float64
+	// Pos is the selected match's center of mass.
+	Pos geom.Point
+}
+
+// Result is the cover of the whole forest.
+type Result struct {
+	// Best holds the DP solution for every tree vertex; reconstruction
+	// reads non-root entries when logic duplication is needed.
+	Best map[int]*Solution
+	// Pos is the updated companion placement: covered gates moved to
+	// their selected match's center of mass.
+	Pos []geom.Point
+	// RootArea sums Eq. 1 over tree roots: the cell area of the cover
+	// before duplication.
+	RootArea float64
+	// RootWire sums Eq. 4 over tree roots.
+	RootWire float64
+}
+
+// Cover runs the DP over every tree of the forest. pos gives the
+// initial placement of all subject gates and is not modified; the
+// updated positions are in Result.Pos.
+func Cover(dag *subject.DAG, forest *partition.Forest, lib *library.Library, pos []geom.Point, opts Options) (*Result, error) {
+	if len(pos) < dag.NumGates() {
+		return nil, fmt.Errorf("cover: %d positions for %d gates", len(pos), dag.NumGates())
+	}
+	if opts.WireUnit == 0 {
+		opts.WireUnit = 0.5
+	}
+	res := &Result{
+		Best: make(map[int]*Solution),
+		Pos:  append([]geom.Point(nil), pos...),
+	}
+	trees := forest.Trees(dag)
+	for ti := range trees {
+		t := &trees[ti]
+		if err := coverTree(dag, forest, lib, t, res, opts); err != nil {
+			return nil, err
+		}
+	}
+	for _, root := range forest.Roots {
+		sol := res.Best[root]
+		res.RootArea += sol.AreaCost
+		res.RootWire += sol.Wire
+	}
+	return res, nil
+}
+
+// coverTree runs the bottom-up DP on one tree and commits the chosen
+// cover's placement updates.
+func coverTree(dag *subject.DAG, forest *partition.Forest, lib *library.Library, t *partition.Tree, res *Result, opts Options) error {
+	inTree := t.InTree()
+	m := match.NewMatcher(dag, lib, forest.Father, inTree)
+	covered := map[int]bool{} // scratch per match
+	for _, v := range t.Gates {
+		matches := m.MatchesAt(v)
+		if len(matches) == 0 {
+			return fmt.Errorf("cover: no match at gate %d (%s)", v, dag.Gate(v).Type)
+		}
+		var best *Solution
+		bestCost := math.Inf(1)
+		bestTie := math.Inf(1)
+		for i := range matches {
+			mt := &matches[i]
+			for k := range covered {
+				delete(covered, k)
+			}
+			for _, c := range mt.Covered {
+				covered[c] = true
+			}
+			// Center of mass of the covered base gates, from the
+			// current (incrementally updated) companion placement.
+			var com geom.Point
+			for _, c := range mt.Covered {
+				com = com.Add(res.Pos[c])
+			}
+			com = com.Scale(1 / float64(len(mt.Covered)))
+
+			area := mt.Cell.Area
+			wire1 := 0.0
+			wire2 := 0.0
+			arrival := 0.0
+			for _, l := range mt.Leaves {
+				if inTree(l) && covered[forest.Father[l]] {
+					// The leaf heads an input subtree of this match:
+					// accumulate its DP solution (Eqs. 1 and 3).
+					sub := res.Best[l]
+					area += sub.AreaCost
+					wire2 += sub.WireCost
+					wire1 += opts.Metric.Distance(com, sub.Pos) / opts.WireUnit
+					if sub.Arrival > arrival {
+						arrival = sub.Arrival
+					}
+				} else {
+					// Cross reference (PI, another tree, or a side
+					// branch): its area and wire are paid elsewhere.
+					wire1 += opts.Metric.Distance(com, res.Pos[l]) / opts.WireUnit
+				}
+			}
+			wire := wire1
+			if !opts.NoWire2 {
+				wire += wire2
+			}
+			var cost, tie float64
+			if opts.Objective == MinDelay {
+				// Load-aware stage delay with a nominal fanout-of-one
+				// load; cross-tree arrival is handled by the final STA,
+				// so the DP ranks matches by their in-tree depth cost.
+				arrival += mt.Cell.Intrinsic + mt.Cell.Drive*mt.Cell.InputCap
+				cost = arrival + opts.K*wire
+				tie = area
+			} else {
+				cost = area + opts.K*wire
+				tie = 0
+			}
+			if cost < bestCost || (cost == bestCost && tie < bestTie) {
+				stored := wire1
+				if opts.TransitiveWire {
+					stored = wire // accumulates transitively via children
+				}
+				best = &Solution{
+					Match:    *mt,
+					AreaCost: area,
+					WireCost: stored,
+					Wire:     wire,
+					Arrival:  arrival,
+					Pos:      com,
+				}
+				bestCost = cost
+				bestTie = tie
+			}
+		}
+		res.Best[v] = best
+	}
+	// Commit: walk the chosen cover from the root and replace covered
+	// gates' positions with their match's center of mass.
+	var commit func(v int)
+	commit = func(v int) {
+		sol := res.Best[v]
+		for _, c := range sol.Match.Covered {
+			res.Pos[c] = sol.Pos
+		}
+		// Collect the input subtrees before recursing: the recursion
+		// must not interleave with the membership tests.
+		for _, l := range SelectedLeafSubtrees(forest, inTree, sol) {
+			commit(l)
+		}
+	}
+	commit(t.Root)
+	return nil
+}
+
+// SelectedLeafSubtrees returns, for a solution in the forest, which of
+// its match leaves head in-tree input subtrees (and therefore have
+// their own committed solutions). Reconstruction uses this to walk the
+// chosen cover.
+func SelectedLeafSubtrees(forest *partition.Forest, inTree func(int) bool, sol *Solution) []int {
+	covered := map[int]bool{}
+	for _, c := range sol.Match.Covered {
+		covered[c] = true
+	}
+	var out []int
+	for _, l := range sol.Match.Leaves {
+		if inTree(l) && covered[forest.Father[l]] {
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"testing"
+
+	"casyn/internal/bench"
+)
+
+// Scaled-down experiment runs keep the suite fast; the full-size runs
+// live in the cmd tools and the repository benchmarks.
+const testScale = 0.08
+
+func TestKSweepScaledShape(t *testing.T) {
+	res, err := KSweep(bench.SPLA, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(KSchedule()) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(KSchedule()))
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	// Cell area and count grow substantially across the ladder.
+	if last.CellArea <= first.CellArea*1.1 {
+		t.Errorf("area did not grow across ladder: %.0f -> %.0f", first.CellArea, last.CellArea)
+	}
+	if last.NumCells <= first.NumCells {
+		t.Errorf("cell count did not grow: %d -> %d", first.NumCells, last.NumCells)
+	}
+	// Utilization tracks area on the fixed die.
+	if last.Utilization <= first.Utilization {
+		t.Error("utilization did not grow")
+	}
+	for _, r := range res.Rows {
+		if r.Routable != (r.Violations == 0) {
+			t.Errorf("K=%g: Routable flag inconsistent", r.K)
+		}
+	}
+}
+
+func TestTable1Scaled(t *testing.T) {
+	rows, layout, err := Table1(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Label != "SIS" || rows[1].Label != "DAGON" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// The paper's area relation: SIS cell area below DAGON's.
+	if rows[0].CellArea >= rows[1].CellArea {
+		t.Errorf("SIS area %.0f not below DAGON %.0f", rows[0].CellArea, rows[1].CellArea)
+	}
+	if layout.NumRows == 0 {
+		t.Error("degenerate layout")
+	}
+	for _, r := range rows {
+		if r.Utilization <= 0 || r.Utilization > 1.1 {
+			t.Errorf("%s utilization %.3f out of range", r.Label, r.Utilization)
+		}
+	}
+}
+
+func TestFigure1Invariants(t *testing.T) {
+	minArea, congestion, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if congestion.CellArea <= minArea.CellArea {
+		t.Errorf("congestion cover area %.3f not above min area %.3f",
+			congestion.CellArea, minArea.CellArea)
+	}
+	if congestion.Wire >= minArea.Wire {
+		t.Errorf("congestion cover wire %.1f not below min-area wire %.1f",
+			congestion.Wire, minArea.Wire)
+	}
+	// The min-area cover is the paper's cell mix.
+	counts := map[string]int{}
+	for _, c := range minArea.Cells {
+		counts[c]++
+	}
+	if counts["NAND3"] != 1 || counts["AOI21"] != 1 || counts["INV"] != 1 {
+		t.Errorf("min-area cells = %v, want NAND3+AOI21+INV", minArea.Cells)
+	}
+}
+
+func TestFigure3Scaled(t *testing.T) {
+	res, err := Figure3(bench.SPLA, testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) == 0 {
+		t.Fatal("no iterations")
+	}
+	// With the standard floorplan the flow accepts an early K.
+	if res.Routable && res.AcceptedK > 0.01 {
+		t.Errorf("accepted K unexpectedly large: %g", res.AcceptedK)
+	}
+}
+
+func TestSTATableScaled(t *testing.T) {
+	rows, err := STATable(bench.SPLA, testScale, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	labels := []string{"K=0", "K=0.001", "SIS"}
+	for i, r := range rows {
+		if r.Label != labels[i] {
+			t.Errorf("row %d label %q", i, r.Label)
+		}
+		if r.Arrival <= 0 {
+			t.Errorf("%s arrival %.3f", r.Label, r.Arrival)
+		}
+		if r.SameK0PathArrival <= 0 {
+			t.Errorf("%s same-path arrival missing", r.Label)
+		}
+		if r.NumRows == 0 || r.ChipArea <= 0 {
+			t.Errorf("%s floorplan missing", r.Label)
+		}
+	}
+	// The same-path column of the K=0 row is its own critical path.
+	if rows[0].SameK0PathArrival != rows[0].Arrival {
+		t.Errorf("K=0 same-path %.3f != arrival %.3f", rows[0].SameK0PathArrival, rows[0].Arrival)
+	}
+}
+
+func TestPartitionAblationScaled(t *testing.T) {
+	rows, err := PartitionAblation(bench.SPLA, testScale, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.NumCells == 0 || r.CellArea <= 0 {
+			t.Errorf("%s degenerate: %+v", r.Variant, r)
+		}
+	}
+}
+
+func TestWireCostAblationScaled(t *testing.T) {
+	rows, err := WireCostAblation(bench.SPLA, testScale, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Scope monotonicity: wire1-only <= two-level <= transitive on the
+	// reported estimate.
+	if rows[1].WireEstimate > rows[0].WireEstimate+1e-6 {
+		t.Errorf("wire1-only estimate %.1f above two-level %.1f",
+			rows[1].WireEstimate, rows[0].WireEstimate)
+	}
+	if rows[0].WireEstimate > rows[2].WireEstimate+1e-6 {
+		t.Errorf("two-level estimate %.1f above transitive %.1f",
+			rows[0].WireEstimate, rows[2].WireEstimate)
+	}
+}
+
+func TestCalibrationConstants(t *testing.T) {
+	ro := RouteOpts()
+	if ro.CapacityScale != CapacityScale || ro.GCellSize != GCellSize {
+		t.Error("RouteOpts does not carry the calibration")
+	}
+	po := PlaceOpts()
+	if po.Seed != PlacementSeed || po.RefinePasses != RefinePasses {
+		t.Error("PlaceOpts does not carry the calibration")
+	}
+}

@@ -1,0 +1,205 @@
+// Package flow implements the paper's modified ASIC design flow
+// (Figure 3): the technology-independent netlist is placed once, then
+// technology mapping is repeated with increasing congestion factor K —
+// each iteration placing and globally routing the mapped netlist and
+// evaluating its congestion map — until the design is routable within
+// the fixed die, or the growing cell-area penalty makes congestion
+// worse again.
+package flow
+
+import (
+	"fmt"
+
+	"casyn/internal/geom"
+	"casyn/internal/library"
+	"casyn/internal/mapper"
+	"casyn/internal/netlist"
+	"casyn/internal/partition"
+	"casyn/internal/place"
+	"casyn/internal/route"
+	"casyn/internal/sta"
+	"casyn/internal/subject"
+)
+
+// Config parameterizes the flow.
+type Config struct {
+	// Layout is the fixed floorplan (die size, rows).
+	Layout place.Layout
+	// Lib is the cell library (default library.Default()).
+	Lib *library.Library
+	// KSchedule is the ladder of congestion factors to try in order;
+	// the default is the paper's Table 2/4 ladder.
+	KSchedule []float64
+	// Method is the partitioning scheme (default PDP).
+	Method partition.Method
+	// PlaceOpts / RouteOpts forward to the placer and router.
+	PlaceOpts place.Options
+	RouteOpts route.Options
+	// FreshPlacement re-places the mapped netlist from scratch instead
+	// of legalizing the mapper's center-of-mass seeds. The seeded path
+	// (default) is the paper's methodology: the companion placement is
+	// generated once and carried through mapping; use fresh placement
+	// for the ablation that discards it.
+	FreshPlacement bool
+	// RunSTA enables timing analysis per iteration.
+	RunSTA bool
+	// STAOpts forwards to the timing analyzer.
+	STAOpts sta.Options
+	// StopAtFirstRoutable ends the sweep at the first clean iteration
+	// (the methodology's normal exit); when false the whole ladder
+	// runs, which is how the K-sweep tables are produced.
+	StopAtFirstRoutable bool
+}
+
+func (c *Config) defaults() {
+	if c.Lib == nil {
+		c.Lib = library.Default()
+	}
+	if len(c.KSchedule) == 0 {
+		c.KSchedule = DefaultKSchedule()
+	}
+}
+
+// DefaultKSchedule returns the K ladder of the paper's Tables 2 and 4.
+func DefaultKSchedule() []float64 {
+	return []float64{0, 0.0001, 0.00025, 0.0005, 0.00075, 0.001,
+		0.0025, 0.005, 0.0075, 0.01, 0.05, 0.1, 0.5, 1.0}
+}
+
+// Context is the once-per-design preparation: the placed technology-
+// independent netlist (paper: "the technology independent netlist and
+// its placement are generated only once").
+type Context struct {
+	DAG    *subject.DAG
+	Pos    []geom.Point
+	POPads map[int][]geom.Point
+	PIPads []geom.Point
+	POList []geom.Point
+}
+
+// Prepare places the subject DAG on the layout image.
+func Prepare(d *subject.DAG, cfg Config) (*Context, error) {
+	cfg.defaults()
+	pos, poPads, piPads, poList, err := mapper.SubjectPlacement(d, cfg.Layout, cfg.PlaceOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{DAG: d, Pos: pos, POPads: poPads, PIPads: piPads, POList: poList}, nil
+}
+
+// Iteration is the outcome of one K value: the columns of the paper's
+// Tables 2 and 4, plus timing when enabled.
+type Iteration struct {
+	K               float64
+	CellArea        float64 // µm²
+	NumCells        int
+	DuplicatedCells int
+	Utilization     float64 // fraction of die area
+	Violations      int
+	// FailedConnections counts two-pin route segments through
+	// over-capacity edges — the detailed-router-violation analogue.
+	FailedConnections int
+	MaxCongestion     float64
+	WireLength        float64 // routed, µm
+	Routable          bool
+	Timing            *sta.Result
+	Netlist           *netlist.Netlist
+}
+
+// Result is the full flow outcome.
+type Result struct {
+	Iterations []Iteration
+	// BestIndex points at the accepted iteration: the first routable
+	// one, else the minimum-violation one. -1 when no iterations ran.
+	BestIndex int
+}
+
+// Best returns the accepted iteration.
+func (r *Result) Best() *Iteration {
+	if r.BestIndex < 0 {
+		return nil
+	}
+	return &r.Iterations[r.BestIndex]
+}
+
+// FoundRoutable reports whether any iteration routed cleanly.
+func (r *Result) FoundRoutable() bool {
+	return r.BestIndex >= 0 && r.Iterations[r.BestIndex].Routable
+}
+
+// Run executes the flow on a prepared context.
+func Run(ctx *Context, cfg Config) (*Result, error) {
+	cfg.defaults()
+	res := &Result{BestIndex: -1}
+	for _, k := range cfg.KSchedule {
+		it, err := RunOnce(ctx, k, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("flow: K=%g: %w", k, err)
+		}
+		res.Iterations = append(res.Iterations, it)
+		i := len(res.Iterations) - 1
+		if res.BestIndex < 0 ||
+			(it.Routable && !res.Iterations[res.BestIndex].Routable) ||
+			(it.Routable == res.Iterations[res.BestIndex].Routable &&
+				it.Violations < res.Iterations[res.BestIndex].Violations) {
+			res.BestIndex = i
+		}
+		if cfg.StopAtFirstRoutable && it.Routable {
+			break
+		}
+	}
+	return res, nil
+}
+
+// RunOnce maps, places, and routes for a single K.
+func RunOnce(ctx *Context, k float64, cfg Config) (Iteration, error) {
+	cfg.defaults()
+	it := Iteration{K: k}
+	mres, err := mapper.Map(ctx.DAG, mapper.Input{Pos: ctx.Pos, POPads: ctx.POPads}, mapper.Options{
+		K:      k,
+		Method: cfg.Method,
+		Lib:    cfg.Lib,
+	})
+	if err != nil {
+		return it, err
+	}
+	it.Netlist = mres.Netlist
+	it.CellArea = mres.CellArea
+	it.NumCells = mres.NumCells
+	it.DuplicatedCells = mres.DuplicatedCells
+	it.Utilization = cfg.Layout.Utilization(mres.CellArea)
+
+	pn := mres.Netlist.ToPlacement(ctx.PIPads, ctx.POList)
+	var pl *place.Placement
+	if cfg.FreshPlacement {
+		pl, err = place.PlaceNetlist(pn.Cells, cfg.Layout, cfg.PlaceOpts)
+	} else {
+		seeds := make([]geom.Point, len(mres.Netlist.Instances))
+		for i := range mres.Netlist.Instances {
+			seeds[i] = mres.Netlist.Instances[i].Pos
+		}
+		pl, err = place.PlaceSeeded(pn.Cells, cfg.Layout, seeds, cfg.PlaceOpts)
+	}
+	if err != nil {
+		return it, err
+	}
+	rres, err := route.RouteNetlist(pn.Cells, pl, cfg.Layout, cfg.RouteOpts)
+	if err != nil {
+		return it, err
+	}
+	it.Violations = rres.Violations
+	it.FailedConnections = rres.FailedConnections
+	it.MaxCongestion = rres.MaxCongestion
+	it.WireLength = rres.WireLength
+	it.Routable = rres.Routable()
+
+	if cfg.RunSTA {
+		lens := sta.NetLengths(pn.SigNet, rres.NetLength)
+		timing, err := sta.Analyze(mres.Netlist, lens, cfg.STAOpts)
+		if err != nil {
+			return it, err
+		}
+		it.Timing = timing
+	}
+	return it, nil
+}

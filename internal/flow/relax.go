@@ -1,0 +1,63 @@
+package flow
+
+import (
+	"fmt"
+
+	"casyn/internal/place"
+	"casyn/internal/subject"
+)
+
+// RelaxResult is the outcome of RunWithRelaxation: the flow result
+// that finally routed (or the last attempt), plus the floorplan
+// history.
+type RelaxResult struct {
+	// Attempts records one flow Result per floorplan tried.
+	Attempts []*Result
+	// Layouts is the floorplan used by each attempt.
+	Layouts []place.Layout
+	// Final indexes the accepted attempt (the first routable one, or
+	// the last if none routed).
+	Final int
+}
+
+// Accepted returns the accepted attempt's best iteration and layout.
+func (r *RelaxResult) Accepted() (*Iteration, place.Layout) {
+	return r.Attempts[r.Final].Best(), r.Layouts[r.Final]
+}
+
+// RunWithRelaxation implements the full Figure 3 decision: run the K
+// ladder on the given floorplan; if no mapping routes, relax the
+// floorplan by adding rows (introducing more wiring resources) and try
+// again — re-placing the technology-independent netlist on each new
+// floorplan, since the layout image defines the wire costs. maxExtra
+// bounds the added rows.
+func RunWithRelaxation(d *subject.DAG, cfg Config, maxExtraRows int) (*RelaxResult, error) {
+	cfg.defaults()
+	cfg.StopAtFirstRoutable = true
+	res := &RelaxResult{Final: -1}
+	base := cfg.Layout
+	for extra := 0; extra <= maxExtraRows; extra++ {
+		layout, err := place.LayoutWithRows(base.NumRows+extra, base.Die.W(), base.RowHeight)
+		if err != nil {
+			return nil, err
+		}
+		attempt := cfg
+		attempt.Layout = layout
+		ctx, err := Prepare(d, attempt)
+		if err != nil {
+			return nil, fmt.Errorf("flow: relax +%d rows: %w", extra, err)
+		}
+		fres, err := Run(ctx, attempt)
+		if err != nil {
+			return nil, fmt.Errorf("flow: relax +%d rows: %w", extra, err)
+		}
+		res.Attempts = append(res.Attempts, fres)
+		res.Layouts = append(res.Layouts, layout)
+		if fres.FoundRoutable() {
+			res.Final = len(res.Attempts) - 1
+			return res, nil
+		}
+	}
+	res.Final = len(res.Attempts) - 1
+	return res, nil
+}

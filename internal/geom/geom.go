@@ -1,0 +1,221 @@
+// Package geom provides the planar geometry primitives shared by the
+// placement, routing, and technology-mapping packages: points,
+// rectangles, distance metrics, and wirelength estimators.
+//
+// All coordinates are float64 values in micrometers (µm), matching the
+// units the paper reports die and cell areas in. The zero value of
+// every type is usable.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location on the chip layout image.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p translated by -q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p with both coordinates multiplied by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Manhattan returns the L1 (rectilinear) distance between p and q.
+// Routed wires on a Manhattan grid have exactly this length when the
+// route is detour-free, so it is the metric used by the covering cost
+// function of the paper (Eq. 2).
+func (p Point) Manhattan(q Point) float64 {
+	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+}
+
+// Euclidean returns the L2 distance between p and q.
+func (p Point) Euclidean(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.3f,%.3f)", p.X, p.Y) }
+
+// Metric identifies a distance function usable by the mapper's wire
+// cost. The paper's distance() is left abstract; Manhattan is the
+// default because global routing is rectilinear.
+type Metric int
+
+const (
+	// ManhattanMetric selects the L1 distance.
+	ManhattanMetric Metric = iota
+	// EuclideanMetric selects the L2 distance.
+	EuclideanMetric
+)
+
+// Distance returns the distance between p and q under metric m.
+func (m Metric) Distance(p, q Point) float64 {
+	if m == EuclideanMetric {
+		return p.Euclidean(q)
+	}
+	return p.Manhattan(q)
+}
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case ManhattanMetric:
+		return "manhattan"
+	case EuclideanMetric:
+		return "euclidean"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// Rect is an axis-aligned rectangle. Min is the lower-left corner and
+// Max the upper-right; a well-formed Rect has Min.X <= Max.X and
+// Min.Y <= Max.Y.
+type Rect struct {
+	Min, Max Point
+}
+
+// R builds a well-formed rectangle from two arbitrary corners.
+func R(x0, y0, x1, y1 float64) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{Min: Point{x0, y0}, Max: Point{x1, y1}}
+}
+
+// W returns the width of r.
+func (r Rect) W() float64 { return r.Max.X - r.Min.X }
+
+// H returns the height of r.
+func (r Rect) H() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.W() * r.H() }
+
+// Center returns the geometric center of r.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// HalfPerimeter returns the half-perimeter of r, the classic HPWL
+// wirelength estimate for a net whose pin bounding box is r.
+func (r Rect) HalfPerimeter() float64 { return r.W() + r.H() }
+
+// Contains reports whether p lies inside r (inclusive of edges).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Intersects reports whether r and s share any area or edge.
+func (r Rect) Intersects(s Rect) bool {
+	return r.Min.X <= s.Max.X && s.Min.X <= r.Max.X &&
+		r.Min.Y <= s.Max.Y && s.Min.Y <= r.Max.Y
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		Min: Point{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// Expand returns r grown by d on every side. A negative d shrinks r;
+// the result is clamped so it never inverts.
+func (r Rect) Expand(d float64) Rect {
+	out := Rect{
+		Min: Point{r.Min.X - d, r.Min.Y - d},
+		Max: Point{r.Max.X + d, r.Max.Y + d},
+	}
+	if out.Min.X > out.Max.X {
+		c := (out.Min.X + out.Max.X) / 2
+		out.Min.X, out.Max.X = c, c
+	}
+	if out.Min.Y > out.Max.Y {
+		c := (out.Min.Y + out.Max.Y) / 2
+		out.Min.Y, out.Max.Y = c, c
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%s %s]", r.Min, r.Max)
+}
+
+// BoundingBox returns the smallest rectangle containing all points.
+// It returns a zero Rect when pts is empty.
+func BoundingBox(pts []Point) Rect {
+	if len(pts) == 0 {
+		return Rect{}
+	}
+	r := Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		r.Min.X = math.Min(r.Min.X, p.X)
+		r.Min.Y = math.Min(r.Min.Y, p.Y)
+		r.Max.X = math.Max(r.Max.X, p.X)
+		r.Max.Y = math.Max(r.Max.Y, p.Y)
+	}
+	return r
+}
+
+// HPWL returns the half-perimeter wirelength of the bounding box of
+// pts, the standard pre-route estimate of a net's wirelength.
+func HPWL(pts []Point) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	return BoundingBox(pts).HalfPerimeter()
+}
+
+// CenterOfMass returns the unweighted centroid of pts. It returns the
+// origin when pts is empty. The paper's covering algorithm replaces
+// the positions of all base gates covered by a selected match with
+// their center of mass (Section 3.2).
+func CenterOfMass(pts []Point) Point {
+	if len(pts) == 0 {
+		return Point{}
+	}
+	var c Point
+	for _, p := range pts {
+		c.X += p.X
+		c.Y += p.Y
+	}
+	return c.Scale(1 / float64(len(pts)))
+}
+
+// WeightedCenterOfMass returns the centroid of pts weighted by w.
+// Entries with non-positive weight are ignored; if every weight is
+// non-positive it falls back to the unweighted centroid.
+func WeightedCenterOfMass(pts []Point, w []float64) Point {
+	if len(pts) == 0 {
+		return Point{}
+	}
+	var c Point
+	var tot float64
+	for i, p := range pts {
+		if i >= len(w) || w[i] <= 0 {
+			continue
+		}
+		c.X += p.X * w[i]
+		c.Y += p.Y * w[i]
+		tot += w[i]
+	}
+	if tot == 0 {
+		return CenterOfMass(pts)
+	}
+	return c.Scale(1 / tot)
+}

@@ -1,0 +1,207 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Cover is a sum of cubes over a fixed number of inputs: the ON-set of
+// a single-output Boolean function in sum-of-products form.
+type Cover struct {
+	n     int
+	Cubes []Cube
+}
+
+// NewCover returns an empty (constant-false) cover over n inputs.
+func NewCover(n int) *Cover {
+	if n < 0 {
+		panic("logic: negative input count")
+	}
+	return &Cover{n: n}
+}
+
+// ParseCover parses a whitespace-separated list of cube strings, all
+// of the same width.
+func ParseCover(s string) (*Cover, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return NewCover(0), nil
+	}
+	cov := NewCover(len(fields[0]))
+	for _, f := range fields {
+		if len(f) != cov.n {
+			return nil, fmt.Errorf("logic: cube %q width %d differs from %d", f, len(f), cov.n)
+		}
+		c, err := ParseCube(f)
+		if err != nil {
+			return nil, err
+		}
+		cov.Cubes = append(cov.Cubes, c)
+	}
+	return cov, nil
+}
+
+// MustParseCover is ParseCover that panics on error.
+func MustParseCover(s string) *Cover {
+	c, err := ParseCover(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Inputs returns the number of inputs of the cover.
+func (c *Cover) Inputs() int { return c.n }
+
+// Len returns the number of cubes.
+func (c *Cover) Len() int { return len(c.Cubes) }
+
+// Clone returns a deep copy of c.
+func (c *Cover) Clone() *Cover {
+	out := NewCover(c.n)
+	out.Cubes = make([]Cube, len(c.Cubes))
+	for i, cb := range c.Cubes {
+		out.Cubes[i] = cb.Clone()
+	}
+	return out
+}
+
+// Add appends a cube, which must have the cover's width.
+func (c *Cover) Add(cb Cube) {
+	if cb.n != c.n {
+		panic(fmt.Sprintf("logic: adding %d-input cube to %d-input cover", cb.n, c.n))
+	}
+	c.Cubes = append(c.Cubes, cb)
+}
+
+// NumLiterals returns the total literal count, the classic proxy for
+// multi-level area after decomposition ([2],[3] in the paper).
+func (c *Cover) NumLiterals() int {
+	n := 0
+	for _, cb := range c.Cubes {
+		n += cb.NumLiterals()
+	}
+	return n
+}
+
+// Eval evaluates the cover under a full input assignment.
+func (c *Cover) Eval(assign []bool) bool {
+	for _, cb := range c.Cubes {
+		if cb.EvalAssignment(assign) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsEmpty reports whether the cover has no cubes (constant false).
+func (c *Cover) IsEmpty() bool { return len(c.Cubes) == 0 }
+
+// Cofactor returns the cofactor of the cover with respect to a cube:
+// the cubes of c that intersect d, with d's literals removed. This is
+// the generalized (Shannon) cofactor used by the tautology and
+// containment algorithms.
+func (c *Cover) Cofactor(d Cube) *Cover {
+	out := NewCover(c.n)
+	for _, cb := range c.Cubes {
+		if cb.Distance(d) > 0 {
+			continue
+		}
+		r := cb.Clone()
+		for i := 0; i < c.n; i++ {
+			if d.Lit(i) != 0 {
+				r.ClearLit(i)
+			}
+		}
+		out.Cubes = append(out.Cubes, r)
+	}
+	return out
+}
+
+// CofactorLit returns the Shannon cofactor with respect to a single
+// literal.
+func (c *Cover) CofactorLit(i int, positive bool) *Cover {
+	d := NewCube(c.n)
+	if positive {
+		d.SetPos(i)
+	} else {
+		d.SetNeg(i)
+	}
+	return c.Cofactor(d)
+}
+
+// ContainsCube reports whether the cover covers every minterm of cube
+// d, decided by checking that the cofactor of c with respect to d is a
+// tautology.
+func (c *Cover) ContainsCube(d Cube) bool {
+	return c.Cofactor(d).Tautology()
+}
+
+// SingleCubeContainment removes every cube that is contained in
+// another single cube of the cover. It runs in O(k²) cube pairs, which
+// is fine for the cover sizes this package sees.
+func (c *Cover) SingleCubeContainment() {
+	// Wider cubes (fewer literals) first, so each cube only needs to be
+	// tested against already-kept, at-least-as-wide cubes.
+	sort.SliceStable(c.Cubes, func(i, j int) bool {
+		return c.Cubes[i].NumLiterals() < c.Cubes[j].NumLiterals()
+	})
+	var kept []Cube
+	for _, cb := range c.Cubes {
+		contained := false
+		for _, k := range kept {
+			if k.Contains(cb) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			kept = append(kept, cb)
+		}
+	}
+	c.Cubes = kept
+}
+
+// Irredundant removes cubes that are covered by the union of the
+// remaining cubes, producing an irredundant cover.
+func (c *Cover) Irredundant() {
+	for i := 0; i < len(c.Cubes); {
+		rest := NewCover(c.n)
+		rest.Cubes = append(rest.Cubes, c.Cubes[:i]...)
+		rest.Cubes = append(rest.Cubes, c.Cubes[i+1:]...)
+		if rest.ContainsCube(c.Cubes[i]) {
+			c.Cubes = append(c.Cubes[:i], c.Cubes[i+1:]...)
+		} else {
+			i++
+		}
+	}
+}
+
+// Equivalent reports whether c and d represent the same Boolean
+// function, decided by mutual cube containment.
+func (c *Cover) Equivalent(d *Cover) bool {
+	if c.n != d.n {
+		return false
+	}
+	for _, cb := range c.Cubes {
+		if !d.ContainsCube(cb) {
+			return false
+		}
+	}
+	for _, cb := range d.Cubes {
+		if !c.ContainsCube(cb) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the cover one cube per line.
+func (c *Cover) String() string {
+	lines := make([]string, len(c.Cubes))
+	for i, cb := range c.Cubes {
+		lines[i] = cb.String()
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,252 @@
+// Package logic implements the two-level (sum-of-products) logic
+// substrate: cubes, covers, tautology and containment checking, an
+// espresso-style minimizer, and Berkeley PLA file I/O.
+//
+// The package exists because the paper's benchmarks (SPLA, PDC,
+// TOO_LARGE from IWLS93) are PLA-born circuits and its "SIS" baseline
+// performs two-level minimization before multi-level restructuring.
+//
+// A Cube over n inputs assigns each input one of three values: 0
+// (complemented literal), 1 (positive literal), or - (don't care /
+// absent). Cubes are stored in positional notation as two bitsets:
+// bit i of pos is set when input i appears as a positive literal and
+// bit i of neg when it appears complemented. A cube with both bits set
+// for some input is contradictory (represents the empty set) and is
+// never produced by this package's operations.
+package logic
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Cube is a product term over a fixed number of inputs. Create cubes
+// with NewCube or a Cover's parser; the zero Cube is the universal
+// cube over zero inputs.
+type Cube struct {
+	n   int // number of inputs
+	pos []uint64
+	neg []uint64
+}
+
+// NewCube returns the universal cube (all don't-cares) over n inputs.
+func NewCube(n int) Cube {
+	if n < 0 {
+		panic("logic: negative input count")
+	}
+	w := (n + wordBits - 1) / wordBits
+	return Cube{n: n, pos: make([]uint64, w), neg: make([]uint64, w)}
+}
+
+// ParseCube parses a string of '0', '1', and '-' characters, one per
+// input, in input order.
+func ParseCube(s string) (Cube, error) {
+	c := NewCube(len(s))
+	for i, ch := range s {
+		switch ch {
+		case '0':
+			c.SetNeg(i)
+		case '1':
+			c.SetPos(i)
+		case '-', '2':
+			// don't care
+		default:
+			return Cube{}, fmt.Errorf("logic: invalid cube character %q at position %d", ch, i)
+		}
+	}
+	return c, nil
+}
+
+// MustParseCube is ParseCube that panics on error; for tests and
+// package-internal literals.
+func MustParseCube(s string) Cube {
+	c, err := ParseCube(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Inputs returns the number of inputs the cube is defined over.
+func (c Cube) Inputs() int { return c.n }
+
+// Clone returns an independent copy of c.
+func (c Cube) Clone() Cube {
+	out := Cube{n: c.n, pos: make([]uint64, len(c.pos)), neg: make([]uint64, len(c.neg))}
+	copy(out.pos, c.pos)
+	copy(out.neg, c.neg)
+	return out
+}
+
+// SetPos sets input i to the positive literal, clearing any negative
+// literal.
+func (c Cube) SetPos(i int) {
+	c.pos[i/wordBits] |= 1 << (i % wordBits)
+	c.neg[i/wordBits] &^= 1 << (i % wordBits)
+}
+
+// SetNeg sets input i to the complemented literal, clearing any
+// positive literal.
+func (c Cube) SetNeg(i int) {
+	c.neg[i/wordBits] |= 1 << (i % wordBits)
+	c.pos[i/wordBits] &^= 1 << (i % wordBits)
+}
+
+// ClearLit removes input i from the cube (sets it to don't-care).
+func (c Cube) ClearLit(i int) {
+	c.pos[i/wordBits] &^= 1 << (i % wordBits)
+	c.neg[i/wordBits] &^= 1 << (i % wordBits)
+}
+
+// Lit returns the value of input i: +1 for a positive literal, -1 for
+// a complemented literal, 0 for don't-care.
+func (c Cube) Lit(i int) int {
+	w, b := i/wordBits, uint(i%wordBits)
+	if c.pos[w]>>b&1 == 1 {
+		return 1
+	}
+	if c.neg[w]>>b&1 == 1 {
+		return -1
+	}
+	return 0
+}
+
+// NumLiterals returns the number of inputs that appear as literals.
+func (c Cube) NumLiterals() int {
+	n := 0
+	for i := range c.pos {
+		n += bits.OnesCount64(c.pos[i]) + bits.OnesCount64(c.neg[i])
+	}
+	return n
+}
+
+// IsUniversal reports whether the cube has no literals (covers the
+// whole Boolean space).
+func (c Cube) IsUniversal() bool {
+	for i := range c.pos {
+		if c.pos[i] != 0 || c.neg[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether c covers d, i.e. every minterm of d is a
+// minterm of c. c covers d iff every literal of c appears in d with
+// the same phase.
+func (c Cube) Contains(d Cube) bool {
+	if c.n != d.n {
+		return false
+	}
+	for i := range c.pos {
+		if c.pos[i]&^d.pos[i] != 0 || c.neg[i]&^d.neg[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the product c·d and whether it is non-empty. The
+// product is empty when some input appears with opposite phases.
+func (c Cube) Intersect(d Cube) (Cube, bool) {
+	if c.n != d.n {
+		return Cube{}, false
+	}
+	out := NewCube(c.n)
+	for i := range c.pos {
+		out.pos[i] = c.pos[i] | d.pos[i]
+		out.neg[i] = c.neg[i] | d.neg[i]
+		if out.pos[i]&out.neg[i] != 0 {
+			return Cube{}, false
+		}
+	}
+	return out, true
+}
+
+// Distance returns the number of inputs in which c and d have opposite
+// phases. Distance 0 means the cubes intersect; distance 1 means they
+// are mergeable by the consensus rule.
+func (c Cube) Distance(d Cube) int {
+	n := 0
+	for i := range c.pos {
+		n += bits.OnesCount64(c.pos[i]&d.neg[i] | c.neg[i]&d.pos[i])
+	}
+	return n
+}
+
+// Cofactor returns the Shannon cofactor of c with respect to literal
+// (input i, phase pos). The second result is false when the cofactor
+// is empty (c contains the opposite literal).
+func (c Cube) Cofactor(i int, positive bool) (Cube, bool) {
+	switch lit := c.Lit(i); {
+	case lit == 0:
+		return c, true
+	case (lit == 1) == positive:
+		out := c.Clone()
+		out.ClearLit(i)
+		return out, true
+	default:
+		return Cube{}, false
+	}
+}
+
+// Supercube returns the smallest cube containing both c and d.
+func (c Cube) Supercube(d Cube) Cube {
+	out := NewCube(c.n)
+	for i := range c.pos {
+		out.pos[i] = c.pos[i] & d.pos[i]
+		out.neg[i] = c.neg[i] & d.neg[i]
+	}
+	return out
+}
+
+// EvalAssignment evaluates the cube under a full input assignment.
+// assign[i] is the value of input i.
+func (c Cube) EvalAssignment(assign []bool) bool {
+	for i := 0; i < c.n; i++ {
+		switch c.Lit(i) {
+		case 1:
+			if !assign[i] {
+				return false
+			}
+		case -1:
+			if assign[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Equal reports whether c and d are the same cube.
+func (c Cube) Equal(d Cube) bool {
+	if c.n != d.n {
+		return false
+	}
+	for i := range c.pos {
+		if c.pos[i] != d.pos[i] || c.neg[i] != d.neg[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the cube in PLA input-plane notation.
+func (c Cube) String() string {
+	var b strings.Builder
+	b.Grow(c.n)
+	for i := 0; i < c.n; i++ {
+		switch c.Lit(i) {
+		case 1:
+			b.WriteByte('1')
+		case -1:
+			b.WriteByte('0')
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

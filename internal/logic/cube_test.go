@@ -1,0 +1,227 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseCube(t *testing.T) {
+	c, err := ParseCube("10-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Inputs() != 4 {
+		t.Fatalf("Inputs = %d, want 4", c.Inputs())
+	}
+	want := []int{1, -1, 0, 1}
+	for i, w := range want {
+		if got := c.Lit(i); got != w {
+			t.Errorf("Lit(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if c.String() != "10-1" {
+		t.Errorf("String = %q, want 10-1", c.String())
+	}
+	if _, err := ParseCube("10x"); err == nil {
+		t.Error("ParseCube accepted invalid character")
+	}
+}
+
+func TestCubeSettersAndLiteralCount(t *testing.T) {
+	c := NewCube(70) // spans two words
+	if !c.IsUniversal() {
+		t.Fatal("new cube must be universal")
+	}
+	c.SetPos(0)
+	c.SetNeg(69)
+	if c.NumLiterals() != 2 {
+		t.Errorf("NumLiterals = %d, want 2", c.NumLiterals())
+	}
+	if c.Lit(0) != 1 || c.Lit(69) != -1 {
+		t.Error("literal values wrong after set")
+	}
+	// Setting opposite phase overwrites.
+	c.SetNeg(0)
+	if c.Lit(0) != -1 || c.NumLiterals() != 2 {
+		t.Error("SetNeg must overwrite SetPos")
+	}
+	c.ClearLit(0)
+	c.ClearLit(69)
+	if !c.IsUniversal() {
+		t.Error("clearing all literals must yield universal cube")
+	}
+}
+
+func TestCubeContains(t *testing.T) {
+	wide := MustParseCube("1---")
+	narrow := MustParseCube("10-1")
+	if !wide.Contains(narrow) {
+		t.Error("1--- must contain 10-1")
+	}
+	if narrow.Contains(wide) {
+		t.Error("10-1 must not contain 1---")
+	}
+	if !wide.Contains(wide) {
+		t.Error("containment must be reflexive")
+	}
+	other := MustParseCube("0---")
+	if wide.Contains(other) || other.Contains(wide) {
+		t.Error("disjoint cubes must not contain each other")
+	}
+	if wide.Contains(MustParseCube("1--")) {
+		t.Error("different widths must not contain")
+	}
+}
+
+func TestCubeIntersect(t *testing.T) {
+	a := MustParseCube("1--")
+	b := MustParseCube("-0-")
+	got, ok := a.Intersect(b)
+	if !ok || got.String() != "10-" {
+		t.Errorf("Intersect = %v,%v, want 10-,true", got, ok)
+	}
+	c := MustParseCube("0--")
+	if _, ok := a.Intersect(c); ok {
+		t.Error("opposite-phase cubes must have empty intersection")
+	}
+}
+
+func TestCubeDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"1-0", "1-0", 0},
+		{"1-0", "0-0", 1},
+		{"1-0", "0-1", 2},
+		{"---", "010", 0},
+	}
+	for _, c := range cases {
+		if got := MustParseCube(c.a).Distance(MustParseCube(c.b)); got != c.want {
+			t.Errorf("Distance(%s,%s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCubeCofactor(t *testing.T) {
+	c := MustParseCube("1-0")
+	got, ok := c.Cofactor(0, true)
+	if !ok || got.String() != "--0" {
+		t.Errorf("Cofactor pos = %v,%v", got, ok)
+	}
+	if _, ok := c.Cofactor(0, false); ok {
+		t.Error("cofactor against opposite phase must be empty")
+	}
+	got, ok = c.Cofactor(1, true)
+	if !ok || !got.Equal(c) {
+		t.Error("cofactor on don't-care input must return the cube unchanged")
+	}
+}
+
+func TestCubeSupercube(t *testing.T) {
+	a := MustParseCube("10-")
+	b := MustParseCube("11-")
+	sc := a.Supercube(b)
+	if sc.String() != "1--" {
+		t.Errorf("Supercube = %s, want 1--", sc)
+	}
+	if !sc.Contains(a) || !sc.Contains(b) {
+		t.Error("supercube must contain both operands")
+	}
+}
+
+func TestCubeEval(t *testing.T) {
+	c := MustParseCube("1-0")
+	if !c.EvalAssignment([]bool{true, false, false}) {
+		t.Error("1-0 must accept 1x0")
+	}
+	if !c.EvalAssignment([]bool{true, true, false}) {
+		t.Error("1-0 must accept 110")
+	}
+	if c.EvalAssignment([]bool{true, true, true}) {
+		t.Error("1-0 must reject 111")
+	}
+	if c.EvalAssignment([]bool{false, false, false}) {
+		t.Error("1-0 must reject 000")
+	}
+}
+
+// randomCube builds a random cube over n inputs from the rng.
+func randomCube(rng *rand.Rand, n int) Cube {
+	c := NewCube(n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			c.SetPos(i)
+		case 1:
+			c.SetNeg(i)
+		}
+	}
+	return c
+}
+
+// Property: parse(String(c)) == c round-trips.
+func TestCubeStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(80) + 1
+		c := randomCube(rng, n)
+		got := MustParseCube(c.String())
+		if !got.Equal(c) {
+			t.Fatalf("round trip failed for %s", c)
+		}
+	}
+}
+
+// Property: a.Contains(b) iff the intersection of a and b equals b.
+func TestCubeContainsMatchesIntersection(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(20) + 1
+		a, b := randomCube(rng, n), randomCube(rng, n)
+		inter, ok := a.Intersect(b)
+		want := ok && inter.Equal(b)
+		if got := a.Contains(b); got != want {
+			t.Fatalf("Contains(%s,%s) = %v, intersection says %v", a, b, got, want)
+		}
+	}
+}
+
+// Property: distance-0 cubes intersect, distance>0 cubes do not.
+func TestCubeDistanceIntersectionAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 1
+		a, b := randomCube(rng, n), randomCube(rng, n)
+		_, ok := a.Intersect(b)
+		return ok == (a.Distance(b) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: supercube contains both operands and evaluation agrees on
+// all assignments of small cubes.
+func TestCubeSupercubeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(8) + 1
+		a, b := randomCube(rng, n), randomCube(rng, n)
+		sc := a.Supercube(b)
+		if !sc.Contains(a) || !sc.Contains(b) {
+			t.Fatalf("supercube(%s,%s)=%s does not contain operands", a, b, sc)
+		}
+		// Every assignment accepted by a or b is accepted by sc.
+		assign := make([]bool, n)
+		for m := 0; m < 1<<n; m++ {
+			for i := 0; i < n; i++ {
+				assign[i] = m>>i&1 == 1
+			}
+			if (a.EvalAssignment(assign) || b.EvalAssignment(assign)) && !sc.EvalAssignment(assign) {
+				t.Fatalf("supercube misses minterm %0*b", n, m)
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package logic
+
+// Minimize performs an espresso-style heuristic two-level minimization
+// of the cover in place: EXPAND each cube to a prime against the
+// function, remove single-cube containments, then make the cover
+// IRREDUNDANT. The function (ON-set) is preserved exactly; the result
+// is a prime and irredundant cover, though not guaranteed minimum.
+//
+// dc is an optional don't-care set that expansion may absorb; pass nil
+// when the function is completely specified.
+func (c *Cover) Minimize(dc *Cover) {
+	if len(c.Cubes) == 0 {
+		return
+	}
+	full := c
+	if dc != nil && len(dc.Cubes) > 0 {
+		full = c.Clone()
+		for _, cb := range dc.Cubes {
+			full.Add(cb.Clone())
+		}
+	}
+	c.expand(full)
+	c.SingleCubeContainment()
+	c.Irredundant()
+}
+
+// expand raises literals of each cube to don't-care while the enlarged
+// cube stays inside full (ON ∪ DC). Literal raising order is densest
+// literal first, a cheap stand-in for espresso's column covering.
+func (c *Cover) expand(full *Cover) {
+	// Count literal occurrences so we try to raise the rarest literals
+	// first (raising them frees the most merging opportunities).
+	occur := make([]int, c.n)
+	for _, cb := range c.Cubes {
+		for i := 0; i < c.n; i++ {
+			if cb.Lit(i) != 0 {
+				occur[i]++
+			}
+		}
+	}
+	order := make([]int, c.n)
+	for i := range order {
+		order[i] = i
+	}
+	// Simple insertion sort by ascending occurrence (n is small).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && occur[order[j]] < occur[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for idx := range c.Cubes {
+		cb := &c.Cubes[idx]
+		for _, i := range order {
+			if cb.Lit(i) == 0 {
+				continue
+			}
+			trial := cb.Clone()
+			trial.ClearLit(i)
+			if full.ContainsCube(trial) {
+				*cb = trial
+			}
+		}
+	}
+}
+
+// MergeDistanceOne repeatedly merges cube pairs at distance one that
+// differ in exactly the conflicting input (the Quine consensus merge
+// a·x + a·x' = a). It is a cheap pre-pass that shrinks covers built
+// from minterm lists before the full Minimize.
+func (c *Cover) MergeDistanceOne() {
+	changed := true
+	for changed {
+		changed = false
+	outer:
+		for i := 0; i < len(c.Cubes); i++ {
+			for j := i + 1; j < len(c.Cubes); j++ {
+				a, b := c.Cubes[i], c.Cubes[j]
+				if a.Distance(b) != 1 {
+					continue
+				}
+				// Mergeable only when the cubes agree everywhere else.
+				merged, ok := mergeOpposite(a, b)
+				if !ok {
+					continue
+				}
+				c.Cubes[i] = merged
+				c.Cubes = append(c.Cubes[:j], c.Cubes[j+1:]...)
+				changed = true
+				continue outer
+			}
+		}
+	}
+}
+
+// mergeOpposite merges two cubes that differ in phase on exactly one
+// input and are identical elsewhere.
+func mergeOpposite(a, b Cube) (Cube, bool) {
+	conflict := -1
+	for i := 0; i < a.n; i++ {
+		la, lb := a.Lit(i), b.Lit(i)
+		switch {
+		case la == lb:
+			continue
+		case la != 0 && lb != 0 && la != lb:
+			if conflict >= 0 {
+				return Cube{}, false
+			}
+			conflict = i
+		default:
+			// One has a literal the other lacks: not an opposite merge.
+			return Cube{}, false
+		}
+	}
+	if conflict < 0 {
+		return Cube{}, false
+	}
+	out := a.Clone()
+	out.ClearLit(conflict)
+	return out, true
+}

@@ -1,0 +1,222 @@
+package logic
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+const samplePLA = `# tiny two-output example
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+.p 3
+1-0 10
+-11 11
+0-- 01
+.e
+`
+
+func TestReadPLA(t *testing.T) {
+	p, err := ReadPLA(strings.NewReader(samplePLA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumInputs != 3 || p.NumOutputs != 2 || len(p.Terms) != 3 {
+		t.Fatalf("parsed %d/%d/%d", p.NumInputs, p.NumOutputs, len(p.Terms))
+	}
+	if p.InputNames[0] != "a" || p.OutputNames[1] != "g" {
+		t.Error("names not parsed")
+	}
+	if !p.Outputs[1][0] || !p.Outputs[1][1] {
+		t.Error("output membership of term 1 wrong")
+	}
+	if p.Outputs[0][1] {
+		t.Error("term 0 must not drive output g")
+	}
+}
+
+func TestReadPLAJoinedPlanes(t *testing.T) {
+	// Some writers emit input and output planes without a separator.
+	src := ".i 2\n.o 1\n111\n.e\n"
+	p, err := ReadPLA(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Terms) != 1 || p.Terms[0].String() != "11" || !p.Outputs[0][0] {
+		t.Error("joined-plane term parsed wrong")
+	}
+}
+
+func TestReadPLAErrors(t *testing.T) {
+	bad := []string{
+		"1-0 1\n",              // term before .i/.o
+		".i 2\n.o 1\n1-0 1\n",  // wrong input width
+		".i 3\n.o 1\n1-0 11\n", // wrong output width
+		".i x\n",               // bad .i
+		".i 2\n.o 1\n.q\n",     // unknown directive
+		".i 2\n.o 1\n1x 1\n",   // bad cube char
+		".i 2\n.o 1\n10 x\n",   // bad output char
+	}
+	for _, src := range bad {
+		if _, err := ReadPLA(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadPLA accepted %q", src)
+		}
+	}
+}
+
+func TestPLAWriteReadRoundTrip(t *testing.T) {
+	p, err := ReadPLA(strings.NewReader(samplePLA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadPLA(&buf)
+	if err != nil {
+		t.Fatalf("re-read failed: %v\n%s", err, buf.String())
+	}
+	if q.NumInputs != p.NumInputs || q.NumOutputs != p.NumOutputs || len(q.Terms) != len(p.Terms) {
+		t.Fatal("round trip changed shape")
+	}
+	// Behavioural equality over all assignments.
+	assign := make([]bool, p.NumInputs)
+	for m := 0; m < 1<<p.NumInputs; m++ {
+		for i := range assign {
+			assign[i] = m>>i&1 == 1
+		}
+		a, b := p.Eval(assign), q.Eval(assign)
+		for o := range a {
+			if a[o] != b[o] {
+				t.Fatalf("round trip changed output %d at minterm %d", o, m)
+			}
+		}
+	}
+}
+
+func TestOutputCoverAndSetOutputCover(t *testing.T) {
+	p, _ := ReadPLA(strings.NewReader(samplePLA))
+	cov := p.OutputCover(0)
+	if cov.Len() != 2 {
+		t.Fatalf("output 0 cover has %d cubes, want 2", cov.Len())
+	}
+	// Replacing with the same cover must preserve behaviour and share
+	// terms with output 1.
+	p.SetOutputCover(0, cov)
+	q, _ := ReadPLA(strings.NewReader(samplePLA))
+	assign := make([]bool, p.NumInputs)
+	for m := 0; m < 1<<p.NumInputs; m++ {
+		for i := range assign {
+			assign[i] = m>>i&1 == 1
+		}
+		a, b := p.Eval(assign), q.Eval(assign)
+		if a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("SetOutputCover changed behaviour at %d", m)
+		}
+	}
+	// The -11 term should still be shared.
+	shared := 0
+	for t2, cb := range p.Terms {
+		if cb.String() == "-11" && p.Outputs[t2][0] && p.Outputs[t2][1] {
+			shared++
+		}
+	}
+	if shared != 1 {
+		t.Errorf("term -11 shared %d times, want 1", shared)
+	}
+}
+
+func TestPLAMinimizePreservesBehaviour(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		ni := rng.Intn(5) + 2
+		no := rng.Intn(3) + 1
+		p := NewPLA(ni, no)
+		for k := rng.Intn(12) + 3; k > 0; k-- {
+			row := make([]bool, no)
+			any := false
+			for o := range row {
+				row[o] = rng.Intn(2) == 0
+				any = any || row[o]
+			}
+			if !any {
+				row[rng.Intn(no)] = true
+			}
+			if err := p.AddTerm(randomCube(rng, ni), row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		truth := func(pp *PLA) [][]bool {
+			out := make([][]bool, 1<<ni)
+			assign := make([]bool, ni)
+			for m := range out {
+				for i := range assign {
+					assign[i] = m>>i&1 == 1
+				}
+				out[m] = pp.Eval(assign)
+			}
+			return out
+		}
+		before := truth(p)
+		termsBefore := len(p.Terms)
+		p.Minimize()
+		after := truth(p)
+		for m := range before {
+			for o := range before[m] {
+				if before[m][o] != after[m][o] {
+					t.Fatalf("Minimize changed output %d at minterm %d (trial %d)", o, m, trial)
+				}
+			}
+		}
+		if len(p.Terms) > termsBefore+no {
+			t.Fatalf("Minimize grew PLA unreasonably: %d -> %d", termsBefore, len(p.Terms))
+		}
+	}
+}
+
+func TestAddTermValidation(t *testing.T) {
+	p := NewPLA(3, 2)
+	if err := p.AddTerm(MustParseCube("1-"), []bool{true, false}); err == nil {
+		t.Error("wrong input width accepted")
+	}
+	if err := p.AddTerm(MustParseCube("1-0"), []bool{true}); err == nil {
+		t.Error("wrong output width accepted")
+	}
+	if err := p.AddTerm(MustParseCube("1-0"), []bool{true, false}); err != nil {
+		t.Errorf("valid term rejected: %v", err)
+	}
+}
+
+func TestPLAStatsAndSort(t *testing.T) {
+	p, _ := ReadPLA(strings.NewReader(samplePLA))
+	s := p.Stats()
+	if s.Inputs != 3 || s.Outputs != 2 || s.Terms != 3 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.Literals != 2+2+1 {
+		t.Errorf("Literals = %d, want 5", s.Literals)
+	}
+	p.SortTerms()
+	for i := 1; i < len(p.Terms); i++ {
+		if p.Terms[i-1].String() > p.Terms[i].String() {
+			t.Fatal("SortTerms did not sort")
+		}
+	}
+}
+
+func TestDefaultNames(t *testing.T) {
+	p := NewPLA(2, 1)
+	_ = p.AddTerm(MustParseCube("11"), []bool{true})
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "in0 in1") || !strings.Contains(out, "out0") {
+		t.Errorf("default names missing:\n%s", out)
+	}
+}

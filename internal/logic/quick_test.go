@@ -1,0 +1,133 @@
+package logic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// quickCube adapts the package's random cube builder to testing/quick:
+// Cube has unexported fields, so register a generator.
+type quickCube struct{ C Cube }
+
+// Generate implements quick.Generator.
+func (quickCube) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(16) + 1
+	return reflect.ValueOf(quickCube{C: randomCube(r, n)})
+}
+
+// widen returns a copy of c re-expressed over n inputs (padding with
+// don't-cares) so two generated cubes can be compared.
+func widen(c Cube, n int) Cube {
+	out := NewCube(n)
+	for i := 0; i < c.Inputs() && i < n; i++ {
+		switch c.Lit(i) {
+		case 1:
+			out.SetPos(i)
+		case -1:
+			out.SetNeg(i)
+		}
+	}
+	return out
+}
+
+// Property: containment is a partial order — reflexive and
+// antisymmetric (mutual containment implies equality).
+func TestQuickCubeContainmentPartialOrder(t *testing.T) {
+	f := func(a, b quickCube) bool {
+		n := a.C.Inputs()
+		if b.C.Inputs() > n {
+			n = b.C.Inputs()
+		}
+		x, y := widen(a.C, n), widen(b.C, n)
+		if !x.Contains(x) {
+			return false
+		}
+		if x.Contains(y) && y.Contains(x) && !x.Equal(y) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intersection is the greatest lower bound — contained in
+// both operands, and any cube contained in both is contained in it.
+func TestQuickCubeIntersectionGLB(t *testing.T) {
+	f := func(a, b, c quickCube) bool {
+		n := 12
+		x, y, z := widen(a.C, n), widen(b.C, n), widen(c.C, n)
+		in, ok := x.Intersect(y)
+		if ok {
+			if !x.Contains(in) || !y.Contains(in) {
+				return false
+			}
+		}
+		if x.Contains(z) && y.Contains(z) {
+			if !ok {
+				return false // z witnesses a non-empty intersection
+			}
+			if !in.Contains(z) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the supercube is the least upper bound with respect to
+// containment of the operands.
+func TestQuickSupercubeLUB(t *testing.T) {
+	f := func(a, b quickCube) bool {
+		n := 12
+		x, y := widen(a.C, n), widen(b.C, n)
+		sc := x.Supercube(y)
+		return sc.Contains(x) && sc.Contains(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cover complement is an involution on the function —
+// complementing twice gives an equivalent cover.
+func TestQuickComplementInvolution(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	f := func(a, b, c quickCube) bool {
+		n := 6
+		cov := NewCover(n)
+		cov.Add(widen(a.C, n))
+		cov.Add(widen(b.C, n))
+		cov.Add(widen(c.C, n))
+		double := cov.Complement().Complement()
+		return cov.Equivalent(double)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Minimize never changes the function (checked by
+// Equivalent, which is exact) and never grows the cube count.
+func TestQuickMinimizeSoundness(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	f := func(a, b, c, d quickCube) bool {
+		n := 6
+		cov := NewCover(n)
+		for _, q := range []quickCube{a, b, c, d} {
+			cov.Add(widen(q.C, n))
+		}
+		orig := cov.Clone()
+		cov.Minimize(nil)
+		return cov.Len() <= orig.Len() && cov.Equivalent(orig)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,168 @@
+package logic
+
+// Tautology reports whether the cover is identically true, using the
+// classic unate-recursive paradigm: unate reductions plus Shannon
+// expansion on the most-binate input.
+func (c *Cover) Tautology() bool {
+	return tautRec(c)
+}
+
+func tautRec(c *Cover) bool {
+	// A universal cube anywhere makes the cover a tautology.
+	for _, cb := range c.Cubes {
+		if cb.IsUniversal() {
+			return true
+		}
+	}
+	if len(c.Cubes) == 0 {
+		return false
+	}
+	// Unate test: if some input appears in only one phase across all
+	// cubes, the cover is a tautology iff the sub-cover of cubes not
+	// depending on that input is. (Unate reduction.)
+	split := -1
+	bestBalance := -1
+	for i := 0; i < c.n; i++ {
+		posCnt, negCnt := 0, 0
+		for _, cb := range c.Cubes {
+			switch cb.Lit(i) {
+			case 1:
+				posCnt++
+			case -1:
+				negCnt++
+			}
+		}
+		switch {
+		case posCnt == 0 && negCnt == 0:
+			continue
+		case posCnt == 0 || negCnt == 0:
+			// Unate in input i: drop cubes that depend on i.
+			sub := NewCover(c.n)
+			for _, cb := range c.Cubes {
+				if cb.Lit(i) == 0 {
+					sub.Cubes = append(sub.Cubes, cb)
+				}
+			}
+			return tautRec(sub)
+		default:
+			// Binate: remember the most balanced input as the Shannon
+			// split variable.
+			bal := posCnt
+			if negCnt < bal {
+				bal = negCnt
+			}
+			if bal > bestBalance {
+				bestBalance = bal
+				split = i
+			}
+		}
+	}
+	if split < 0 {
+		// No input appears at all, and no universal cube: not a
+		// tautology (covers over zero effective inputs).
+		return false
+	}
+	return tautRec(c.CofactorLit(split, true)) && tautRec(c.CofactorLit(split, false))
+}
+
+// Complement returns a cover of the complement of c, computed by
+// Shannon recursion. The result is reduced by single-cube containment
+// but is not guaranteed minimal.
+func (c *Cover) Complement() *Cover {
+	out := complRec(c)
+	out.SingleCubeContainment()
+	return out
+}
+
+func complRec(c *Cover) *Cover {
+	// Terminal cases.
+	if len(c.Cubes) == 0 {
+		u := NewCover(c.n)
+		u.Cubes = append(u.Cubes, NewCube(c.n))
+		return u
+	}
+	for _, cb := range c.Cubes {
+		if cb.IsUniversal() {
+			return NewCover(c.n)
+		}
+	}
+	if len(c.Cubes) == 1 {
+		// De Morgan on a single cube: one cube per literal.
+		out := NewCover(c.n)
+		cb := c.Cubes[0]
+		for i := 0; i < c.n; i++ {
+			switch cb.Lit(i) {
+			case 1:
+				d := NewCube(c.n)
+				d.SetNeg(i)
+				out.Cubes = append(out.Cubes, d)
+			case -1:
+				d := NewCube(c.n)
+				d.SetPos(i)
+				out.Cubes = append(out.Cubes, d)
+			}
+		}
+		return out
+	}
+	// Shannon expansion on the most binate input.
+	split := mostBinate(c)
+	if split < 0 {
+		// All cubes unate and none universal; still need a split —
+		// choose the first input with any literal.
+		for i := 0; i < c.n && split < 0; i++ {
+			for _, cb := range c.Cubes {
+				if cb.Lit(i) != 0 {
+					split = i
+					break
+				}
+			}
+		}
+		if split < 0 {
+			// No literals at all but no universal cube: impossible for a
+			// non-empty cover; treat as tautology complemented.
+			return NewCover(c.n)
+		}
+	}
+	pc := complRec(c.CofactorLit(split, true))
+	nc := complRec(c.CofactorLit(split, false))
+	out := NewCover(c.n)
+	for _, cb := range pc.Cubes {
+		d := cb.Clone()
+		d.SetPos(split)
+		out.Cubes = append(out.Cubes, d)
+	}
+	for _, cb := range nc.Cubes {
+		d := cb.Clone()
+		d.SetNeg(split)
+		out.Cubes = append(out.Cubes, d)
+	}
+	return out
+}
+
+// mostBinate returns the input with the most balanced positive and
+// negative literal counts, or -1 when every input is unate.
+func mostBinate(c *Cover) int {
+	split, best := -1, -1
+	for i := 0; i < c.n; i++ {
+		posCnt, negCnt := 0, 0
+		for _, cb := range c.Cubes {
+			switch cb.Lit(i) {
+			case 1:
+				posCnt++
+			case -1:
+				negCnt++
+			}
+		}
+		if posCnt > 0 && negCnt > 0 {
+			bal := posCnt
+			if negCnt < bal {
+				bal = negCnt
+			}
+			if bal > best {
+				best = bal
+				split = i
+			}
+		}
+	}
+	return split
+}

@@ -1,0 +1,297 @@
+// Package mapper implements the paper's primary contribution: the
+// congestion-aware technology-mapping pipeline of Section 3.
+//
+// The pipeline is:
+//
+//  1. place the technology-independent netlist (base gates) on the
+//     chip layout image (SubjectPlacement);
+//  2. partition the subject DAG into trees — placement-driven (PDP) by
+//     default (package partition);
+//  3. match library patterns on each tree (package match);
+//  4. cover each tree by dynamic programming with
+//     COST = AREA + K·WIRE (package cover);
+//  5. reconstruct the mapped gate-level netlist, duplicating logic
+//     where a multi-fanout vertex was covered inside another tree.
+//
+// K = 0 reproduces DAGON-style minimum-area mapping — the baseline the
+// paper compares against in every table.
+package mapper
+
+import (
+	"fmt"
+
+	"casyn/internal/cover"
+	"casyn/internal/geom"
+	"casyn/internal/library"
+	"casyn/internal/netlist"
+	"casyn/internal/partition"
+	"casyn/internal/place"
+	"casyn/internal/subject"
+)
+
+// Options configures a mapping run.
+type Options struct {
+	// K is the congestion minimization factor (Eq. 5); 0 = min area.
+	K float64
+	// Method is the DAG partitioning scheme (default PDP).
+	Method partition.Method
+	// Lib is the cell library (default library.Default()).
+	Lib *library.Library
+	// Metric is the layout distance function (default Manhattan).
+	Metric geom.Metric
+	// WireUnit is the covering cost's length unit in µm (default 0.5);
+	// forwarded to the coverer.
+	WireUnit float64
+	// Objective selects area- or delay-oriented covering.
+	Objective cover.Objective
+	// TransitiveWire / NoWire2 are the ablation switches forwarded to
+	// the coverer.
+	TransitiveWire bool
+	NoWire2        bool
+}
+
+func (o *Options) defaults() {
+	if o.Lib == nil {
+		o.Lib = library.Default()
+	}
+}
+
+// Input is the placement context for mapping.
+type Input struct {
+	// Pos is the position of every subject gate on the layout image
+	// (PIs at their pad locations).
+	Pos []geom.Point
+	// POPads optionally maps a gate ID to the pad locations of the POs
+	// it drives (consumed by PDP partitioning).
+	POPads map[int][]geom.Point
+}
+
+// Result is a completed mapping.
+type Result struct {
+	Netlist *netlist.Netlist
+	// CellArea is the total mapped cell area (µm²), including
+	// duplicated logic.
+	CellArea float64
+	// NumCells is the mapped instance count.
+	NumCells int
+	// DuplicatedCells counts instances created by cross-tree logic
+	// duplication.
+	DuplicatedCells int
+	// WireEstimate is the covering's Eq. 4 total over tree roots.
+	WireEstimate float64
+	// InstGate maps each instance index to the subject gate whose
+	// signal it produces.
+	InstGate []int
+	// Forest is the partition used.
+	Forest *partition.Forest
+}
+
+// Map runs the full pipeline on an already-placed subject DAG.
+func Map(d *subject.DAG, in Input, opts Options) (*Result, error) {
+	opts.defaults()
+	method := opts.Method
+	forest, err := partition.Partition(partition.Input{
+		DAG:    d,
+		Pos:    in.Pos,
+		POPads: in.POPads,
+		Metric: opts.Metric,
+	}, method)
+	if err != nil {
+		return nil, err
+	}
+	cov, err := cover.Cover(d, forest, opts.Lib, in.Pos, cover.Options{
+		K:              opts.K,
+		Metric:         opts.Metric,
+		WireUnit:       opts.WireUnit,
+		Objective:      opts.Objective,
+		TransitiveWire: opts.TransitiveWire,
+		NoWire2:        opts.NoWire2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reconstruct(d, forest, cov)
+}
+
+// reconstruct builds the mapped netlist from the covering solutions,
+// instantiating duplicated logic for cross-tree references to gates
+// that the chosen covers swallowed.
+func reconstruct(d *subject.DAG, forest *partition.Forest, cov *cover.Result) (*Result, error) {
+	nl := netlist.New()
+	res := &Result{Netlist: nl, Forest: forest, WireEstimate: cov.RootWire}
+
+	// Visible gates: match roots of every tree's chosen cover. Their
+	// signals exist without duplication.
+	visible := make(map[int]bool)
+	inTreeOf := make(map[int]func(int) bool)
+	for _, t := range forest.Trees(d) {
+		inTree := t.InTree()
+		for _, g := range t.Gates {
+			inTreeOf[g] = inTree
+		}
+		var walk func(v int)
+		walk = func(v int) {
+			visible[v] = true
+			for _, l := range cover.SelectedLeafSubtrees(forest, inTree, cov.Best[v]) {
+				walk(l)
+			}
+		}
+		walk(t.Root)
+	}
+
+	sigOf := make(map[int]netlist.SigID)
+	// Primary inputs and constants first.
+	for _, pi := range d.PIs() {
+		sigOf[pi] = nl.AddSignal(d.Gate(pi).Name, netlist.SigPI)
+	}
+	for g := 0; g < d.NumGates(); g++ {
+		switch d.Gate(g).Type {
+		case subject.Const0:
+			sigOf[g] = nl.AddSignal("const0", netlist.SigConst0)
+		case subject.Const1:
+			sigOf[g] = nl.AddSignal("const1", netlist.SigConst1)
+		}
+	}
+
+	var instantiate func(g int, dup bool) (netlist.SigID, error)
+	instantiate = func(g int, dup bool) (netlist.SigID, error) {
+		if sig, ok := sigOf[g]; ok {
+			return sig, nil
+		}
+		sol := cov.Best[g]
+		if sol == nil {
+			return 0, fmt.Errorf("mapper: no covering solution for gate %d (%s)", g, d.Gate(g).Type)
+		}
+		inTree := inTreeOf[g]
+		subtree := map[int]bool{}
+		for _, l := range cover.SelectedLeafSubtrees(forest, inTree, sol) {
+			subtree[l] = true
+		}
+		inputs := make([]netlist.SigID, len(sol.Match.Leaves))
+		for i, l := range sol.Match.Leaves {
+			// A leaf heading an in-tree subtree inherits this gate's
+			// duplication status; a cross reference is a duplicate only
+			// if its signal is not already visible.
+			leafDup := dup
+			if !subtree[l] {
+				leafDup = !visible[l] && d.Gate(l).Type != subject.PI &&
+					d.Gate(l).Type != subject.Const0 && d.Gate(l).Type != subject.Const1
+			}
+			sig, err := instantiate(l, leafDup)
+			if err != nil {
+				return 0, err
+			}
+			inputs[i] = sig
+		}
+		name := fmt.Sprintf("u%d", nl.NumCells())
+		_, out := nl.AddInstance(name, sol.Match.Cell, sol.Match.PatternIndex, inputs, sol.Pos)
+		res.InstGate = append(res.InstGate, g)
+		if dup {
+			res.DuplicatedCells++
+		}
+		sigOf[g] = out
+		return out, nil
+	}
+
+	// Instantiate all visible gates in ascending (topological) gate-ID
+	// order, then resolve the primary outputs.
+	for g := 0; g < d.NumGates(); g++ {
+		if visible[g] {
+			if _, err := instantiate(g, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, o := range d.Outputs() {
+		sig, ok := sigOf[o.Gate]
+		if !ok {
+			var err error
+			sig, err = instantiate(o.Gate, true)
+			if err != nil {
+				return nil, err
+			}
+		}
+		nl.AddPO(o.Name, sig)
+	}
+
+	res.CellArea = nl.CellArea()
+	res.NumCells = nl.NumCells()
+	if err := nl.Check(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SubjectPlacement places the technology-independent netlist on the
+// layout image and returns the per-gate positions plus the pad
+// bookkeeping mapping needs. PI gates take their pad positions; every
+// live base gate is placed by recursive bisection. The returned
+// piPads/poPads are perimeter pad assignments in PI/PO declaration
+// order.
+func SubjectPlacement(d *subject.DAG, layout place.Layout, popts place.Options) (pos []geom.Point, poPads map[int][]geom.Point, piPads, poPadList []geom.Point, err error) {
+	live := d.LiveGates()
+	cellOf := make(map[int]int)
+	var widths []float64
+	baseW := library.Default().Nand2().Width()
+	for _, g := range live {
+		t := d.Gate(g).Type
+		if t == subject.Nand2 || t == subject.Inv {
+			cellOf[g] = len(widths)
+			widths = append(widths, baseW)
+		}
+	}
+	// Perimeter pads: PIs then POs, evenly interleaved.
+	nPI, nPO := len(d.PIs()), len(d.Outputs())
+	pads := layout.PerimeterPads(nPI + nPO)
+	piPads = pads[:nPI]
+	poPadList = pads[nPI:]
+
+	nl := &place.Netlist{Widths: widths}
+	// One net per driving gate with at least one consumer.
+	for _, g := range live {
+		var cells []int
+		var padPts []geom.Point
+		if c, ok := cellOf[g]; ok {
+			cells = append(cells, c)
+		} else if t := d.Gate(g).Type; t == subject.PI {
+			for i, pi := range d.PIs() {
+				if pi == g {
+					padPts = append(padPts, piPads[i])
+				}
+			}
+		}
+		for _, fo := range d.Fanouts(g) {
+			if c, ok := cellOf[fo]; ok {
+				cells = append(cells, c)
+			}
+		}
+		for i, o := range d.Outputs() {
+			if o.Gate == g {
+				padPts = append(padPts, poPadList[i])
+			}
+		}
+		if len(cells)+len(padPts) >= 2 {
+			nl.Nets = append(nl.Nets, place.Net{Cells: cells, Pads: padPts})
+		}
+	}
+	pl, err := place.PlaceNetlist(nl, layout, popts)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	pos = make([]geom.Point, d.NumGates())
+	center := layout.Die.Center()
+	for i := range pos {
+		pos[i] = center
+	}
+	for g, c := range cellOf {
+		pos[g] = pl.Pos[c]
+	}
+	for i, pi := range d.PIs() {
+		pos[pi] = piPads[i]
+	}
+	poPads = make(map[int][]geom.Point)
+	for i, o := range d.Outputs() {
+		poPads[o.Gate] = append(poPads[o.Gate], poPadList[i])
+	}
+	return pos, poPads, piPads, poPadList, nil
+}

@@ -1,0 +1,139 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteVerilog emits the mapped netlist as structural Verilog: one
+// module with the library cells instantiated by name, inputs in
+// pattern-variable order as .A/.B/... pins and the output as .Y. This
+// is the hand-off format to downstream sign-off flows.
+func (n *Netlist) WriteVerilog(w io.Writer, module string) error {
+	if module == "" {
+		module = "casyn_top"
+	}
+	bw := bufio.NewWriter(w)
+
+	sig := func(id SigID) string { return sanitizeVerilogName(n.Signals[id].Name, int(id)) }
+
+	var ports []string
+	for _, pi := range n.PIs {
+		ports = append(ports, sig(pi))
+	}
+	for _, po := range n.POs {
+		ports = append(ports, sanitizeVerilogName(po.Name, -1))
+	}
+	fmt.Fprintf(bw, "module %s (%s);\n", module, strings.Join(ports, ", "))
+	for _, pi := range n.PIs {
+		fmt.Fprintf(bw, "  input %s;\n", sig(pi))
+	}
+	for _, po := range n.POs {
+		fmt.Fprintf(bw, "  output %s;\n", sanitizeVerilogName(po.Name, -1))
+	}
+
+	// Wires: every gate-driven signal plus the constants if used.
+	usesConst0, usesConst1 := false, false
+	for si := range n.Signals {
+		switch n.Signals[si].Kind {
+		case SigGate:
+			fmt.Fprintf(bw, "  wire %s;\n", sig(SigID(si)))
+		case SigConst0:
+			usesConst0 = true
+		case SigConst1:
+			usesConst1 = true
+		}
+	}
+	if usesConst0 {
+		fmt.Fprintln(bw, "  wire const0_w;")
+		fmt.Fprintln(bw, "  assign const0_w = 1'b0;")
+	}
+	if usesConst1 {
+		fmt.Fprintln(bw, "  wire const1_w;")
+		fmt.Fprintln(bw, "  assign const1_w = 1'b1;")
+	}
+	wireOf := func(id SigID) string {
+		switch n.Signals[id].Kind {
+		case SigConst0:
+			return "const0_w"
+		case SigConst1:
+			return "const1_w"
+		default:
+			return sig(id)
+		}
+	}
+
+	for i := range n.Instances {
+		inst := &n.Instances[i]
+		pins := make([]string, 0, len(inst.Inputs)+1)
+		for k, in := range inst.Inputs {
+			pins = append(pins, fmt.Sprintf(".%c(%s)", 'A'+k, wireOf(in)))
+		}
+		pins = append(pins, fmt.Sprintf(".Y(%s)", wireOf(inst.Output)))
+		fmt.Fprintf(bw, "  %s %s (%s);\n", inst.Cell.Name, sanitizeVerilogName(inst.Name, i), strings.Join(pins, ", "))
+	}
+	for _, po := range n.POs {
+		fmt.Fprintf(bw, "  assign %s = %s;\n", sanitizeVerilogName(po.Name, -1), wireOf(po.Sig))
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+// sanitizeVerilogName maps arbitrary signal names to legal Verilog
+// identifiers, appending the id when sanitization would collide.
+func sanitizeVerilogName(name string, id int) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || (i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	s := b.String()
+	if s == "" || s[0] >= '0' && s[0] <= '9' {
+		s = "s_" + s
+	}
+	if s != name && id >= 0 {
+		s = fmt.Sprintf("%s_%d", s, id)
+	}
+	return s
+}
+
+// WriteCellReport emits a per-cell usage summary sorted by area
+// contribution, a common library-QoR report.
+func (n *Netlist) WriteCellReport(w io.Writer) error {
+	type rowT struct {
+		name  string
+		count int
+		area  float64
+	}
+	counts := n.CellCounts()
+	var rows []rowT
+	areaOf := map[string]float64{}
+	for i := range n.Instances {
+		areaOf[n.Instances[i].Cell.Name] = n.Instances[i].Cell.Area
+	}
+	for name, cnt := range counts {
+		rows = append(rows, rowT{name: name, count: cnt, area: float64(cnt) * areaOf[name]})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].area != rows[j].area {
+			return rows[i].area > rows[j].area
+		}
+		return rows[i].name < rows[j].name
+	})
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%-8s %8s %12s\n", "cell", "count", "area (µm²)")
+	total := 0.0
+	for _, r := range rows {
+		fmt.Fprintf(bw, "%-8s %8d %12.3f\n", r.name, r.count, r.area)
+		total += r.area
+	}
+	fmt.Fprintf(bw, "%-8s %8d %12.3f\n", "total", n.NumCells(), total)
+	return bw.Flush()
+}

@@ -1,0 +1,93 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"casyn/internal/geom"
+	"casyn/internal/library"
+)
+
+func TestWriteVerilogStructure(t *testing.T) {
+	n, _ := buildSmall()
+	var buf bytes.Buffer
+	if err := n.WriteVerilog(&buf, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	for _, want := range []string{
+		"module demo (",
+		"input a;",
+		"input b;",
+		"input c;",
+		"output out;",
+		"AND2 ",
+		"NAND2 ",
+		".Y(",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("Verilog lacks %q:\n%s", want, v)
+		}
+	}
+	// Every instance pin is ordered .A, .B, ...
+	if !strings.Contains(v, ".A(") || !strings.Contains(v, ".B(") {
+		t.Error("pin naming missing")
+	}
+}
+
+func TestWriteVerilogConstants(t *testing.T) {
+	lib := library.Default()
+	n := New()
+	c1 := n.AddSignal("one", SigConst1)
+	a := n.AddSignal("a", SigPI)
+	_, out := n.AddInstance("u0", lib.Cell("NAND2"), 0, []SigID{c1, a}, geom.Point{})
+	n.AddPO("o", out)
+	var buf bytes.Buffer
+	if err := n.WriteVerilog(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	if !strings.Contains(v, "assign const1_w = 1'b1;") {
+		t.Errorf("constant tie missing:\n%s", v)
+	}
+	if !strings.Contains(v, "module casyn_top") {
+		t.Error("default module name missing")
+	}
+}
+
+func TestSanitizeVerilogName(t *testing.T) {
+	cases := []struct {
+		in   string
+		id   int
+		want string
+	}{
+		{"abc", 3, "abc"},
+		{"a.b", 3, "a_b_3"},
+		{"9lives", -1, "_lives"},
+		{"", 7, "s__7"},
+	}
+	for _, c := range cases {
+		if got := sanitizeVerilogName(c.in, c.id); got != c.want {
+			t.Errorf("sanitize(%q,%d) = %q, want %q", c.in, c.id, got, c.want)
+		}
+	}
+}
+
+func TestWriteCellReport(t *testing.T) {
+	n, lib := buildSmall()
+	var buf bytes.Buffer
+	if err := n.WriteCellReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rep := buf.String()
+	if !strings.Contains(rep, "AND2") || !strings.Contains(rep, "total") {
+		t.Errorf("report malformed:\n%s", rep)
+	}
+	wantTotal := lib.Cell("AND2").Area + lib.Cell("NAND2").Area
+	if !strings.Contains(rep, "2") {
+		t.Error("total count missing")
+	}
+	_ = wantTotal
+}

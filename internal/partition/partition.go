@@ -1,0 +1,326 @@
+// Package partition implements the DAG-partitioning step of technology
+// mapping: cutting the subject DAG into a forest of trees that the
+// dynamic-programming tree coverer can solve optimally.
+//
+// Three schemes are provided, matching Section 3.1 of the paper:
+//
+//   - Dagon: the DAGON scheme — every multi-fanout vertex becomes a
+//     tree root, so no optimization crosses multi-fanout boundaries.
+//   - Cone: the MIS scheme — logic cones grown from the outputs in
+//     processing order; a vertex joins the cone that reaches it first,
+//     which makes the result depend on output order (the drawback the
+//     paper points out).
+//   - PDP: the paper's placement-driven partitioning (Figure 2) — each
+//     vertex's father is its geometrically nearest consumer on the
+//     chip layout image, so trees cluster vertices placed in the same
+//     neighborhood and the result is order-independent.
+//
+// The partition is represented by a father pointer per gate: a gate's
+// father is the consumer whose tree it belongs to; gates whose father
+// is -1 are tree roots. Primary inputs and constants never join trees.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"casyn/internal/geom"
+	"casyn/internal/subject"
+)
+
+// Method selects the partitioning scheme.
+type Method int
+
+const (
+	// PDP is the paper's placement-driven partitioning; it is the zero
+	// value because it is the method the methodology defaults to.
+	PDP Method = iota
+	// Dagon cuts at every multi-fanout vertex.
+	Dagon
+	// Cone grows output cones in processing order.
+	Cone
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Dagon:
+		return "dagon"
+	case Cone:
+		return "cone"
+	case PDP:
+		return "pdp"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Input bundles what the partitioners need.
+type Input struct {
+	DAG *subject.DAG
+	// Pos holds the placement position of every gate (indexed by gate
+	// ID). Required by PDP, ignored by the others.
+	Pos []geom.Point
+	// POPads optionally gives, per gate ID, fixed pad locations of the
+	// primary outputs the gate drives. PDP considers a pad a candidate
+	// father location; a gate whose nearest consumer is a pad becomes
+	// a root.
+	POPads map[int][]geom.Point
+	// Metric is the distance metric for PDP (default Manhattan).
+	Metric geom.Metric
+}
+
+// Forest is the partition result.
+type Forest struct {
+	// Father[g] is the consumer gate that g belongs to, or -1 when g
+	// is a tree root or not a tree vertex (PI/constant).
+	Father []int
+	// Roots lists tree roots in ascending gate-ID order.
+	Roots []int
+}
+
+// Partition cuts the subject DAG with the chosen method.
+func Partition(in Input, m Method) (*Forest, error) {
+	d := in.DAG
+	if d == nil {
+		return nil, fmt.Errorf("partition: nil DAG")
+	}
+	switch m {
+	case Dagon:
+		return partitionDagon(d), nil
+	case Cone:
+		return partitionCone(d), nil
+	case PDP:
+		if len(in.Pos) < d.NumGates() {
+			return nil, fmt.Errorf("partition: PDP needs positions for all %d gates, got %d",
+				d.NumGates(), len(in.Pos))
+		}
+		return partitionPDP(in), nil
+	default:
+		return nil, fmt.Errorf("partition: unknown method %d", int(m))
+	}
+}
+
+// isTreeGate reports whether the gate type participates in trees.
+func isTreeGate(t subject.GateType) bool {
+	return t == subject.Nand2 || t == subject.Inv
+}
+
+// drivesPO reports whether gate g drives any primary output.
+func drivesPO(d *subject.DAG, g int) bool {
+	for _, o := range d.Outputs() {
+		if o.Gate == g {
+			return true
+		}
+	}
+	return false
+}
+
+// finish fills Roots from Father and returns the forest.
+func finish(d *subject.DAG, father []int) *Forest {
+	f := &Forest{Father: father}
+	for _, g := range d.LiveGates() {
+		if isTreeGate(d.Gate(g).Type) && father[g] == -1 {
+			f.Roots = append(f.Roots, g)
+		}
+	}
+	sort.Ints(f.Roots)
+	return f
+}
+
+// partitionDagon assigns every single-fanout gate to its unique
+// consumer; multi-fanout gates and PO drivers become roots.
+func partitionDagon(d *subject.DAG) *Forest {
+	father := newFatherSlice(d)
+	live := liveSet(d)
+	for _, g := range d.LiveGates() {
+		if !isTreeGate(d.Gate(g).Type) {
+			continue
+		}
+		fos := liveFanouts(d, g, live)
+		if len(fos) == 1 && !drivesPO(d, g) {
+			father[g] = fos[0]
+		}
+	}
+	return finish(d, father)
+}
+
+// partitionCone grows cones from the outputs in declaration order; a
+// gate joins the cone of the consumer that reaches it first.
+func partitionCone(d *subject.DAG) *Forest {
+	father := newFatherSlice(d)
+	assigned := make([]bool, d.NumGates())
+	var grow func(g int)
+	grow = func(g int) {
+		for _, fi := range d.Fanins(g) {
+			if !isTreeGate(d.Gate(fi).Type) || assigned[fi] {
+				continue
+			}
+			if drivesPO(d, fi) {
+				continue // PO drivers stay roots of their own cones
+			}
+			assigned[fi] = true
+			father[fi] = g
+			grow(fi)
+		}
+	}
+	for _, o := range d.Outputs() {
+		root := o.Gate
+		if !isTreeGate(d.Gate(root).Type) || assigned[root] {
+			continue
+		}
+		assigned[root] = true // as a root
+		grow(root)
+	}
+	// Any live tree gate not reached (possible with exotic output
+	// sharing) becomes its own root; grow its cone too for coverage.
+	for _, g := range d.LiveGates() {
+		if isTreeGate(d.Gate(g).Type) && !assigned[g] {
+			assigned[g] = true
+			grow(g)
+		}
+	}
+	return finish(d, father)
+}
+
+// partitionPDP implements the paper's Figure 2: the father of every
+// vertex is its nearest consumer on the layout image. Consumers are
+// the gate's fanout gates plus the pad locations of POs it drives;
+// when a pad is nearest, the gate is a root. Ties break toward the
+// lowest gate ID for determinism.
+func partitionPDP(in Input) *Forest {
+	d := in.DAG
+	father := newFatherSlice(d)
+	live := liveSet(d)
+	for _, g := range d.LiveGates() {
+		if !isTreeGate(d.Gate(g).Type) {
+			continue
+		}
+		fos := liveFanouts(d, g, live)
+		bestDist := -1.0
+		bestFather := -1
+		for _, fo := range fos {
+			dist := in.Metric.Distance(in.Pos[g], in.Pos[fo])
+			if bestDist < 0 || dist < bestDist || (dist == bestDist && fo < bestFather) {
+				bestDist = dist
+				bestFather = fo
+			}
+		}
+		for _, pad := range in.POPads[g] {
+			dist := in.Metric.Distance(in.Pos[g], pad)
+			if bestDist < 0 || dist < bestDist {
+				bestDist = dist
+				bestFather = -1 // nearest consumer is an output pad: root
+			}
+		}
+		if bestFather < 0 {
+			continue // pad-nearest or no consumers: stays a root
+		}
+		if drivesPO(d, g) && len(in.POPads[g]) == 0 {
+			// PO driver without pad information: keep it a root so the
+			// output signal is always visible without duplication.
+			continue
+		}
+		father[g] = bestFather
+	}
+	return finish(d, father)
+}
+
+func newFatherSlice(d *subject.DAG) []int {
+	father := make([]int, d.NumGates())
+	for i := range father {
+		father[i] = -1
+	}
+	return father
+}
+
+// liveSet returns a bitmap of live gates.
+func liveSet(d *subject.DAG) []bool {
+	live := make([]bool, d.NumGates())
+	for _, g := range d.LiveGates() {
+		live[g] = true
+	}
+	return live
+}
+
+// liveFanouts filters a gate's fanouts to live consumers.
+func liveFanouts(d *subject.DAG, g int, live []bool) []int {
+	var out []int
+	for _, fo := range d.Fanouts(g) {
+		if live[fo] {
+			out = append(out, fo)
+		}
+	}
+	return out
+}
+
+// Tree is one subject tree of the forest, in covering-ready form.
+type Tree struct {
+	Root int
+	// Gates lists the tree's internal vertices in topological order
+	// (children before parents); Gates[len-1] == Root.
+	Gates []int
+	// Children[g] lists the fanins of g that are internal vertices of
+	// this tree (i.e. whose father is g). Other fanins are leaf
+	// references to gates outside the tree.
+	Children map[int][]int
+}
+
+// Trees materializes the forest's trees.
+func (f *Forest) Trees(d *subject.DAG) []Tree {
+	kids := make(map[int][]int)
+	for g, fa := range f.Father {
+		if fa >= 0 {
+			kids[fa] = append(kids[fa], g)
+		}
+	}
+	trees := make([]Tree, 0, len(f.Roots))
+	for _, root := range f.Roots {
+		t := Tree{Root: root, Children: make(map[int][]int)}
+		// Post-order DFS so children precede parents.
+		var visit func(g int)
+		visit = func(g int) {
+			for _, k := range kids[g] {
+				visit(k)
+			}
+			t.Children[g] = kids[g]
+			t.Gates = append(t.Gates, g)
+		}
+		visit(root)
+		trees = append(trees, t)
+	}
+	return trees
+}
+
+// InTree returns a membership test for the tree.
+func (t *Tree) InTree() func(gate int) bool {
+	set := make(map[int]bool, len(t.Gates))
+	for _, g := range t.Gates {
+		set[g] = true
+	}
+	return func(g int) bool { return set[g] }
+}
+
+// Stats summarizes a forest for reporting and tests.
+type Stats struct {
+	Trees        int
+	TreeGates    int
+	MaxTreeSize  int
+	MeanTreeSize float64
+}
+
+// Stats computes forest statistics.
+func (f *Forest) Stats(d *subject.DAG) Stats {
+	trees := f.Trees(d)
+	s := Stats{Trees: len(trees)}
+	for _, t := range trees {
+		s.TreeGates += len(t.Gates)
+		if len(t.Gates) > s.MaxTreeSize {
+			s.MaxTreeSize = len(t.Gates)
+		}
+	}
+	if s.Trees > 0 {
+		s.MeanTreeSize = float64(s.TreeGates) / float64(s.Trees)
+	}
+	return s
+}

@@ -1,0 +1,248 @@
+package place
+
+import (
+	"math"
+	"math/rand"
+
+	"casyn/internal/geom"
+)
+
+// analyticPlace computes a global placement by iterating a quadratic
+// wirelength solve (star net model, Gauss–Seidel) with grid-based cell
+// spreading (FastPlace-style): the solve pulls connected cells
+// together and toward fixed pads, the spreading pushes overlapping
+// cells apart, and pseudo-anchors at each cell's spread position damp
+// oscillation. The result feeds legalization.
+type analyticPlacer struct {
+	nl     *Netlist
+	layout Layout
+	rng    *rand.Rand
+	// adjacency in CSR-ish form: per cell, (neighbor, weight) pairs
+	// plus fixed-point pulls.
+	nbr    [][]int32
+	nbrW   [][]float64
+	fixPt  []geom.Point
+	fixW   []float64
+	pos    []geom.Point
+	anchor []geom.Point
+	anchW  float64
+}
+
+// maxStarDegree caps the net degree used for the quadratic model; the
+// few huge fanout nets would otherwise dominate the system and pull
+// everything to one point.
+const maxStarDegree = 64
+
+func newAnalyticPlacer(nl *Netlist, layout Layout, rng *rand.Rand) *analyticPlacer {
+	n := nl.NumCells()
+	a := &analyticPlacer{
+		nl:     nl,
+		layout: layout,
+		rng:    rng,
+		nbr:    make([][]int32, n),
+		nbrW:   make([][]float64, n),
+		fixPt:  make([]geom.Point, n),
+		fixW:   make([]float64, n),
+		pos:    make([]geom.Point, n),
+		anchor: make([]geom.Point, n),
+	}
+	for ni := range nl.Nets {
+		net := &nl.Nets[ni]
+		deg := net.Degree()
+		if deg < 2 {
+			continue
+		}
+		w := 1.0 / float64(deg-1)
+		if deg > maxStarDegree {
+			w = w * float64(maxStarDegree) / float64(deg)
+		}
+		// Clique on small nets, star via the first cell on large ones.
+		if deg <= 4 {
+			for i := 0; i < len(net.Cells); i++ {
+				for j := i + 1; j < len(net.Cells); j++ {
+					a.addEdge(net.Cells[i], net.Cells[j], w)
+				}
+				for _, pad := range net.Pads {
+					a.addFix(net.Cells[i], pad, w)
+				}
+			}
+		} else {
+			hub := net.Cells[0]
+			for _, c := range net.Cells[1:] {
+				a.addEdge(hub, c, w)
+			}
+			for _, pad := range net.Pads {
+				a.addFix(hub, pad, w)
+			}
+		}
+	}
+	// Start at the die center with a small deterministic jitter so the
+	// first solve has gradients.
+	c := layout.Die.Center()
+	for i := range a.pos {
+		a.pos[i] = geom.Pt(
+			c.X+(rng.Float64()-0.5)*layout.Die.W()*0.05,
+			c.Y+(rng.Float64()-0.5)*layout.Die.H()*0.05,
+		)
+		a.anchor[i] = a.pos[i]
+	}
+	return a
+}
+
+func (a *analyticPlacer) addEdge(u, v int, w float64) {
+	if u == v {
+		return
+	}
+	a.nbr[u] = append(a.nbr[u], int32(v))
+	a.nbrW[u] = append(a.nbrW[u], w)
+	a.nbr[v] = append(a.nbr[v], int32(u))
+	a.nbrW[v] = append(a.nbrW[v], w)
+}
+
+func (a *analyticPlacer) addFix(c int, p geom.Point, w float64) {
+	// Accumulate the weighted centroid of fixed pulls.
+	tw := a.fixW[c] + w
+	a.fixPt[c] = geom.Pt(
+		(a.fixPt[c].X*a.fixW[c]+p.X*w)/tw,
+		(a.fixPt[c].Y*a.fixW[c]+p.Y*w)/tw,
+	)
+	a.fixW[c] = tw
+}
+
+// solve runs Gauss–Seidel sweeps of the quadratic system: each cell
+// moves to the weighted average of its neighbors, fixed pulls, and its
+// spreading anchor.
+func (a *analyticPlacer) solve(sweeps int) {
+	n := len(a.pos)
+	for s := 0; s < sweeps; s++ {
+		for c := 0; c < n; c++ {
+			sumW := a.fixW[c] + a.anchW
+			sx := a.fixPt[c].X*a.fixW[c] + a.anchor[c].X*a.anchW
+			sy := a.fixPt[c].Y*a.fixW[c] + a.anchor[c].Y*a.anchW
+			for k, v := range a.nbr[c] {
+				w := a.nbrW[c][k]
+				sumW += w
+				sx += a.pos[v].X * w
+				sy += a.pos[v].Y * w
+			}
+			if sumW <= 0 {
+				continue
+			}
+			a.pos[c] = geom.Pt(sx/sumW, sy/sumW)
+		}
+	}
+}
+
+// spread pushes cells out of overloaded bins by stretching each bin
+// row/column so occupancy equalizes, then stores the stretched
+// positions as the next iteration's anchors.
+func (a *analyticPlacer) spread(binTarget float64) {
+	nbx := int(math.Sqrt(float64(len(a.pos)))/2) + 4
+	nby := nbx
+	die := a.layout.Die
+	bw := die.W() / float64(nbx)
+	bh := die.H() / float64(nby)
+	// Occupancy per bin (cell areas).
+	occ := make([][]float64, nby)
+	for y := range occ {
+		occ[y] = make([]float64, nbx)
+	}
+	binOf := func(p geom.Point) (int, int) {
+		x := int((p.X - die.Min.X) / bw)
+		y := int((p.Y - die.Min.Y) / bh)
+		if x < 0 {
+			x = 0
+		}
+		if x >= nbx {
+			x = nbx - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y >= nby {
+			y = nby - 1
+		}
+		return x, y
+	}
+	for c := range a.pos {
+		x, y := binOf(a.pos[c])
+		occ[y][x] += a.nl.Widths[c]*a.layout.RowHeight + 1e-9
+	}
+	// Horizontal pass: within each bin row, remap x so that cumulative
+	// occupancy becomes uniform. Then the same vertically per column.
+	newX := a.remapAxis(occ, true, bw, binTarget)
+	newY := a.remapAxis(occ, false, bh, binTarget)
+	for c := range a.pos {
+		bx, by := binOf(a.pos[c])
+		fx := (a.pos[c].X - die.Min.X - float64(bx)*bw) / bw
+		fy := (a.pos[c].Y - die.Min.Y - float64(by)*bh) / bh
+		x := newX[by][bx] + fx*(newX[by][bx+1]-newX[by][bx])
+		y := newY[bx][by] + fy*(newY[bx][by+1]-newY[bx][by])
+		a.anchor[c] = geom.Pt(x, y)
+	}
+}
+
+// remapAxis computes, per lane (bin row when horizontal, bin column
+// otherwise), the stretched bin boundary coordinates that equalize
+// occupancy along the axis. The returned slice is indexed
+// [lane][boundary].
+func (a *analyticPlacer) remapAxis(occ [][]float64, horizontal bool, binSize, target float64) [][]float64 {
+	die := a.layout.Die
+	var lanes, bins int
+	var lo float64
+	if horizontal {
+		lanes, bins = len(occ), len(occ[0])
+		lo = die.Min.X
+	} else {
+		lanes, bins = len(occ[0]), len(occ)
+		lo = die.Min.Y
+	}
+	out := make([][]float64, lanes)
+	for l := 0; l < lanes; l++ {
+		get := func(b int) float64 {
+			if horizontal {
+				return occ[l][b]
+			}
+			return occ[b][l]
+		}
+		total := 0.0
+		for b := 0; b < bins; b++ {
+			total += get(b) + target*0.25
+		}
+		bounds := make([]float64, bins+1)
+		bounds[0] = lo
+		acc := 0.0
+		span := binSize * float64(bins)
+		for b := 0; b < bins; b++ {
+			acc += get(b) + target*0.25
+			bounds[b+1] = lo + span*acc/total
+		}
+		out[l] = bounds
+	}
+	return out
+}
+
+// run executes the solve/spread loop and returns approximate global
+// positions.
+func (a *analyticPlacer) run(iters int) []geom.Point {
+	die := a.layout.Die
+	binTarget := a.nl.TotalWidth() * a.layout.RowHeight / float64(len(a.pos)+1)
+	a.anchW = 0
+	a.solve(40)
+	for it := 0; it < iters; it++ {
+		a.spread(binTarget)
+		// Anchor weight ramps up so later iterations respect the
+		// spread layout more and more.
+		a.anchW = 0.05 * math.Pow(1.8, float64(it))
+		a.solve(12)
+	}
+	// Final positions: blend toward anchors fully to avoid residual
+	// clumping, clamped into the die.
+	for c := range a.pos {
+		p := a.anchor[c]
+		p.X = math.Min(math.Max(p.X, die.Min.X), die.Max.X)
+		p.Y = math.Min(math.Max(p.Y, die.Min.Y), die.Max.Y)
+		a.pos[c] = p
+	}
+	return a.pos
+}

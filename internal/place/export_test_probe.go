@@ -1,0 +1,40 @@
+package place
+
+import "math/rand"
+
+// NewFMProblemForTest and friends expose the FM core for the tuning
+// probe binary; they are not part of the public surface.
+type FMProbe struct{ p *fmProblem }
+
+func NewFMProblemForTest(n int) *FMProbe {
+	p := &fmProblem{cells: make([]int, n), width: make([]float64, n)}
+	for i := range p.width {
+		p.cells[i] = i
+		p.width[i] = 1
+	}
+	p.ofCell = make([][]int32, n)
+	return &FMProbe{p: p}
+}
+
+func (f *FMProbe) AddNet(cells []int) {
+	ni := len(f.p.nets)
+	var fn fmNet
+	for _, c := range cells {
+		fn.cells = append(fn.cells, int32(c))
+		f.p.ofCell[c] = append(f.p.ofCell[c], int32(ni))
+	}
+	f.p.nets = append(f.p.nets, fn)
+}
+
+func (f *FMProbe) SetBalance(tol float64) {
+	tot := 0.0
+	for _, w := range f.p.width {
+		tot += w
+	}
+	f.p.targetLo = tot/2 - tot*tol/2
+	f.p.targetHi = tot/2 + tot*tol/2
+}
+
+func (f *FMProbe) Run(side []bool, passes int, rng *rand.Rand) int {
+	return runFM(f.p, side, passes, rng).cutNets
+}

@@ -1,0 +1,195 @@
+package place
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"casyn/internal/geom"
+)
+
+// refine greedily reduces HPWL after legalization with two move
+// classes that both preserve legality exactly:
+//
+//   - equal-width swap: exchange the positions of two cells of the
+//     same width (possibly in different rows), chosen by steering each
+//     cell toward the median of its connected pins;
+//   - adjacent-pair swap: exchange two neighboring cells within a row,
+//     re-packing them inside their combined span (works for unequal
+//     widths).
+//
+// Moves are accepted only when the summed HPWL of the affected nets
+// decreases, so refinement is monotone.
+func refine(nl *Netlist, layout Layout, p *Placement, passes int, rng *rand.Rand) {
+	n := nl.NumCells()
+	if n < 2 || passes <= 0 {
+		return
+	}
+	cellNets := nl.cellNets()
+
+	// Spatial index of cells by equal width class, bucketed on a
+	// coarse grid for nearest-candidate lookup.
+	type wclass struct {
+		cells []int32
+	}
+	classes := map[float64]*wclass{}
+	for c := 0; c < n; c++ {
+		w := nl.Widths[c]
+		cl := classes[w]
+		if cl == nil {
+			cl = &wclass{}
+			classes[w] = cl
+		}
+		cl.cells = append(cl.cells, int32(c))
+	}
+
+	affected := func(c int) []int32 { return cellNets[c] }
+	hpwlOf := func(nets []int32, extra []int32) float64 {
+		t := 0.0
+		for _, ni := range nets {
+			t += nl.NetHPWL(p, int(ni))
+		}
+		for _, ni := range extra {
+			dup := false
+			for _, mi := range nets {
+				if mi == ni {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				t += nl.NetHPWL(p, int(ni))
+			}
+		}
+		return t
+	}
+
+	// Row membership for adjacent-pair swaps, kept sorted by x.
+	rows := make([][]int32, layout.NumRows)
+	for c := 0; c < n; c++ {
+		r := p.Row[c]
+		if r >= 0 && r < layout.NumRows {
+			rows[r] = append(rows[r], int32(c))
+		}
+	}
+	for r := range rows {
+		row := rows[r]
+		sort.Slice(row, func(i, j int) bool { return p.Pos[row[i]].X < p.Pos[row[j]].X })
+	}
+
+	// target returns the median of the other pins of c's nets.
+	var xs, ys []float64
+	target := func(c int) (geom.Point, bool) {
+		xs, ys = xs[:0], ys[:0]
+		for _, ni := range cellNets[c] {
+			net := &nl.Nets[ni]
+			if len(net.Cells)+len(net.Pads) > 64 {
+				continue // hub nets barely move with one cell
+			}
+			for _, oc := range net.Cells {
+				if oc != c {
+					xs = append(xs, p.Pos[oc].X)
+					ys = append(ys, p.Pos[oc].Y)
+				}
+			}
+			for _, pad := range net.Pads {
+				xs = append(xs, pad.X)
+				ys = append(ys, pad.Y)
+			}
+		}
+		if len(xs) == 0 {
+			return geom.Point{}, false
+		}
+		sort.Float64s(xs)
+		sort.Float64s(ys)
+		return geom.Pt(xs[len(xs)/2], ys[len(ys)/2]), true
+	}
+
+	for pass := 0; pass < passes; pass++ {
+		improved := 0
+		// Equal-width swaps toward targets.
+		order := rng.Perm(n)
+		for _, c := range order {
+			tgt, ok := target(c)
+			if !ok {
+				continue
+			}
+			if tgt.Manhattan(p.Pos[c]) < layout.RowHeight {
+				continue // already close
+			}
+			cl := classes[nl.Widths[c]]
+			// Find the classmate nearest the target.
+			best, bestD := -1, math.Inf(1)
+			// Sampled scan keeps this O(1)-ish per cell for huge
+			// classes while staying exact for small ones.
+			step := 1
+			if len(cl.cells) > 512 {
+				step = len(cl.cells) / 512
+			}
+			for i := rng.Intn(step); i < len(cl.cells); i += step {
+				d := int(cl.cells[i])
+				if d == c {
+					continue
+				}
+				dist := tgt.Manhattan(p.Pos[d])
+				if dist < bestD {
+					best, bestD = d, dist
+				}
+			}
+			if best < 0 || bestD >= tgt.Manhattan(p.Pos[c]) {
+				continue
+			}
+			d := best
+			before := hpwlOf(affected(c), affected(d))
+			p.Pos[c], p.Pos[d] = p.Pos[d], p.Pos[c]
+			p.Row[c], p.Row[d] = p.Row[d], p.Row[c]
+			after := hpwlOf(affected(c), affected(d))
+			if after < before-1e-9 {
+				improved++
+				// Fix row membership lists lazily: rebuild below.
+			} else {
+				p.Pos[c], p.Pos[d] = p.Pos[d], p.Pos[c]
+				p.Row[c], p.Row[d] = p.Row[d], p.Row[c]
+			}
+		}
+		// Rebuild row lists after cross-row swaps.
+		for r := range rows {
+			rows[r] = rows[r][:0]
+		}
+		for c := 0; c < n; c++ {
+			r := p.Row[c]
+			if r >= 0 && r < layout.NumRows {
+				rows[r] = append(rows[r], int32(c))
+			}
+		}
+		// Adjacent-pair swaps within rows.
+		for r := range rows {
+			row := rows[r]
+			sort.Slice(row, func(i, j int) bool { return p.Pos[row[i]].X < p.Pos[row[j]].X })
+			for i := 0; i+1 < len(row); i++ {
+				a, b := int(row[i]), int(row[i+1])
+				// Combined span: [left edge of a, right edge of b].
+				left := p.Pos[a].X - nl.Widths[a]/2
+				right := p.Pos[b].X + nl.Widths[b]/2
+				if right-left < nl.Widths[a]+nl.Widths[b]-1e-9 {
+					continue // overlapping input; skip
+				}
+				oldA, oldB := p.Pos[a], p.Pos[b]
+				before := hpwlOf(affected(a), affected(b))
+				// b moves to the left edge, a to the right edge.
+				p.Pos[b] = geom.Pt(left+nl.Widths[b]/2, oldB.Y)
+				p.Pos[a] = geom.Pt(right-nl.Widths[a]/2, oldA.Y)
+				after := hpwlOf(affected(a), affected(b))
+				if after < before-1e-9 {
+					improved++
+					row[i], row[i+1] = row[i+1], row[i]
+				} else {
+					p.Pos[a], p.Pos[b] = oldA, oldB
+				}
+			}
+		}
+		if improved == 0 {
+			break
+		}
+	}
+}

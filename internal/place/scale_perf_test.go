@@ -1,0 +1,38 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestScale30k guards placer performance at the paper's circuit scale
+// (~30k base gates). It is skipped under -short.
+func TestScale30k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in short mode")
+	}
+	rng := rand.New(rand.NewSource(1))
+	n := 30000
+	nl := &Netlist{Widths: make([]float64, n)}
+	for i := range nl.Widths {
+		nl.Widths[i] = 1.5
+	}
+	for i := 0; i < 2*n; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			nl.Nets = append(nl.Nets, Net{Cells: []int{a, b}})
+		}
+	}
+	layout, _ := LayoutWithRows(70, 700, 6.656)
+	start := time.Now()
+	p, err := PlaceNetlist(nl, layout, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	t.Logf("placed %d cells in %v, HPWL=%g", n, elapsed, nl.HPWL(p))
+	if elapsed > 60*time.Second {
+		t.Errorf("placement took %v, want < 60s", elapsed)
+	}
+}

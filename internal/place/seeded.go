@@ -1,0 +1,39 @@
+package place
+
+import (
+	"fmt"
+	"math/rand"
+
+	"casyn/internal/geom"
+)
+
+// PlaceSeeded legalizes a netlist whose cells already carry seed
+// positions — here, the centers of mass the congestion-aware mapper
+// assigned to each match on the companion placement — and then runs
+// the greedy swap refinement. This is the incremental-placement path
+// of the paper's methodology: the technology-independent placement is
+// made once, matches inherit their covered gates' center of mass, and
+// the physical-design step only legalizes and locally improves rather
+// than placing from scratch.
+func PlaceSeeded(nl *Netlist, layout Layout, seeds []geom.Point, opts Options) (*Placement, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	if len(seeds) != nl.NumCells() {
+		return nil, fmt.Errorf("place: %d seeds for %d cells", len(seeds), nl.NumCells())
+	}
+	opts.defaults()
+	p := &Placement{Pos: make([]geom.Point, len(seeds)), Row: make([]int, len(seeds))}
+	copy(p.Pos, seeds)
+	if nl.NumCells() == 0 {
+		return p, nil
+	}
+	if layout.NumRows < 1 {
+		return nil, fmt.Errorf("place: layout has no rows")
+	}
+	legalize(nl, layout, p)
+	if opts.RefinePasses > 0 {
+		refine(nl, layout, p, opts.RefinePasses, rand.New(rand.NewSource(opts.Seed)))
+	}
+	return p, nil
+}

@@ -1,0 +1,60 @@
+package route
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteCongestionMap renders the grid's congestion map as an ASCII
+// heatmap, top row first (the orientation of a die plot). Each cell is
+// one character by utilization band:
+//
+//	' ' < 25%   ░ < 50%   ▒ < 75%   ▓ < 100%   █ ≥ 100% (overflow)
+//
+// This is the "congestion map" the paper's Figure 3 flow inspects
+// before deciding whether to raise K.
+func (g *Grid) WriteCongestionMap(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	m := g.CongestionMap()
+	fmt.Fprintf(bw, "congestion map %dx%d gcells (max %.2f)\n", g.NX, g.NY, g.MaxCongestion())
+	for y := g.NY - 1; y >= 0; y-- {
+		fmt.Fprint(bw, "|")
+		for x := 0; x < g.NX; x++ {
+			fmt.Fprint(bw, bandChar(m[y][x]))
+		}
+		fmt.Fprintln(bw, "|")
+	}
+	return bw.Flush()
+}
+
+func bandChar(u float64) string {
+	switch {
+	case u >= 1.0:
+		return "█"
+	case u >= 0.75:
+		return "▓"
+	case u >= 0.5:
+		return "▒"
+	case u >= 0.25:
+		return "░"
+	default:
+		return " "
+	}
+}
+
+// HotspotCount returns the number of gcells whose congestion exceeds
+// the threshold (e.g. 1.0 for overflow, 0.9 for "nearly full") — the
+// scalar the flow's "is congestion OK?" decision uses alongside the
+// violation count.
+func (g *Grid) HotspotCount(threshold float64) int {
+	n := 0
+	for _, row := range g.CongestionMap() {
+		for _, u := range row {
+			if u >= threshold {
+				n++
+			}
+		}
+	}
+	return n
+}

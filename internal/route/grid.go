@@ -1,0 +1,260 @@
+// Package route implements the global-routing substrate: a capacity
+// grid derived from the die size and metal-layer count, pattern (L/Z)
+// initial routing, congestion-driven rip-up and reroute, overflow
+// counting, and the congestion map the paper's methodology consults
+// before committing to detailed place & route.
+//
+// "Routing violations" in the experiments are reported as failed
+// connections — two-pin route segments whose final path crosses an
+// over-capacity edge — the closest global-routing analogue of the
+// detailed-router violation counts the paper obtains from Silicon
+// Ensemble; raw track overflow is reported alongside.
+package route
+
+import (
+	"fmt"
+	"math"
+
+	"casyn/internal/geom"
+	"casyn/internal/place"
+)
+
+// Options tunes the router.
+type Options struct {
+	// GCellSize is the routing grid pitch in µm (default: twice the
+	// layout row height).
+	GCellSize float64
+	// MetalLayers is the number of routing layers (default 3: one
+	// horizontal, one vertical, plus a fragmented intra-cell layer
+	// modeled as reduced capacity).
+	MetalLayers int
+	// TrackPitch is the routing track pitch in µm (default 0.56, a
+	// 0.18 µm-class value).
+	TrackPitch float64
+	// UtilizationPenalty scales how much local cell density eats
+	// routing capacity over the cells (default 0.35).
+	UtilizationPenalty float64
+	// RipupIterations bounds the reroute loop (default 3).
+	RipupIterations int
+	// CapacityScale multiplies every edge capacity (default 1). The
+	// experiment configurations use it to calibrate this global
+	// router's capacity model against the commercial detailed router
+	// the paper measured with (whose placement and routing are
+	// stronger than this substrate's).
+	CapacityScale float64
+	// CongestionExponent shapes the maze router's edge cost (default 2).
+	CongestionExponent float64
+}
+
+func (o *Options) defaults(layout place.Layout) {
+	if o.GCellSize == 0 {
+		o.GCellSize = 2 * layout.RowHeight
+	}
+	if o.MetalLayers == 0 {
+		o.MetalLayers = 3
+	}
+	if o.TrackPitch == 0 {
+		o.TrackPitch = 0.56
+	}
+	if o.UtilizationPenalty == 0 {
+		o.UtilizationPenalty = 0.35
+	}
+	if o.RipupIterations == 0 {
+		o.RipupIterations = 3
+	}
+	if o.CongestionExponent == 0 {
+		o.CongestionExponent = 2
+	}
+	if o.CapacityScale == 0 {
+		o.CapacityScale = 1
+	}
+}
+
+// Grid is the global-routing graph: NX×NY gcells with capacitated
+// boundary edges. Horizontal edges carry horizontal-layer tracks,
+// vertical edges vertical-layer tracks.
+type Grid struct {
+	NX, NY int
+	CellW  float64
+	CellH  float64
+	Origin geom.Point
+	// capH[y][x] is the capacity of the edge (x,y)-(x+1,y); usageH its
+	// occupancy. Likewise capV/usageV for (x,y)-(x,y+1).
+	capH, capV     [][]float64
+	usageH, usageV [][]float64
+	histH, histV   [][]float64 // rip-up history cost
+}
+
+// NewGrid builds the routing grid for a layout. cellDensity, if
+// non-nil, gives per-gcell cell-area density in [0,1] used to derate
+// capacity over dense regions (indexed [y][x]); pass nil for full
+// capacity.
+func NewGrid(layout place.Layout, opts Options, cellDensity [][]float64) (*Grid, error) {
+	opts.defaults(layout)
+	nx := int(math.Ceil(layout.Die.W() / opts.GCellSize))
+	ny := int(math.Ceil(layout.Die.H() / opts.GCellSize))
+	if nx < 1 || ny < 1 {
+		return nil, fmt.Errorf("route: degenerate grid %dx%d", nx, ny)
+	}
+	g := &Grid{
+		NX:     nx,
+		NY:     ny,
+		CellW:  layout.Die.W() / float64(nx),
+		CellH:  layout.Die.H() / float64(ny),
+		Origin: layout.Die.Min,
+	}
+	// Track budget: with 3 layers, one layer routes horizontally and
+	// one vertically; extra layers add full capacity in alternating
+	// directions.
+	hLayers := 1 + max0(opts.MetalLayers-3)/2
+	vLayers := 1 + max0(opts.MetalLayers-2)/2
+	baseH := float64(hLayers) * g.CellH / opts.TrackPitch * opts.CapacityScale
+	baseV := float64(vLayers) * g.CellW / opts.TrackPitch * opts.CapacityScale
+	alloc := func() [][]float64 {
+		m := make([][]float64, ny)
+		for y := range m {
+			m[y] = make([]float64, nx)
+		}
+		return m
+	}
+	g.capH, g.capV = alloc(), alloc()
+	g.usageH, g.usageV = alloc(), alloc()
+	g.histH, g.histV = alloc(), alloc()
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			derate := 1.0
+			if cellDensity != nil {
+				d := cellDensity[y][x]
+				if d > 1 {
+					d = 1
+				}
+				derate = 1 - opts.UtilizationPenalty*d
+			}
+			g.capH[y][x] = baseH * derate
+			g.capV[y][x] = baseV * derate
+		}
+	}
+	return g, nil
+}
+
+func max0(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// GCellOf returns the grid coordinates containing point p, clamped to
+// the grid.
+func (g *Grid) GCellOf(p geom.Point) (int, int) {
+	x := int((p.X - g.Origin.X) / g.CellW)
+	y := int((p.Y - g.Origin.Y) / g.CellH)
+	if x < 0 {
+		x = 0
+	}
+	if x >= g.NX {
+		x = g.NX - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= g.NY {
+		y = g.NY - 1
+	}
+	return x, y
+}
+
+// Center returns the center point of gcell (x, y).
+func (g *Grid) Center(x, y int) geom.Point {
+	return geom.Pt(
+		g.Origin.X+(float64(x)+0.5)*g.CellW,
+		g.Origin.Y+(float64(y)+0.5)*g.CellH,
+	)
+}
+
+// edge identifies one grid edge.
+type edge struct {
+	x, y       int
+	horizontal bool
+}
+
+// addUsage adjusts an edge's occupancy by delta tracks.
+func (g *Grid) addUsage(e edge, delta float64) {
+	if e.horizontal {
+		g.usageH[e.y][e.x] += delta
+	} else {
+		g.usageV[e.y][e.x] += delta
+	}
+}
+
+// overflowOf returns the edge's overflow in tracks.
+func (g *Grid) overflowOf(e edge) float64 {
+	if e.horizontal {
+		return g.usageH[e.y][e.x] - g.capH[e.y][e.x]
+	}
+	return g.usageV[e.y][e.x] - g.capV[e.y][e.x]
+}
+
+// TotalOverflow sums positive overflow over all edges (in tracks),
+// rounded to whole violations.
+func (g *Grid) TotalOverflow() int {
+	t := 0.0
+	for y := 0; y < g.NY; y++ {
+		for x := 0; x < g.NX; x++ {
+			if ov := g.usageH[y][x] - g.capH[y][x]; ov > 0 {
+				t += ov
+			}
+			if ov := g.usageV[y][x] - g.capV[y][x]; ov > 0 {
+				t += ov
+			}
+		}
+	}
+	return int(math.Round(t))
+}
+
+// CongestionMap returns, per gcell, the maximum of the adjacent edges'
+// usage/capacity ratios — the congestion map the methodology inspects.
+func (g *Grid) CongestionMap() [][]float64 {
+	m := make([][]float64, g.NY)
+	for y := range m {
+		m[y] = make([]float64, g.NX)
+		for x := range m[y] {
+			r := 0.0
+			consider := func(u, c float64) {
+				if c <= 0 {
+					if u > 0 {
+						r = math.Max(r, 2)
+					}
+					return
+				}
+				r = math.Max(r, u/c)
+			}
+			consider(g.usageH[y][x], g.capH[y][x])
+			consider(g.usageV[y][x], g.capV[y][x])
+			if x > 0 {
+				consider(g.usageH[y][x-1], g.capH[y][x-1])
+			}
+			if y > 0 {
+				consider(g.usageV[y-1][x], g.capV[y-1][x])
+			}
+			m[y][x] = r
+		}
+	}
+	return m
+}
+
+// MaxCongestion returns the worst usage/capacity ratio on any edge.
+func (g *Grid) MaxCongestion() float64 {
+	worst := 0.0
+	for y := 0; y < g.NY; y++ {
+		for x := 0; x < g.NX; x++ {
+			if g.capH[y][x] > 0 {
+				worst = math.Max(worst, g.usageH[y][x]/g.capH[y][x])
+			}
+			if g.capV[y][x] > 0 {
+				worst = math.Max(worst, g.usageV[y][x]/g.capV[y][x])
+			}
+		}
+	}
+	return worst
+}

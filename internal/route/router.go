@@ -1,0 +1,470 @@
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"casyn/internal/geom"
+	"casyn/internal/place"
+)
+
+// Result is a completed global routing.
+type Result struct {
+	Grid *Grid
+	// Violations is the total track overflow (the "routing violations"
+	// column of the paper's tables).
+	Violations int
+	// OverflowEdges counts distinct over-capacity edges.
+	OverflowEdges int
+	// FailedConnections counts two-pin route segments whose final path
+	// crosses at least one over-capacity edge — the closest analogue
+	// of a detailed router's unroutable-connection count.
+	FailedConnections int
+	// WireLength is the total routed wirelength in µm.
+	WireLength float64
+	// NetLength is the routed length per net (µm), indexed like
+	// nl.Nets; STA uses it for wire RC.
+	NetLength []float64
+	// MaxCongestion is the worst edge usage/capacity ratio.
+	MaxCongestion float64
+}
+
+// Routable reports whether the layout routed without violations: no
+// connection crosses an over-capacity edge.
+func (r *Result) Routable() bool { return r.FailedConnections == 0 && r.Violations == 0 }
+
+// RouteNetlist globally routes the placed netlist. Pads participate as
+// ordinary terminals. The cell-density capacity derate is computed
+// from the placement itself.
+func RouteNetlist(nl *place.Netlist, pl *place.Placement, layout place.Layout, opts Options) (*Result, error) {
+	if len(pl.Pos) != nl.NumCells() {
+		return nil, fmt.Errorf("route: placement for %d cells, netlist has %d", len(pl.Pos), nl.NumCells())
+	}
+	opts.defaults(layout)
+	density, err := cellDensity(nl, pl, layout, opts)
+	if err != nil {
+		return nil, err
+	}
+	g, err := NewGrid(layout, opts, density)
+	if err != nil {
+		return nil, err
+	}
+	r := &router{grid: g, opts: opts}
+
+	// Decompose every net into two-pin segments over gcell terminals.
+	type segment struct {
+		net  int
+		a, b [2]int
+		path []edge
+	}
+	var segs []segment
+	for ni := range nl.Nets {
+		pts := terminalCells(g, nl, pl, ni)
+		if len(pts) < 2 {
+			continue
+		}
+		for _, pr := range mstPairs(g, pts) {
+			segs = append(segs, segment{net: ni, a: pr[0], b: pr[1]})
+		}
+	}
+	// Longer segments first: they have the least routing flexibility.
+	sort.SliceStable(segs, func(i, j int) bool {
+		di := abs(segs[i].a[0]-segs[i].b[0]) + abs(segs[i].a[1]-segs[i].b[1])
+		dj := abs(segs[j].a[0]-segs[j].b[0]) + abs(segs[j].a[1]-segs[j].b[1])
+		return di > dj
+	})
+
+	// Initial pattern routing.
+	for i := range segs {
+		segs[i].path = r.patternRoute(segs[i].a, segs[i].b)
+		for _, e := range segs[i].path {
+			g.addUsage(e, 1)
+		}
+	}
+	// Rip-up and reroute segments crossing overflowed edges.
+	for iter := 0; iter < opts.RipupIterations; iter++ {
+		if g.TotalOverflow() == 0 {
+			break
+		}
+		r.bumpHistory()
+		rerouted := 0
+		for i := range segs {
+			bad := false
+			for _, e := range segs[i].path {
+				if g.overflowOf(e) > 0 {
+					bad = true
+					break
+				}
+			}
+			if !bad {
+				continue
+			}
+			for _, e := range segs[i].path {
+				g.addUsage(e, -1)
+			}
+			segs[i].path = r.mazeRoute(segs[i].a, segs[i].b)
+			for _, e := range segs[i].path {
+				g.addUsage(e, 1)
+			}
+			rerouted++
+		}
+		if rerouted == 0 {
+			break
+		}
+	}
+
+	// Collect results.
+	res := &Result{Grid: g, NetLength: make([]float64, len(nl.Nets))}
+	for i := range segs {
+		l := 0.0
+		failed := false
+		for _, e := range segs[i].path {
+			if e.horizontal {
+				l += g.CellW
+			} else {
+				l += g.CellH
+			}
+			if g.overflowOf(e) > 0 {
+				failed = true
+			}
+		}
+		if failed {
+			res.FailedConnections++
+		}
+		res.NetLength[segs[i].net] += l
+		res.WireLength += l
+	}
+	res.Violations = g.TotalOverflow()
+	res.MaxCongestion = g.MaxCongestion()
+	for y := 0; y < g.NY; y++ {
+		for x := 0; x < g.NX; x++ {
+			if g.usageH[y][x] > g.capH[y][x] {
+				res.OverflowEdges++
+			}
+			if g.usageV[y][x] > g.capV[y][x] {
+				res.OverflowEdges++
+			}
+		}
+	}
+	return res, nil
+}
+
+// cellDensity bins cell area into gcells, normalized by gcell area.
+func cellDensity(nl *place.Netlist, pl *place.Placement, layout place.Layout, opts Options) ([][]float64, error) {
+	nx := int(math.Ceil(layout.Die.W() / opts.GCellSize))
+	ny := int(math.Ceil(layout.Die.H() / opts.GCellSize))
+	if nx < 1 || ny < 1 {
+		return nil, fmt.Errorf("route: degenerate grid %dx%d", nx, ny)
+	}
+	cw := layout.Die.W() / float64(nx)
+	ch := layout.Die.H() / float64(ny)
+	m := make([][]float64, ny)
+	for y := range m {
+		m[y] = make([]float64, nx)
+	}
+	gArea := cw * ch
+	for c := 0; c < nl.NumCells(); c++ {
+		x := int((pl.Pos[c].X - layout.Die.Min.X) / cw)
+		y := int((pl.Pos[c].Y - layout.Die.Min.Y) / ch)
+		if x < 0 {
+			x = 0
+		}
+		if x >= nx {
+			x = nx - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y >= ny {
+			y = ny - 1
+		}
+		m[y][x] += nl.Widths[c] * layout.RowHeight / gArea
+	}
+	return m, nil
+}
+
+// terminalCells maps a net's endpoints to distinct gcells.
+func terminalCells(g *Grid, nl *place.Netlist, pl *place.Placement, ni int) [][2]int {
+	seen := map[[2]int]bool{}
+	var out [][2]int
+	add := func(p geom.Point) {
+		x, y := g.GCellOf(p)
+		k := [2]int{x, y}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for _, c := range nl.Nets[ni].Cells {
+		add(pl.Pos[c])
+	}
+	for _, p := range nl.Nets[ni].Pads {
+		add(p)
+	}
+	return out
+}
+
+// mstPairs returns the edges of a Manhattan-distance minimum spanning
+// tree over the terminals (Prim's algorithm).
+func mstPairs(g *Grid, pts [][2]int) [][2][2]int {
+	n := len(pts)
+	if n < 2 {
+		return nil
+	}
+	inTree := make([]bool, n)
+	dist := make([]int, n)
+	from := make([]int, n)
+	for i := range dist {
+		dist[i] = math.MaxInt32
+	}
+	inTree[0] = true
+	for i := 1; i < n; i++ {
+		dist[i] = abs(pts[i][0]-pts[0][0]) + abs(pts[i][1]-pts[0][1])
+		from[i] = 0
+	}
+	var out [][2][2]int
+	for added := 1; added < n; added++ {
+		best, bestD := -1, math.MaxInt32
+		for i := range pts {
+			if !inTree[i] && dist[i] < bestD {
+				best, bestD = i, dist[i]
+			}
+		}
+		inTree[best] = true
+		out = append(out, [2][2]int{pts[from[best]], pts[best]})
+		for i := range pts {
+			if inTree[i] {
+				continue
+			}
+			d := abs(pts[i][0]-pts[best][0]) + abs(pts[i][1]-pts[best][1])
+			if d < dist[i] {
+				dist[i] = d
+				from[i] = best
+			}
+		}
+	}
+	return out
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func minmax(a, b int) (int, int) {
+	if a > b {
+		return b, a
+	}
+	return a, b
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// router carries the mutable routing state.
+type router struct {
+	grid *Grid
+	opts Options
+}
+
+// edgeCost is the congestion-aware cost of pushing one more track
+// through the edge.
+func (r *router) edgeCost(e edge) float64 {
+	g := r.grid
+	var usage, cap2, hist float64
+	if e.horizontal {
+		usage, cap2, hist = g.usageH[e.y][e.x], g.capH[e.y][e.x], g.histH[e.y][e.x]
+	} else {
+		usage, cap2, hist = g.usageV[e.y][e.x], g.capV[e.y][e.x], g.histV[e.y][e.x]
+	}
+	cost := 1.0 + hist
+	if cap2 <= 0 {
+		return cost + 64
+	}
+	over := (usage + 1) / cap2
+	if over > 0.8 {
+		cost += math.Pow(over-0.8, r.opts.CongestionExponent) * 32
+	}
+	return cost
+}
+
+// bumpHistory raises the history cost of currently overflowed edges,
+// the negotiated-congestion mechanism that pushes reroutes away from
+// hot spots.
+func (r *router) bumpHistory() {
+	g := r.grid
+	for y := 0; y < g.NY; y++ {
+		for x := 0; x < g.NX; x++ {
+			if g.usageH[y][x] > g.capH[y][x] {
+				g.histH[y][x] += 2
+			}
+			if g.usageV[y][x] > g.capV[y][x] {
+				g.histV[y][x] += 2
+			}
+		}
+	}
+}
+
+// patternRoute routes a two-pin segment with the cheaper of the two
+// L-shapes (or a straight line when aligned).
+func (r *router) patternRoute(a, b [2]int) []edge {
+	p1 := r.lPath(a, b, true)
+	if a[0] == b[0] || a[1] == b[1] {
+		return p1
+	}
+	p2 := r.lPath(a, b, false)
+	if r.pathCost(p2) < r.pathCost(p1) {
+		return p2
+	}
+	return p1
+}
+
+func (r *router) pathCost(p []edge) float64 {
+	c := 0.0
+	for _, e := range p {
+		c += r.edgeCost(e)
+	}
+	return c
+}
+
+// lPath builds the L route from a to b, horizontal-first or
+// vertical-first.
+func (r *router) lPath(a, b [2]int, horizontalFirst bool) []edge {
+	var p []edge
+	hseg := func(y, x0, x1 int) {
+		if x0 > x1 {
+			x0, x1 = x1, x0
+		}
+		for x := x0; x < x1; x++ {
+			p = append(p, edge{x: x, y: y, horizontal: true})
+		}
+	}
+	vseg := func(x, y0, y1 int) {
+		if y0 > y1 {
+			y0, y1 = y1, y0
+		}
+		for y := y0; y < y1; y++ {
+			p = append(p, edge{x: x, y: y, horizontal: false})
+		}
+	}
+	if horizontalFirst {
+		hseg(a[1], a[0], b[0])
+		vseg(b[0], a[1], b[1])
+	} else {
+		vseg(a[0], a[1], b[1])
+		hseg(b[1], a[0], b[0])
+	}
+	return p
+}
+
+// mazeRoute finds the min-cost path with Dijkstra over the grid.
+type pqItem struct {
+	node int
+	cost float64
+}
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].cost < p[j].cost }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+func (r *router) mazeRoute(a, b [2]int) []edge {
+	g := r.grid
+	n := g.NX * g.NY
+	id := func(x, y int) int { return y*g.NX + x }
+	// Detour region: the terminals' bounding box expanded by a small
+	// halo. Real global routers confine nets near their bounding box
+	// (timing and via budgets); an unbounded maze would launder
+	// structural congestion into die-wide detours.
+	const halo = 2
+	x0, x1 := minmax(a[0], b[0])
+	y0, y1 := minmax(a[1], b[1])
+	x0, x1 = clampInt(x0-halo, 0, g.NX-1), clampInt(x1+halo, 0, g.NX-1)
+	y0, y1 = clampInt(y0-halo, 0, g.NY-1), clampInt(y1+halo, 0, g.NY-1)
+	inBox := func(x, y int) bool { return x >= x0 && x <= x1 && y >= y0 && y <= y1 }
+	dist := make([]float64, n)
+	prev := make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	start, goal := id(a[0], a[1]), id(b[0], b[1])
+	dist[start] = 0
+	q := &pq{{node: start}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.cost > dist[it.node] {
+			continue
+		}
+		if it.node == goal {
+			break
+		}
+		x, y := it.node%g.NX, it.node/g.NX
+		try := func(nx, ny int, e edge) {
+			if !inBox(nx, ny) {
+				return
+			}
+			nd := it.cost + r.edgeCost(e)
+			ni := id(nx, ny)
+			if nd < dist[ni] {
+				dist[ni] = nd
+				prev[ni] = it.node
+				heap.Push(q, pqItem{node: ni, cost: nd})
+			}
+		}
+		if x+1 < g.NX {
+			try(x+1, y, edge{x: x, y: y, horizontal: true})
+		}
+		if x > 0 {
+			try(x-1, y, edge{x: x - 1, y: y, horizontal: true})
+		}
+		if y+1 < g.NY {
+			try(x, y+1, edge{x: x, y: y, horizontal: false})
+		}
+		if y > 0 {
+			try(x, y-1, edge{x: x, y: y - 1, horizontal: false})
+		}
+	}
+	// Reconstruct.
+	var path []edge
+	for v := goal; v != start && prev[v] >= 0; v = prev[v] {
+		u := prev[v]
+		ux, uy := u%g.NX, u/g.NX
+		vx, vy := v%g.NX, v/g.NX
+		switch {
+		case uy == vy && vx == ux+1:
+			path = append(path, edge{x: ux, y: uy, horizontal: true})
+		case uy == vy && vx == ux-1:
+			path = append(path, edge{x: vx, y: uy, horizontal: true})
+		case ux == vx && vy == uy+1:
+			path = append(path, edge{x: ux, y: uy, horizontal: false})
+		default:
+			path = append(path, edge{x: ux, y: vy, horizontal: false})
+		}
+	}
+	if len(path) == 0 && start != goal {
+		// Unreachable (cannot happen on a connected grid, but stay
+		// safe): fall back to a pattern route.
+		return r.patternRoute(a, b)
+	}
+	return path
+}

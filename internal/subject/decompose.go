@@ -1,0 +1,96 @@
+package subject
+
+import (
+	"fmt"
+
+	"casyn/internal/bnet"
+)
+
+// Decompose lowers a Boolean network to a subject DAG of NAND2/INV
+// base gates. Each node's SOP becomes a balanced tree of two-input
+// ANDs feeding a balanced tree of two-input ORs, expressed in
+// NAND2/INV form with structural hashing, double-inverter
+// cancellation, and constant folding.
+//
+// Balanced (rather than skewed) trees keep the decomposition's logic
+// depth logarithmic, matching what SIS's tech_decomp -a produces and
+// keeping the mapped depth comparable across mapping styles.
+func Decompose(n *bnet.Network) (*DAG, error) {
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	d := New()
+	sig := make(map[bnet.NodeID]int, n.NumNodes())
+	for _, id := range order {
+		node := n.Node(id)
+		switch node.Kind {
+		case bnet.KindPI:
+			sig[id] = d.AddPI(node.Name)
+		case bnet.KindInternal:
+			// A nil Fn is either a swept (unreferenced) node or a
+			// constant-false function; building const0 is correct for
+			// the latter and harmless for the former.
+			g, err := buildSop(d, node.Fn, sig)
+			if err != nil {
+				return nil, fmt.Errorf("subject: node %q: %w", node.Name, err)
+			}
+			sig[id] = g
+		case bnet.KindPO:
+			if len(node.Fn) != 1 || len(node.Fn[0]) != 1 {
+				return nil, fmt.Errorf("subject: PO %q has non-literal function", node.Name)
+			}
+			l := node.Fn[0][0]
+			drv, ok := sig[l.Node]
+			if !ok {
+				return nil, fmt.Errorf("subject: PO %q driver not built", node.Name)
+			}
+			if l.Neg {
+				drv = d.AddInv(drv)
+			}
+			d.AddOutput(node.Name, drv)
+		}
+	}
+	return d, nil
+}
+
+// buildSop builds the gate tree for one SOP and returns its root.
+func buildSop(d *DAG, fn bnet.Sop, sig map[bnet.NodeID]int) (int, error) {
+	if len(fn) == 0 {
+		return d.Const(false), nil
+	}
+	terms := make([]int, 0, len(fn))
+	for _, cube := range fn {
+		if len(cube) == 0 {
+			return d.Const(true), nil
+		}
+		lits := make([]int, 0, len(cube))
+		for _, l := range cube {
+			g, ok := sig[l.Node]
+			if !ok {
+				return 0, fmt.Errorf("literal references unbuilt node %d", l.Node)
+			}
+			if l.Neg {
+				g = d.AddInv(g)
+			}
+			lits = append(lits, g)
+		}
+		terms = append(terms, balancedTree(d, lits, d.AddAnd2))
+	}
+	return balancedTree(d, terms, d.AddOr2), nil
+}
+
+// balancedTree reduces the signals with op in a balanced binary tree.
+func balancedTree(d *DAG, sigs []int, op func(a, b int) int) int {
+	for len(sigs) > 1 {
+		next := make([]int, 0, (len(sigs)+1)/2)
+		for i := 0; i+1 < len(sigs); i += 2 {
+			next = append(next, op(sigs[i], sigs[i+1]))
+		}
+		if len(sigs)%2 == 1 {
+			next = append(next, sigs[len(sigs)-1])
+		}
+		sigs = next
+	}
+	return sigs[0]
+}
