@@ -15,6 +15,8 @@ package casyn
 // shape check.
 
 import (
+	"context"
+
 	"testing"
 
 	"casyn/internal/bench"
@@ -35,7 +37,7 @@ const benchScale = 0.05
 // one fixed die.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, _, err := experiments.Table1(benchScale)
+		rows, _, err := experiments.Table1(context.Background(), benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -47,7 +49,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkTable2 regenerates Table 2: the SPLA K sweep.
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.KSweep(bench.SPLA, benchScale)
+		res, err := experiments.KSweep(context.Background(), bench.SPLA, benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -63,7 +65,7 @@ func BenchmarkTable2(b *testing.B) {
 // three synthesis variants at their minimal routable dies.
 func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.STATable(bench.SPLA, benchScale, 0.001)
+		rows, err := experiments.STATable(context.Background(), bench.SPLA, benchScale, 0.001)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -76,7 +78,7 @@ func BenchmarkTable3(b *testing.B) {
 // BenchmarkTable4 regenerates Table 4: the PDC K sweep.
 func BenchmarkTable4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.KSweep(bench.PDC, benchScale)
+		res, err := experiments.KSweep(context.Background(), bench.PDC, benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -88,7 +90,7 @@ func BenchmarkTable4(b *testing.B) {
 // BenchmarkTable5 regenerates Table 5: PDC static timing.
 func BenchmarkTable5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.STATable(bench.PDC, benchScale, 0.001)
+		rows, err := experiments.STATable(context.Background(), bench.PDC, benchScale, 0.001)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -114,7 +116,7 @@ func BenchmarkFigure1(b *testing.B) {
 // iterating K until the congestion map is clean.
 func BenchmarkFigure3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure3(bench.SPLA, benchScale, 1)
+		res, err := experiments.Figure3(context.Background(), bench.SPLA, benchScale, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,7 +128,7 @@ func BenchmarkFigure3(b *testing.B) {
 // schemes (DESIGN.md ablation).
 func BenchmarkAblationPartition(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.PartitionAblation(bench.SPLA, benchScale, 0.001)
+		rows, err := experiments.PartitionAblation(context.Background(), bench.SPLA, benchScale, 0.001)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -139,7 +141,7 @@ func BenchmarkAblationPartition(b *testing.B) {
 // against WIRE1-only and the transitive-fanin cost of Pedram–Bhat [9].
 func BenchmarkAblationWireCost(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.WireCostAblation(bench.SPLA, benchScale, 0.005)
+		rows, err := experiments.WireCostAblation(context.Background(), bench.SPLA, benchScale, 0.005)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -171,11 +173,11 @@ func benchContext(b *testing.B) (*flow.Context, flow.Config) {
 		RouteOpts:      experiments.RouteOpts(),
 		FreshPlacement: true,
 	}
-	ctx, err := flow.Prepare(d, cfg)
+	pc, err := flow.Prepare(context.Background(), d, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
-	return ctx, cfg
+	return pc, cfg
 }
 
 // BenchmarkSubjectPlacement measures the once-per-design placement of
@@ -196,7 +198,7 @@ func BenchmarkSubjectPlacement(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, _, _, err := mapper.SubjectPlacement(d, layout, experiments.PlaceOpts()); err != nil {
+		if _, _, _, _, err := mapper.SubjectPlacement(context.Background(), d, layout, experiments.PlaceOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -204,10 +206,10 @@ func BenchmarkSubjectPlacement(b *testing.B) {
 
 // BenchmarkMap measures one congestion-aware technology mapping.
 func BenchmarkMap(b *testing.B) {
-	ctx, _ := benchContext(b)
+	pc, _ := benchContext(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := mapper.Map(ctx.DAG, mapper.Input{Pos: ctx.Pos, POPads: ctx.POPads}, mapper.Options{K: 0.001})
+		res, err := mapper.Map(context.Background(), pc.DAG, mapper.Input{Pos: pc.Pos, POPads: pc.POPads}, mapper.Options{K: 0.001})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -218,19 +220,19 @@ func BenchmarkMap(b *testing.B) {
 // BenchmarkPlaceAndRoute measures placement plus global routing of a
 // mapped netlist.
 func BenchmarkPlaceAndRoute(b *testing.B) {
-	ctx, cfg := benchContext(b)
-	mres, err := mapper.Map(ctx.DAG, mapper.Input{Pos: ctx.Pos, POPads: ctx.POPads}, mapper.Options{K: 0.001})
+	pc, cfg := benchContext(b)
+	mres, err := mapper.Map(context.Background(), pc.DAG, mapper.Input{Pos: pc.Pos, POPads: pc.POPads}, mapper.Options{K: 0.001})
 	if err != nil {
 		b.Fatal(err)
 	}
-	pn := mres.Netlist.ToPlacement(ctx.PIPads, ctx.POList)
+	pn := mres.Netlist.ToPlacement(pc.PIPads, pc.POList)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pl, err := place.PlaceNetlist(pn.Cells, cfg.Layout, cfg.PlaceOpts)
+		pl, err := place.PlaceNetlist(context.Background(), pn.Cells, cfg.Layout, cfg.PlaceOpts)
 		if err != nil {
 			b.Fatal(err)
 		}
-		rres, err := route.RouteNetlist(pn.Cells, pl, cfg.Layout, cfg.RouteOpts)
+		rres, err := route.RouteNetlist(context.Background(), pn.Cells, pl, cfg.Layout, cfg.RouteOpts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -241,11 +243,11 @@ func BenchmarkPlaceAndRoute(b *testing.B) {
 // BenchmarkFullFlow measures one complete flow iteration (map, place,
 // route, STA).
 func BenchmarkFullFlow(b *testing.B) {
-	ctx, cfg := benchContext(b)
+	pc, cfg := benchContext(b)
 	cfg.RunSTA = true
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		it, err := flow.RunOnce(ctx, 0.001, cfg)
+		it, err := flow.RunOnce(context.Background(), pc, 0.001, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -22,10 +22,12 @@
 package casyn
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"casyn/internal/bench"
 	"casyn/internal/bnet"
@@ -63,6 +65,14 @@ type Options struct {
 	Seed int64
 	// RunTiming enables static timing analysis of the routed design.
 	RunTiming bool
+	// IterationTimeout bounds the wall-clock time of the synthesis
+	// iteration (map+place+route+sta); zero means no bound. On expiry
+	// Synthesize returns a *runstage.StageError whose Timeout() method
+	// reports true.
+	IterationTimeout time.Duration
+	// StageTimeout bounds each individual pipeline stage; zero means
+	// no bound.
+	StageTimeout time.Duration
 }
 
 // Result is a completed synthesis run.
@@ -76,8 +86,11 @@ type Result struct {
 	NumCells int
 	// Utilization is CellArea over die area.
 	Utilization float64
-	// Violations counts failed routing connections; Routable reports
-	// whether the design routed cleanly in the fixed die.
+	// Violations counts failed routing connections (two-pin segments
+	// through over-capacity edges, the detailed-router-violation
+	// analogue). Routable uses the flow's single routability
+	// definition: zero failed connections AND zero raw track overflow
+	// violations (route.Result.Routable, same as flow.Iteration).
 	Violations int
 	Routable   bool
 	// WireLength is the routed wirelength in µm.
@@ -130,6 +143,15 @@ func ReadPLA(r io.Reader) (*logic.PLA, error) { return logic.ReadPLA(r) }
 // technology mapping with the given K, placement, global routing, and
 // optional timing.
 func Synthesize(p *logic.PLA, opts Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), p, opts)
+}
+
+// SynthesizeContext is Synthesize with cooperative cancellation: when
+// ctx is canceled or its deadline expires, the pipeline stops promptly
+// (within one check interval of the inner loops) and returns the ctx
+// error wrapped in a *runstage.StageError identifying the stage that
+// was interrupted.
+func SynthesizeContext(ctx context.Context, p *logic.PLA, opts Options) (*Result, error) {
 	if opts.AspectRatio == 0 {
 		opts.AspectRatio = 1
 	}
@@ -144,11 +166,17 @@ func Synthesize(p *logic.PLA, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return SynthesizeSubject(dag, opts)
+	return SynthesizeSubjectContext(ctx, dag, opts)
 }
 
 // SynthesizeNetwork runs the flow on an already-built Boolean network.
 func SynthesizeNetwork(n *bnet.Network, opts Options) (*Result, error) {
+	return SynthesizeNetworkContext(context.Background(), n, opts)
+}
+
+// SynthesizeNetworkContext is SynthesizeNetwork with cooperative
+// cancellation (see SynthesizeContext).
+func SynthesizeNetworkContext(ctx context.Context, n *bnet.Network, opts Options) (*Result, error) {
 	if opts.OptimizeTechIndependent {
 		bnet.FastExtract(n, bnet.FastExtractOptions{})
 		n.Sweep()
@@ -157,12 +185,18 @@ func SynthesizeNetwork(n *bnet.Network, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return SynthesizeSubject(dag, opts)
+	return SynthesizeSubjectContext(ctx, dag, opts)
 }
 
 // SynthesizeSubject runs placement, mapping, routing, and timing on a
 // decomposed subject DAG.
 func SynthesizeSubject(dag *subject.DAG, opts Options) (*Result, error) {
+	return SynthesizeSubjectContext(context.Background(), dag, opts)
+}
+
+// SynthesizeSubjectContext is SynthesizeSubject with cooperative
+// cancellation (see SynthesizeContext).
+func SynthesizeSubjectContext(ctx context.Context, dag *subject.DAG, opts Options) (*Result, error) {
 	if opts.AspectRatio == 0 {
 		opts.AspectRatio = 1
 	}
@@ -187,12 +221,18 @@ func SynthesizeSubject(dag *subject.DAG, opts Options) (*Result, error) {
 		RunSTA:         opts.RunTiming,
 		STAOpts:        sta.Options{},
 		KSchedule:      []float64{opts.K},
+		StageTimeout:   opts.StageTimeout,
 	}
-	ctx, err := flow.Prepare(dag, cfg)
+	if opts.IterationTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.IterationTimeout)
+		defer cancel()
+	}
+	pc, err := flow.Prepare(ctx, dag, cfg)
 	if err != nil {
 		return nil, err
 	}
-	it, err := flow.RunOnce(ctx, opts.K, cfg)
+	it, err := flow.RunOnce(ctx, pc, opts.K, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +242,7 @@ func SynthesizeSubject(dag *subject.DAG, opts Options) (*Result, error) {
 		NumCells:    it.NumCells,
 		Utilization: it.Utilization,
 		Violations:  it.FailedConnections,
-		Routable:    it.FailedConnections == 0,
+		Routable:    it.Routable,
 		WireLength:  it.WireLength,
 		Die:         layout,
 		Mapped:      it.Netlist,

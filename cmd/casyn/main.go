@@ -7,20 +7,45 @@
 //	casyn -pla design.pla -k 0.001 -timing
 //	casyn -bench spla -scale 0.1 -k 0.0005
 //	casyn -bench too_large -sis
+//	casyn -bench spla -timeout 2m -stage-timeout 30s
+//
+// Exit codes identify the failure: 0 success, 1 generic error, 2 usage,
+// 3 map stage, 4 place stage, 5 route stage, 6 sta stage, 7 timeout or
+// cancellation (SIGINT). Stage failures print the stage and K value.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"casyn"
 	"casyn/internal/bench"
 	"casyn/internal/partition"
+	"casyn/internal/runstage"
+)
+
+// Exit codes; the stage codes follow the pipeline order.
+const (
+	exitOK      = 0
+	exitErr     = 1
+	exitUsage   = 2
+	exitMap     = 3
+	exitPlace   = 4
+	exitRoute   = 5
+	exitSTA     = 6
+	exitTimeout = 7
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	log.SetFlags(0)
 	log.SetPrefix("casyn: ")
 	var (
@@ -35,6 +60,11 @@ func main() {
 		seed      = flag.Int64("seed", 1, "placement seed")
 		verilog   = flag.String("verilog", "", "write the mapped netlist as structural Verilog to FILE")
 		cellRep   = flag.Bool("cells", false, "print the per-cell usage report")
+		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget for the run (0 = none)")
+		stageTO   = flag.Duration("stage-timeout", 0, "wall-clock budget per pipeline stage (0 = none)")
+		// -iteration-timeout is an alias for -timeout: a casyn run is a
+		// single flow iteration, so the two budgets coincide.
+		iterTO = flag.Duration("iteration-timeout", 0, "alias for -timeout (one run = one flow iteration)")
 	)
 	flag.Parse()
 
@@ -44,6 +74,7 @@ func main() {
 		OptimizeTechIndependent: *sis,
 		RunTiming:               *timing,
 		Seed:                    *seed,
+		StageTimeout:            *stageTO,
 	}
 	switch *method {
 	case "pdp":
@@ -53,7 +84,20 @@ func main() {
 	case "cone":
 		opts.Partition = partition.Cone
 	default:
-		log.Fatalf("unknown partition method %q", *method)
+		log.Printf("unknown partition method %q", *method)
+		return exitUsage
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	budget := *timeout
+	if budget == 0 {
+		budget = *iterTO
+	}
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
 	}
 
 	var res *casyn.Result
@@ -62,13 +106,15 @@ func main() {
 	case *plaPath != "":
 		p, rerr := casyn.ReadPLAFile(*plaPath)
 		if rerr != nil {
-			log.Fatal(rerr)
+			log.Print(rerr)
+			return exitErr
 		}
-		res, err = casyn.Synthesize(p, opts)
+		res, err = casyn.SynthesizeContext(ctx, p, opts)
 	case *benchName != "":
 		class, ok := classByName(*benchName)
 		if !ok {
-			log.Fatalf("unknown benchmark %q (want spla, pdc, too_large)", *benchName)
+			log.Printf("unknown benchmark %q (want spla, pdc, too_large)", *benchName)
+			return exitUsage
 		}
 		spec := class.Spec()
 		if *scale != 1.0 {
@@ -76,37 +122,83 @@ func main() {
 		}
 		p, gerr := bench.Generate(spec)
 		if gerr != nil {
-			log.Fatal(gerr)
+			log.Print(gerr)
+			return exitErr
 		}
-		res, err = casyn.Synthesize(p, opts)
+		res, err = casyn.SynthesizeContext(ctx, p, opts)
 	default:
 		fmt.Fprintln(os.Stderr, "casyn: need -pla FILE or -bench NAME")
 		flag.Usage()
-		os.Exit(2)
+		return exitUsage
 	}
 	if err != nil {
-		log.Fatal(err)
+		return reportFailure(err)
 	}
 	fmt.Print(res.Report())
 	if *cellRep {
 		fmt.Println()
 		if err := res.Mapped.WriteCellReport(os.Stdout); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return exitErr
 		}
 	}
 	if *verilog != "" {
 		f, err := os.Create(*verilog)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return exitErr
 		}
 		if err := res.Mapped.WriteVerilog(f, "casyn_top"); err != nil {
 			f.Close()
-			log.Fatal(err)
+			log.Print(err)
+			return exitErr
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return exitErr
 		}
 		fmt.Printf("wrote %s\n", *verilog)
+	}
+	return exitOK
+}
+
+// reportFailure prints the failure — naming the pipeline stage and K
+// when known — and maps it to the documented exit code. Timeouts and
+// cancellations take precedence over the stage code so scripts can
+// distinguish "ran out of budget" from "this stage is broken".
+func reportFailure(err error) int {
+	se := runstage.AsStage(err)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		if se != nil {
+			log.Printf("timed out in %s stage (K=%g): %v", se.Stage, se.K, se.Err)
+		} else {
+			log.Printf("timed out: %v", err)
+		}
+		return exitTimeout
+	case errors.Is(err, context.Canceled):
+		if se != nil {
+			log.Printf("canceled in %s stage (K=%g): %v", se.Stage, se.K, se.Err)
+		} else {
+			log.Printf("canceled: %v", err)
+		}
+		return exitTimeout
+	case se != nil:
+		log.Printf("%s stage failed (K=%g): %v", se.Stage, se.K, se.Err)
+		switch se.Stage {
+		case runstage.StageMap:
+			return exitMap
+		case runstage.StagePlace, runstage.StagePrepare:
+			return exitPlace
+		case runstage.StageRoute:
+			return exitRoute
+		case runstage.StageSTA:
+			return exitSTA
+		}
+		return exitErr
+	default:
+		log.Print(err)
+		return exitErr
 	}
 }
 

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"casyn/internal/bench"
 	"casyn/internal/experiments"
@@ -37,7 +40,9 @@ func main() {
 	default:
 		log.Fatalf("unknown benchmark %q (want spla or pdc)", *benchName)
 	}
-	res, err := experiments.KSweep(class, *scale)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := experiments.KSweep(ctx, class, *scale)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,6 +55,10 @@ func main() {
 	fmt.Printf("%-9s %-12s %-9s %-14s %-10s\n", "K", "Cell Area", "No. of", "Area", "Routing")
 	fmt.Printf("%-9s %-12s %-9s %-14s %-10s\n", "", "(µm²)", "Cells", "Utilization%", "violations")
 	for _, r := range res.Rows {
+		if r.Failed {
+			fmt.Printf("%-9g FAILED: %v\n", r.K, r.Err)
+			continue
+		}
 		fmt.Printf("%-9g %-12.0f %-9d %-14.2f %-10d\n",
 			r.K, r.CellArea, r.NumCells, r.Utilization*100, r.Violations)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,7 +24,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "benchmark scale factor")
 	flag.Parse()
 
-	rows, layout, err := experiments.Table1(*scale)
+	rows, layout, err := experiments.Table1(context.Background(), *scale)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"casyn/internal/bench"
 	"casyn/internal/experiments"
@@ -37,7 +40,9 @@ func main() {
 	default:
 		log.Fatalf("unknown benchmark %q (want spla or pdc)", *benchName)
 	}
-	rows, err := experiments.STATable(class, *scale, *midK)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rows, err := experiments.STATable(ctx, class, *scale, *midK)
 	if err != nil {
 		log.Fatal(err)
 	}

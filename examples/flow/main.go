@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +20,7 @@ func main() {
 	// A half-scale SPLA-class circuit keeps this demo under a minute.
 	// Tighten the die well beyond the standard floorplan so the first
 	// iterations are congested and the flow has something to do.
-	res, err := experiments.Figure3(bench.SPLA, 0.5, 1.17)
+	res, err := experiments.Figure3(context.Background(), bench.SPLA, 0.5, 1.17)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -185,12 +185,25 @@ func ReadBLIF(r io.Reader) (*Network, error) {
 
 	n := New()
 	sig := map[string]NodeID{}
+	isInput := map[string]bool{}
 	for _, name := range inputs {
+		// The network panics on duplicate node names; validate here so
+		// malformed BLIF degrades to an error instead.
+		if isInput[name] {
+			return nil, fmt.Errorf("bnet: duplicate input %q", name)
+		}
+		isInput[name] = true
 		sig[name] = n.AddPI(name)
 	}
 	// Blocks may be out of order; resolve iteratively.
 	isOutput := map[string]bool{}
 	for _, o := range outputs {
+		if isOutput[o] {
+			return nil, fmt.Errorf("bnet: duplicate output %q", o)
+		}
+		if isInput[o] {
+			return nil, fmt.Errorf("bnet: output %q collides with an input (pass-through POs unsupported)", o)
+		}
 		isOutput[o] = true
 	}
 	pending := blocks
@@ -211,6 +224,9 @@ func ReadBLIF(r io.Reader) (*Network, error) {
 			}
 			progress = true
 			outName := b.signals[len(b.signals)-1]
+			if isInput[outName] {
+				return nil, fmt.Errorf("bnet: .names redefines input %q", outName)
+			}
 			fn, err := sopFromRows(b, sig)
 			if err != nil {
 				return nil, err
@@ -250,6 +266,9 @@ func ReadBLIF(r io.Reader) (*Network, error) {
 		drv, ok := sig[o]
 		if !ok {
 			return nil, fmt.Errorf("bnet: output %s has no driver", o)
+		}
+		if _, taken := n.Lookup(o); taken {
+			return nil, fmt.Errorf("bnet: output name %q collides with an existing node", o)
 		}
 		n.AddPO(o, drv, false)
 	}

@@ -21,6 +21,7 @@
 package cover
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -105,8 +106,10 @@ type Result struct {
 
 // Cover runs the DP over every tree of the forest. pos gives the
 // initial placement of all subject gates and is not modified; the
-// updated positions are in Result.Pos.
-func Cover(dag *subject.DAG, forest *partition.Forest, lib *library.Library, pos []geom.Point, opts Options) (*Result, error) {
+// updated positions are in Result.Pos. Each tree boundary is a
+// cooperative cancellation point: a canceled ctx stops the DP promptly
+// with a wrapped ctx error.
+func Cover(ctx context.Context, dag *subject.DAG, forest *partition.Forest, lib *library.Library, pos []geom.Point, opts Options) (*Result, error) {
 	if len(pos) < dag.NumGates() {
 		return nil, fmt.Errorf("cover: %d positions for %d gates", len(pos), dag.NumGates())
 	}
@@ -119,6 +122,11 @@ func Cover(dag *subject.DAG, forest *partition.Forest, lib *library.Library, pos
 	}
 	trees := forest.Trees(dag)
 	for ti := range trees {
+		if ti%64 == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("cover: canceled after %d/%d trees: %w", ti, len(trees), cerr)
+			}
+		}
 		t := &trees[ti]
 		if err := coverTree(dag, forest, lib, t, res, opts); err != nil {
 			return nil, err

@@ -1,6 +1,8 @@
 package cover
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -34,7 +36,7 @@ func coverIt(t *testing.T, d *subject.DAG, pos []geom.Point, opts Options) (*Res
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Cover(d, f, library.Default(), in.Pos, opts)
+	res, err := Cover(context.Background(), d, f, library.Default(), in.Pos, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +212,7 @@ func TestCoverErrorOnShortPositions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Cover(d, f, library.Default(), nil, Options{}); err == nil {
+	if _, err := Cover(context.Background(), d, f, library.Default(), nil, Options{}); err == nil {
 		t.Error("short position slice accepted")
 	}
 }
@@ -243,11 +245,11 @@ func TestMinDelayObjective(t *testing.T) {
 		t.Fatal(err)
 	}
 	pos := make([]geom.Point, d.NumGates())
-	areaRes, err := Cover(d, f, library.Default(), pos, Options{})
+	areaRes, err := Cover(context.Background(), d, f, library.Default(), pos, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	delayRes, err := Cover(d, f, library.Default(), pos, Options{Objective: MinDelay})
+	delayRes, err := Cover(context.Background(), d, f, library.Default(), pos, Options{Objective: MinDelay})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,12 +287,12 @@ func TestMinDelayPrefersShallowCover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	delayRes, err := Cover(d, f, library.Default(), pos, Options{Objective: MinDelay})
+	delayRes, err := Cover(context.Background(), d, f, library.Default(), pos, Options{Objective: MinDelay})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Compute the arrival the area cover would have had.
-	areaRes, err := Cover(d, f, library.Default(), pos, Options{})
+	areaRes, err := Cover(context.Background(), d, f, library.Default(), pos, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,6 +22,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"casyn/internal/bench"
@@ -106,7 +107,7 @@ func dieFor(cellArea, utilization float64) (place.Layout, error) {
 // are derived from. The provisional layout assumes 50% utilization of
 // a base-gate-count area estimate; the K = 0 cell area is insensitive
 // to the provisional die (placement only affects tie-breaks).
-func minAreaCellArea(d *subject.DAG) (float64, error) {
+func minAreaCellArea(ctx context.Context, d *subject.DAG) (float64, error) {
 	baseEstimate := float64(d.BaseGateCount()) * 4.6 // µm² per base gate, mapped
 	layout, err := place.NewLayout(baseEstimate/0.5, 1.0, library.RowHeight)
 	if err != nil {
@@ -119,11 +120,11 @@ func minAreaCellArea(d *subject.DAG) (float64, error) {
 		FreshPlacement: true,
 		KSchedule:      []float64{0},
 	}
-	ctx, err := flow.Prepare(d, cfg)
+	pc, err := flow.Prepare(ctx, d, cfg)
 	if err != nil {
 		return 0, err
 	}
-	it, err := flow.RunOnce(ctx, 0, cfg)
+	it, err := flow.RunOnce(ctx, pc, 0, cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -132,7 +133,7 @@ func minAreaCellArea(d *subject.DAG) (float64, error) {
 
 // sweepLayout returns the fixed floorplan at full scale, or a
 // utilization-derived one for scaled runs.
-func sweepLayout(class bench.Class, scale float64, d *subject.DAG) (place.Layout, error) {
+func sweepLayout(ctx context.Context, class bench.Class, scale float64, d *subject.DAG) (place.Layout, error) {
 	if scale == 1.0 {
 		area := splaDieArea
 		if class == bench.PDC {
@@ -140,7 +141,7 @@ func sweepLayout(class bench.Class, scale float64, d *subject.DAG) (place.Layout
 		}
 		return place.NewLayout(float64(area), 1.0, library.RowHeight)
 	}
-	a0, err := minAreaCellArea(d)
+	a0, err := minAreaCellArea(ctx, d)
 	if err != nil {
 		return place.Layout{}, err
 	}
@@ -160,6 +161,11 @@ type KRow struct {
 	Violations  int     // failed connections (detailed-router analogue)
 	Overflow    int     // raw track overflow
 	Routable    bool
+	// Failed marks a row whose iteration errored out (stage failure,
+	// panic, or timeout); its metric columns are invalid and Err holds
+	// the cause. The sweep degrades: later K rows still run.
+	Failed bool
+	Err    error
 }
 
 // KSweepResult carries a whole K-sweep table plus its floorplan.
@@ -177,12 +183,18 @@ type KSweepResult struct {
 // against a fixed die sized from the paper's K = 0 utilization.
 // scale = 1.0 runs the full circuit; smaller scales shrink it for unit
 // tests and Go benchmarks.
-func KSweep(class bench.Class, scale float64) (*KSweepResult, error) {
+//
+// The sweep runs through flow.Run and inherits its degrade-don't-abort
+// semantics: a K iteration that fails produces a KRow with Failed set
+// (and Err holding the cause) while the remaining ladder still runs.
+// KSweep itself errors only when preparation fails, the ctx is
+// canceled, or every K fails.
+func KSweep(ctx context.Context, class bench.Class, scale float64) (*KSweepResult, error) {
 	d, err := buildSubject(class, scale, bench.Direct)
 	if err != nil {
 		return nil, err
 	}
-	layout, err := sweepLayout(class, scale, d)
+	layout, err := sweepLayout(ctx, class, scale, d)
 	if err != nil {
 		return nil, err
 	}
@@ -193,24 +205,26 @@ func KSweep(class bench.Class, scale float64) (*KSweepResult, error) {
 		FreshPlacement: true,
 		KSchedule:      KSchedule(),
 	}
-	ctx, err := flow.Prepare(d, cfg)
+	pc, err := flow.Prepare(ctx, d, cfg)
 	if err != nil {
 		return nil, err
 	}
-	res := &KSweepResult{Class: class, Layout: layout, Context: ctx, Config: cfg}
-	for _, k := range cfg.KSchedule {
-		it, err := flow.RunOnce(ctx, k, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: K=%g: %w", k, err)
-		}
+	res := &KSweepResult{Class: class, Layout: layout, Context: pc, Config: cfg}
+	fres, err := flow.Run(ctx, pc, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s sweep: %w", class, err)
+	}
+	for _, it := range fres.Iterations {
 		res.Rows = append(res.Rows, KRow{
-			K:           k,
+			K:           it.K,
 			CellArea:    it.CellArea,
 			NumCells:    it.NumCells,
 			Utilization: it.Utilization,
 			Violations:  it.FailedConnections,
 			Overflow:    it.Violations,
-			Routable:    it.FailedConnections == 0,
+			Routable:    it.Routable,
+			Failed:      it.Skipped,
+			Err:         it.Err,
 		})
 	}
 	return res, nil
@@ -233,7 +247,7 @@ type Table1Row struct {
 // is unroutable where DAGON's routes cleanly. (In this substrate the
 // area relation reproduces but the routability inversion does not —
 // see EXPERIMENTS.md for the analysis.)
-func Table1(scale float64) ([]Table1Row, place.Layout, error) {
+func Table1(ctx context.Context, scale float64) ([]Table1Row, place.Layout, error) {
 	spec := bench.TooLargeLayered()
 	if scale != 1.0 {
 		spec = spec.Scaled(scale)
@@ -246,7 +260,7 @@ func Table1(scale float64) ([]Table1Row, place.Layout, error) {
 	if err != nil {
 		return nil, place.Layout{}, err
 	}
-	aDagon, err := minAreaCellArea(dagonDAG)
+	aDagon, err := minAreaCellArea(ctx, dagonDAG)
 	if err != nil {
 		return nil, place.Layout{}, err
 	}
@@ -269,11 +283,11 @@ func Table1(scale float64) ([]Table1Row, place.Layout, error) {
 			FreshPlacement: true,
 			KSchedule:      []float64{0},
 		}
-		ctx, err := flow.Prepare(tc.dag, cfg)
+		pc, err := flow.Prepare(ctx, tc.dag, cfg)
 		if err != nil {
 			return nil, layout, err
 		}
-		it, err := flow.RunOnce(ctx, 0, cfg)
+		it, err := flow.RunOnce(ctx, pc, 0, cfg)
 		if err != nil {
 			return nil, layout, err
 		}
@@ -314,7 +328,7 @@ type STARow struct {
 // of the K = 0 mapping, a routable mid-K mapping, and the SIS
 // baseline, each placed and routed in the smallest die (row count)
 // that routes it cleanly, starting from the K-sweep floorplan.
-func STATable(class bench.Class, scale float64, midK float64) ([]STARow, error) {
+func STATable(ctx context.Context, class bench.Class, scale float64, midK float64) ([]STARow, error) {
 	d, err := buildSubject(class, scale, bench.Direct)
 	if err != nil {
 		return nil, err
@@ -323,7 +337,7 @@ func STATable(class bench.Class, scale float64, midK float64) ([]STARow, error) 
 	if err != nil {
 		return nil, err
 	}
-	baseLayout, err := sweepLayout(class, scale, d)
+	baseLayout, err := sweepLayout(ctx, class, scale, d)
 	if err != nil {
 		return nil, err
 	}
@@ -341,7 +355,7 @@ func STATable(class bench.Class, scale float64, midK float64) ([]STARow, error) 
 	var rows []STARow
 	var k0PO string
 	for vi, v := range variants {
-		row, err := staAtMinimalDie(v.dag, v.k, baseLayout)
+		row, err := staAtMinimalDie(ctx, v.dag, v.k, baseLayout)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: STA %s: %w", v.label, err)
 		}
@@ -363,7 +377,7 @@ func STATable(class bench.Class, scale float64, midK float64) ([]STARow, error) 
 // staAtMinimalDie maps the DAG at k, then grows the floorplan one row
 // at a time from the base layout until routing is clean (bounded), and
 // runs STA on the routed result.
-func staAtMinimalDie(d *subject.DAG, k float64, base place.Layout) (STARow, error) {
+func staAtMinimalDie(ctx context.Context, d *subject.DAG, k float64, base place.Layout) (STARow, error) {
 	const maxExtraRows = 10
 	row := STARow{}
 	for extra := 0; extra <= maxExtraRows; extra++ {
@@ -380,11 +394,11 @@ func staAtMinimalDie(d *subject.DAG, k float64, base place.Layout) (STARow, erro
 			RunSTA:         true,
 			KSchedule:      []float64{k},
 		}
-		ctx, err := flow.Prepare(d, cfg)
+		pc, err := flow.Prepare(ctx, d, cfg)
 		if err != nil {
 			return row, err
 		}
-		it, err := flow.RunOnce(ctx, k, cfg)
+		it, err := flow.RunOnce(ctx, pc, k, cfg)
 		if err != nil {
 			return row, err
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"testing"
 
 	"casyn/internal/bench"
@@ -11,7 +13,7 @@ import (
 const testScale = 0.08
 
 func TestKSweepScaledShape(t *testing.T) {
-	res, err := KSweep(bench.SPLA, testScale)
+	res, err := KSweep(context.Background(), bench.SPLA, testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +40,7 @@ func TestKSweepScaledShape(t *testing.T) {
 }
 
 func TestTable1Scaled(t *testing.T) {
-	rows, layout, err := Table1(testScale)
+	rows, layout, err := Table1(context.Background(), testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +85,7 @@ func TestFigure1Invariants(t *testing.T) {
 }
 
 func TestFigure3Scaled(t *testing.T) {
-	res, err := Figure3(bench.SPLA, testScale, 1)
+	res, err := Figure3(context.Background(), bench.SPLA, testScale, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +99,7 @@ func TestFigure3Scaled(t *testing.T) {
 }
 
 func TestSTATableScaled(t *testing.T) {
-	rows, err := STATable(bench.SPLA, testScale, 0.001)
+	rows, err := STATable(context.Background(), bench.SPLA, testScale, 0.001)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +128,7 @@ func TestSTATableScaled(t *testing.T) {
 }
 
 func TestPartitionAblationScaled(t *testing.T) {
-	rows, err := PartitionAblation(bench.SPLA, testScale, 0.001)
+	rows, err := PartitionAblation(context.Background(), bench.SPLA, testScale, 0.001)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +143,7 @@ func TestPartitionAblationScaled(t *testing.T) {
 }
 
 func TestWireCostAblationScaled(t *testing.T) {
-	rows, err := WireCostAblation(bench.SPLA, testScale, 0.005)
+	rows, err := WireCostAblation(context.Background(), bench.SPLA, testScale, 0.005)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"casyn/internal/bench"
@@ -67,7 +68,7 @@ func Figure1() (minArea, congestion Figure1Mapping, err error) {
 	pos[out] = geom.Pt(40, 20)
 
 	runOnce := func(k float64, label string) (Figure1Mapping, error) {
-		res, err := mapper.Map(d, mapper.Input{Pos: pos}, mapper.Options{K: k})
+		res, err := mapper.Map(context.Background(), d, mapper.Input{Pos: pos}, mapper.Options{K: k})
 		if err != nil {
 			return Figure1Mapping{}, err
 		}
@@ -98,12 +99,12 @@ type Figure3Result struct {
 // routable mapping). scale shrinks the circuit for tests/benchmarks;
 // tighten > 1 shrinks the die by that factor so the early iterations
 // are congested (pass 1 for the standard floorplan).
-func Figure3(class bench.Class, scale, tighten float64) (*Figure3Result, error) {
+func Figure3(ctx context.Context, class bench.Class, scale, tighten float64) (*Figure3Result, error) {
 	d, err := buildSubject(class, scale, bench.Direct)
 	if err != nil {
 		return nil, err
 	}
-	layout, err := sweepLayout(class, scale, d)
+	layout, err := sweepLayout(ctx, class, scale, d)
 	if err != nil {
 		return nil, err
 	}
@@ -121,11 +122,11 @@ func Figure3(class bench.Class, scale, tighten float64) (*Figure3Result, error) 
 		KSchedule:           KSchedule(),
 		StopAtFirstRoutable: true,
 	}
-	ctx, err := flow.Prepare(d, cfg)
+	pc, err := flow.Prepare(ctx, d, cfg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := flow.Run(ctx, cfg)
+	res, err := flow.Run(ctx, pc, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -151,12 +152,12 @@ type AblationRow struct {
 
 // PartitionAblation maps the class circuit at the given K under each
 // partitioning scheme.
-func PartitionAblation(class bench.Class, scale, k float64) ([]AblationRow, error) {
+func PartitionAblation(ctx context.Context, class bench.Class, scale, k float64) ([]AblationRow, error) {
 	d, err := buildSubject(class, scale, bench.Direct)
 	if err != nil {
 		return nil, err
 	}
-	layout, err := sweepLayout(class, scale, d)
+	layout, err := sweepLayout(ctx, class, scale, d)
 	if err != nil {
 		return nil, err
 	}
@@ -176,11 +177,11 @@ func PartitionAblation(class bench.Class, scale, k float64) ([]AblationRow, erro
 			FreshPlacement: true,
 			Method:         m.method,
 		}
-		ctx, err := flow.Prepare(d, cfg)
+		pc, err := flow.Prepare(ctx, d, cfg)
 		if err != nil {
 			return nil, err
 		}
-		it, err := flow.RunOnce(ctx, k, cfg)
+		it, err := flow.RunOnce(ctx, pc, k, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: ablation %s: %w", m.label, err)
 		}
@@ -196,16 +197,16 @@ func PartitionAblation(class bench.Class, scale, k float64) ([]AblationRow, erro
 
 // WireCostAblation compares the paper's two-level WIRE scope against
 // WIRE1-only and the transitive accumulation of Pedram–Bhat [9].
-func WireCostAblation(class bench.Class, scale, k float64) ([]AblationRow, error) {
+func WireCostAblation(ctx context.Context, class bench.Class, scale, k float64) ([]AblationRow, error) {
 	d, err := buildSubject(class, scale, bench.Direct)
 	if err != nil {
 		return nil, err
 	}
-	layout, err := sweepLayout(class, scale, d)
+	layout, err := sweepLayout(ctx, class, scale, d)
 	if err != nil {
 		return nil, err
 	}
-	pos, poPads, _, _, err := mapper.SubjectPlacement(d, layout, PlaceOpts())
+	pos, poPads, _, _, err := mapper.SubjectPlacement(ctx, d, layout, PlaceOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -218,7 +219,7 @@ func WireCostAblation(class bench.Class, scale, k float64) ([]AblationRow, error
 		{"wire1-only", cover.Options{K: k, NoWire2: true}},
 		{"transitive [9]", cover.Options{K: k, TransitiveWire: true}},
 	} {
-		res, err := mapper.Map(d, mapper.Input{Pos: pos, POPads: poPads}, mapper.Options{
+		res, err := mapper.Map(ctx, d, mapper.Input{Pos: pos, POPads: poPads}, mapper.Options{
 			K:              v.opts.K,
 			TransitiveWire: v.opts.TransitiveWire,
 			NoWire2:        v.opts.NoWire2,

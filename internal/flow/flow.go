@@ -5,10 +5,27 @@
 // evaluating its congestion map — until the design is routable within
 // the fixed die, or the growing cell-area penalty makes congestion
 // worse again.
+//
+// # Robustness
+//
+// Every entry point takes a context.Context and stops promptly (within
+// one cooperative check interval of the inner loops) when it is
+// canceled. Each pipeline stage of an iteration — map, place, route,
+// sta — runs under runstage.Run, which recovers panics into typed
+// *runstage.StageError values and enforces the per-stage wall-clock
+// budget. The K sweep degrades instead of aborting: a failed, panicked
+// or timed-out iteration is recorded in Result.Iterations with its Err
+// set and Skipped=true, the ladder moves on to the next K, and Best()
+// only considers iterations that completed. Run returns an error only
+// when the parent context is canceled (partial results are still
+// returned) or when every K in the schedule failed.
 package flow
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"casyn/internal/geom"
 	"casyn/internal/library"
@@ -17,6 +34,7 @@ import (
 	"casyn/internal/partition"
 	"casyn/internal/place"
 	"casyn/internal/route"
+	"casyn/internal/runstage"
 	"casyn/internal/sta"
 	"casyn/internal/subject"
 )
@@ -49,6 +67,18 @@ type Config struct {
 	// (the methodology's normal exit); when false the whole ladder
 	// runs, which is how the K-sweep tables are produced.
 	StopAtFirstRoutable bool
+	// IterationTimeout bounds the wall-clock time of one K iteration
+	// (map+place+route+sta together); zero means no bound. An
+	// iteration that exceeds it is recorded as failed and the sweep
+	// continues with the next K.
+	IterationTimeout time.Duration
+	// StageTimeout bounds each individual stage of an iteration; zero
+	// means no bound. It composes with IterationTimeout (whichever
+	// expires first wins).
+	StageTimeout time.Duration
+	// Hooks injects failures, panics, or delays into specific stages
+	// for testing; nil disables injection.
+	Hooks *runstage.Hooks
 }
 
 func (c *Config) defaults() {
@@ -77,14 +107,26 @@ type Context struct {
 	POList []geom.Point
 }
 
-// Prepare places the subject DAG on the layout image.
-func Prepare(d *subject.DAG, cfg Config) (*Context, error) {
+// Prepare places the subject DAG on the layout image. Cancellation of
+// ctx stops the placement promptly; failures (including panics in the
+// placer) surface as a *runstage.StageError with Stage
+// runstage.StagePrepare.
+func Prepare(ctx context.Context, d *subject.DAG, cfg Config) (*Context, error) {
 	cfg.defaults()
-	pos, poPads, piPads, poList, err := mapper.SubjectPlacement(d, cfg.Layout, cfg.PlaceOpts)
+	type prep struct {
+		pos            []geom.Point
+		poPads         map[int][]geom.Point
+		piPads, poList []geom.Point
+	}
+	p, err := runstage.Run(ctx, runstage.StagePrepare, 0, cfg.StageTimeout, cfg.Hooks,
+		func(ctx context.Context) (prep, error) {
+			pos, poPads, piPads, poList, err := mapper.SubjectPlacement(ctx, d, cfg.Layout, cfg.PlaceOpts)
+			return prep{pos, poPads, piPads, poList}, err
+		})
 	if err != nil {
 		return nil, err
 	}
-	return &Context{DAG: d, Pos: pos, POPads: poPads, PIPads: piPads, POList: poList}, nil
+	return &Context{DAG: d, Pos: p.pos, POPads: p.poPads, PIPads: p.piPads, POList: p.poList}, nil
 }
 
 // Iteration is the outcome of one K value: the columns of the paper's
@@ -101,16 +143,28 @@ type Iteration struct {
 	FailedConnections int
 	MaxCongestion     float64
 	WireLength        float64 // routed, µm
-	Routable          bool
-	Timing            *sta.Result
-	Netlist           *netlist.Netlist
+	// Routable is the flow's single routability definition: the global
+	// route completed with FailedConnections == 0 AND Violations == 0
+	// (route.Result.Routable). All consumers — the sweep's Best()
+	// selection, StopAtFirstRoutable, and the casyn package — share
+	// this definition.
+	Routable bool
+	Timing   *sta.Result
+	Netlist  *netlist.Netlist
+	// Err is non-nil when this iteration failed (stage error, panic,
+	// or per-iteration timeout); typically a *runstage.StageError.
+	Err error
+	// Skipped marks an iteration whose metrics are invalid because it
+	// failed before completing. Best() never selects it.
+	Skipped bool
 }
 
 // Result is the full flow outcome.
 type Result struct {
 	Iterations []Iteration
 	// BestIndex points at the accepted iteration: the first routable
-	// one, else the minimum-violation one. -1 when no iterations ran.
+	// one, else the minimum-violation one, considering only iterations
+	// that completed (Skipped == false). -1 when none completed.
 	BestIndex int
 }
 
@@ -127,14 +181,49 @@ func (r *Result) FoundRoutable() bool {
 	return r.BestIndex >= 0 && r.Iterations[r.BestIndex].Routable
 }
 
-// Run executes the flow on a prepared context.
-func Run(ctx *Context, cfg Config) (*Result, error) {
+// FailedIterations returns the iterations that were skipped due to
+// errors, in ladder order.
+func (r *Result) FailedIterations() []Iteration {
+	var out []Iteration
+	for _, it := range r.Iterations {
+		if it.Skipped {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// Run executes the flow on a prepared context, degrading rather than
+// aborting: an iteration that errors, panics, or exceeds
+// cfg.IterationTimeout is recorded with Err/Skipped set and the ladder
+// continues at the next K. Run itself returns a non-nil error in two
+// cases only: the parent ctx was canceled (the partial Result built so
+// far is still returned), or every K in the schedule failed (the
+// joined per-K errors are returned alongside the full Result).
+func Run(ctx context.Context, pc *Context, cfg Config) (*Result, error) {
 	cfg.defaults()
 	res := &Result{BestIndex: -1}
+	var failures []error
 	for _, k := range cfg.KSchedule {
-		it, err := RunOnce(ctx, k, cfg)
+		itCtx, cancel := ctx, context.CancelFunc(func() {})
+		if cfg.IterationTimeout > 0 {
+			itCtx, cancel = context.WithTimeout(ctx, cfg.IterationTimeout)
+		}
+		it, err := RunOnce(itCtx, pc, k, cfg)
+		cancel()
 		if err != nil {
-			return nil, fmt.Errorf("flow: K=%g: %w", k, err)
+			if cerr := ctx.Err(); cerr != nil {
+				// Parent canceled: stop the whole ladder, keep the
+				// partial result.
+				return res, fmt.Errorf("flow: canceled at K=%g: %w", k, cerr)
+			}
+			// Degrade: record the failure and move on to the next K.
+			it.K = k
+			it.Err = err
+			it.Skipped = true
+			res.Iterations = append(res.Iterations, it)
+			failures = append(failures, fmt.Errorf("K=%g: %w", k, err))
+			continue
 		}
 		res.Iterations = append(res.Iterations, it)
 		i := len(res.Iterations) - 1
@@ -148,18 +237,30 @@ func Run(ctx *Context, cfg Config) (*Result, error) {
 			break
 		}
 	}
+	if res.BestIndex < 0 && len(failures) > 0 {
+		return res, fmt.Errorf("flow: every K failed: %w", errors.Join(failures...))
+	}
 	return res, nil
 }
 
-// RunOnce maps, places, and routes for a single K.
-func RunOnce(ctx *Context, k float64, cfg Config) (Iteration, error) {
+// RunOnce maps, places, and routes for a single K. Each stage runs
+// under runstage.Run: panics become *runstage.StageError values,
+// cfg.StageTimeout bounds each stage, and the returned error
+// identifies the failing stage and K. The partially-filled Iteration
+// is returned even on error (metrics up to the failing stage are
+// valid).
+func RunOnce(ctx context.Context, pc *Context, k float64, cfg Config) (Iteration, error) {
 	cfg.defaults()
 	it := Iteration{K: k}
-	mres, err := mapper.Map(ctx.DAG, mapper.Input{Pos: ctx.Pos, POPads: ctx.POPads}, mapper.Options{
-		K:      k,
-		Method: cfg.Method,
-		Lib:    cfg.Lib,
-	})
+
+	mres, err := runstage.Run(ctx, runstage.StageMap, k, cfg.StageTimeout, cfg.Hooks,
+		func(ctx context.Context) (*mapper.Result, error) {
+			return mapper.Map(ctx, pc.DAG, mapper.Input{Pos: pc.Pos, POPads: pc.POPads}, mapper.Options{
+				K:      k,
+				Method: cfg.Method,
+				Lib:    cfg.Lib,
+			})
+		})
 	if err != nil {
 		return it, err
 	}
@@ -169,21 +270,26 @@ func RunOnce(ctx *Context, k float64, cfg Config) (Iteration, error) {
 	it.DuplicatedCells = mres.DuplicatedCells
 	it.Utilization = cfg.Layout.Utilization(mres.CellArea)
 
-	pn := mres.Netlist.ToPlacement(ctx.PIPads, ctx.POList)
-	var pl *place.Placement
-	if cfg.FreshPlacement {
-		pl, err = place.PlaceNetlist(pn.Cells, cfg.Layout, cfg.PlaceOpts)
-	} else {
-		seeds := make([]geom.Point, len(mres.Netlist.Instances))
-		for i := range mres.Netlist.Instances {
-			seeds[i] = mres.Netlist.Instances[i].Pos
-		}
-		pl, err = place.PlaceSeeded(pn.Cells, cfg.Layout, seeds, cfg.PlaceOpts)
-	}
+	pn := mres.Netlist.ToPlacement(pc.PIPads, pc.POList)
+	pl, err := runstage.Run(ctx, runstage.StagePlace, k, cfg.StageTimeout, cfg.Hooks,
+		func(ctx context.Context) (*place.Placement, error) {
+			if cfg.FreshPlacement {
+				return place.PlaceNetlist(ctx, pn.Cells, cfg.Layout, cfg.PlaceOpts)
+			}
+			seeds := make([]geom.Point, len(mres.Netlist.Instances))
+			for i := range mres.Netlist.Instances {
+				seeds[i] = mres.Netlist.Instances[i].Pos
+			}
+			return place.PlaceSeeded(ctx, pn.Cells, cfg.Layout, seeds, cfg.PlaceOpts)
+		})
 	if err != nil {
 		return it, err
 	}
-	rres, err := route.RouteNetlist(pn.Cells, pl, cfg.Layout, cfg.RouteOpts)
+
+	rres, err := runstage.Run(ctx, runstage.StageRoute, k, cfg.StageTimeout, cfg.Hooks,
+		func(ctx context.Context) (*route.Result, error) {
+			return route.RouteNetlist(ctx, pn.Cells, pl, cfg.Layout, cfg.RouteOpts)
+		})
 	if err != nil {
 		return it, err
 	}
@@ -194,8 +300,11 @@ func RunOnce(ctx *Context, k float64, cfg Config) (Iteration, error) {
 	it.Routable = rres.Routable()
 
 	if cfg.RunSTA {
-		lens := sta.NetLengths(pn.SigNet, rres.NetLength)
-		timing, err := sta.Analyze(mres.Netlist, lens, cfg.STAOpts)
+		timing, err := runstage.Run(ctx, runstage.StageSTA, k, cfg.StageTimeout, cfg.Hooks,
+			func(ctx context.Context) (*sta.Result, error) {
+				lens := sta.NetLengths(pn.SigNet, rres.NetLength)
+				return sta.Analyze(mres.Netlist, lens, cfg.STAOpts)
+			})
 		if err != nil {
 			return it, err
 		}

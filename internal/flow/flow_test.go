@@ -1,6 +1,8 @@
 package flow
 
 import (
+	"context"
+
 	"testing"
 
 	"casyn/internal/bench"
@@ -31,17 +33,17 @@ func prepared(t *testing.T, tightness float64) (*Context, Config) {
 		RouteOpts:      route.Options{CapacityScale: 1.98},
 		FreshPlacement: true,
 	}
-	ctx, err := Prepare(d, cfg)
+	pc, err := Prepare(context.Background(), d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return ctx, cfg
+	return pc, cfg
 }
 
 func TestRunOnceProducesConsistentIteration(t *testing.T) {
-	ctx, cfg := prepared(t, 0.55)
+	pc, cfg := prepared(t, 0.55)
 	cfg.RunSTA = true
-	it, err := RunOnce(ctx, 0.001, cfg)
+	it, err := RunOnce(context.Background(), pc, 0.001, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,9 +65,9 @@ func TestRunOnceProducesConsistentIteration(t *testing.T) {
 }
 
 func TestRunLadderAndBest(t *testing.T) {
-	ctx, cfg := prepared(t, 0.55)
+	pc, cfg := prepared(t, 0.55)
 	cfg.KSchedule = []float64{0, 0.001, 0.5}
-	res, err := Run(ctx, cfg)
+	res, err := Run(context.Background(), pc, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,10 +100,10 @@ func TestRunLadderAndBest(t *testing.T) {
 }
 
 func TestStopAtFirstRoutable(t *testing.T) {
-	ctx, cfg := prepared(t, 0.40) // roomy die: K=0 should route
+	pc, cfg := prepared(t, 0.40) // roomy die: K=0 should route
 	cfg.KSchedule = []float64{0, 0.001, 0.5}
 	cfg.StopAtFirstRoutable = true
-	res, err := Run(ctx, cfg)
+	res, err := Run(context.Background(), pc, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,13 +113,13 @@ func TestStopAtFirstRoutable(t *testing.T) {
 }
 
 func TestSeededVsFreshPlacement(t *testing.T) {
-	ctx, cfg := prepared(t, 0.55)
-	fresh, err := RunOnce(ctx, 0.001, cfg)
+	pc, cfg := prepared(t, 0.55)
+	fresh, err := RunOnce(context.Background(), pc, 0.001, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.FreshPlacement = false
-	seeded, err := RunOnce(ctx, 0.001, cfg)
+	seeded, err := RunOnce(context.Background(), pc, 0.001, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,12 +145,12 @@ func TestDefaultKSchedule(t *testing.T) {
 }
 
 func TestFlowDeterminism(t *testing.T) {
-	ctx, cfg := prepared(t, 0.55)
-	a, err := RunOnce(ctx, 0.0025, cfg)
+	pc, cfg := prepared(t, 0.55)
+	a, err := RunOnce(context.Background(), pc, 0.0025, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunOnce(ctx, 0.0025, cfg)
+	b, err := RunOnce(context.Background(), pc, 0.0025, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +184,7 @@ func TestRunWithRelaxation(t *testing.T) {
 		FreshPlacement: true,
 		KSchedule:      []float64{0, 0.001},
 	}
-	res, err := RunWithRelaxation(d, cfg, 6)
+	res, err := RunWithRelaxation(context.Background(), d, cfg, 6)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 
 	"casyn/internal/place"
@@ -31,33 +32,58 @@ func (r *RelaxResult) Accepted() (*Iteration, place.Layout) {
 // again — re-placing the technology-independent netlist on each new
 // floorplan, since the layout image defines the wire costs. maxExtra
 // bounds the added rows.
-func RunWithRelaxation(d *subject.DAG, cfg Config, maxExtraRows int) (*RelaxResult, error) {
+//
+// Like Run, relaxation degrades rather than aborting: an attempt whose
+// ladder failed entirely is still recorded and the next floorplan is
+// tried. A canceled ctx stops the relaxation loop promptly, returning
+// the attempts completed so far together with the ctx error.
+func RunWithRelaxation(ctx context.Context, d *subject.DAG, cfg Config, maxExtraRows int) (*RelaxResult, error) {
 	cfg.defaults()
 	cfg.StopAtFirstRoutable = true
 	res := &RelaxResult{Final: -1}
 	base := cfg.Layout
+	var lastErr error
 	for extra := 0; extra <= maxExtraRows; extra++ {
+		if cerr := ctx.Err(); cerr != nil {
+			res.Final = len(res.Attempts) - 1
+			return res, fmt.Errorf("flow: relax canceled at +%d rows: %w", extra, cerr)
+		}
 		layout, err := place.LayoutWithRows(base.NumRows+extra, base.Die.W(), base.RowHeight)
 		if err != nil {
 			return nil, err
 		}
 		attempt := cfg
 		attempt.Layout = layout
-		ctx, err := Prepare(d, attempt)
+		pc, err := Prepare(ctx, d, attempt)
 		if err != nil {
-			return nil, fmt.Errorf("flow: relax +%d rows: %w", extra, err)
+			if cerr := ctx.Err(); cerr != nil {
+				res.Final = len(res.Attempts) - 1
+				return res, fmt.Errorf("flow: relax canceled at +%d rows: %w", extra, cerr)
+			}
+			lastErr = fmt.Errorf("flow: relax +%d rows: %w", extra, err)
+			continue
 		}
-		fres, err := Run(ctx, attempt)
+		fres, err := Run(ctx, pc, attempt)
+		if fres != nil {
+			res.Attempts = append(res.Attempts, fres)
+			res.Layouts = append(res.Layouts, layout)
+		}
 		if err != nil {
-			return nil, fmt.Errorf("flow: relax +%d rows: %w", extra, err)
+			if cerr := ctx.Err(); cerr != nil {
+				res.Final = len(res.Attempts) - 1
+				return res, fmt.Errorf("flow: relax canceled at +%d rows: %w", extra, cerr)
+			}
+			lastErr = fmt.Errorf("flow: relax +%d rows: %w", extra, err)
+			continue
 		}
-		res.Attempts = append(res.Attempts, fres)
-		res.Layouts = append(res.Layouts, layout)
 		if fres.FoundRoutable() {
 			res.Final = len(res.Attempts) - 1
 			return res, nil
 		}
 	}
 	res.Final = len(res.Attempts) - 1
+	if len(res.Attempts) == 0 && lastErr != nil {
+		return nil, lastErr
+	}
 	return res, nil
 }

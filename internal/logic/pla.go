@@ -177,10 +177,17 @@ func (p *PLA) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
+// maxPlaneWidth bounds the .i/.o values ReadPLA accepts. Real
+// benchmark PLAs are orders of magnitude below it; the cap keeps a
+// malicious or corrupt header from driving per-term allocations (one
+// output row per product line) to absurd sizes.
+const maxPlaneWidth = 1 << 20
+
 // ReadPLA parses an espresso-format PLA. It understands the directives
 // .i .o .ilb .ob .p .e and ignores comments (#) and the type
 // directives espresso emits. Output-plane characters accepted: 1
 // (member), 0/~/- (not a member / don't care treated as 0).
+// Plane widths are capped at maxPlaneWidth.
 func ReadPLA(r io.Reader) (*PLA, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
@@ -203,7 +210,7 @@ func ReadPLA(r io.Reader) (*PLA, error) {
 					return nil, fmt.Errorf("logic: line %d: malformed .i", line)
 				}
 				n, err := strconv.Atoi(fields[1])
-				if err != nil || n < 0 {
+				if err != nil || n < 0 || n > maxPlaneWidth {
 					return nil, fmt.Errorf("logic: line %d: bad .i value %q", line, fields[1])
 				}
 				p.NumInputs = n
@@ -212,7 +219,7 @@ func ReadPLA(r io.Reader) (*PLA, error) {
 					return nil, fmt.Errorf("logic: line %d: malformed .o", line)
 				}
 				n, err := strconv.Atoi(fields[1])
-				if err != nil || n < 0 {
+				if err != nil || n < 0 || n > maxPlaneWidth {
 					return nil, fmt.Errorf("logic: line %d: bad .o value %q", line, fields[1])
 				}
 				p.NumOutputs = n

@@ -1,0 +1,43 @@
+package logic
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadPLA drives the espresso-format parser with arbitrary bytes:
+// any input must either parse or return an error — never panic or
+// allocate absurdly — and every accepted PLA must survive a
+// write/re-read round trip.
+func FuzzReadPLA(f *testing.F) {
+	f.Add([]byte(".i 2\n.o 1\n11 1\n0- 1\n.e\n"))
+	f.Add([]byte(".i 3\n.o 2\n.ilb a b c\n.ob x y\n1-0 10\n011 01\n.e\n"))
+	f.Add([]byte(".i 0\n.o 1\n 1\n.e\n"))
+	f.Add([]byte("# comment only\n"))
+	// Regression seeds: historical hardening targets.
+	f.Add([]byte(".i -1\n.o 1\n.e\n"))               // negative plane width
+	f.Add([]byte(".i 2000000000\n.o 2000000000\n1")) // absurd plane width
+	f.Add([]byte(".i 2\n.o 1\n11\n.e\n"))            // truncated product term
+	f.Add([]byte(".i 2\n.o 1\n11 1"))                // missing .e
+	f.Add([]byte(".i 2\n.i 3\n.o 1\n111 1\n.e\n"))   // redefined .i
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadPLA(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if p.NumInputs < 0 || p.NumOutputs < 0 ||
+			p.NumInputs > maxPlaneWidth || p.NumOutputs > maxPlaneWidth {
+			t.Fatalf("accepted PLA with plane widths %d/%d", p.NumInputs, p.NumOutputs)
+		}
+		if len(p.Terms) != len(p.Outputs) {
+			t.Fatalf("terms/output rows out of sync: %d vs %d", len(p.Terms), len(p.Outputs))
+		}
+		var buf bytes.Buffer
+		if err := p.Write(&buf); err != nil {
+			t.Fatalf("write of accepted PLA failed: %v", err)
+		}
+		if _, err := ReadPLA(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("round trip of accepted PLA failed: %v\n%s", err, buf.Bytes())
+		}
+	})
+}

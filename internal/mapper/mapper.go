@@ -18,6 +18,7 @@
 package mapper
 
 import (
+	"context"
 	"fmt"
 
 	"casyn/internal/cover"
@@ -86,8 +87,10 @@ type Result struct {
 	Forest *partition.Forest
 }
 
-// Map runs the full pipeline on an already-placed subject DAG.
-func Map(d *subject.DAG, in Input, opts Options) (*Result, error) {
+// Map runs the full pipeline on an already-placed subject DAG. The
+// expensive covering DP checks ctx cooperatively; a canceled ctx
+// returns promptly with a wrapped ctx error.
+func Map(ctx context.Context, d *subject.DAG, in Input, opts Options) (*Result, error) {
 	opts.defaults()
 	method := opts.Method
 	forest, err := partition.Partition(partition.Input{
@@ -99,7 +102,7 @@ func Map(d *subject.DAG, in Input, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cov, err := cover.Cover(d, forest, opts.Lib, in.Pos, cover.Options{
+	cov, err := cover.Cover(ctx, d, forest, opts.Lib, in.Pos, cover.Options{
 		K:              opts.K,
 		Metric:         opts.Metric,
 		WireUnit:       opts.WireUnit,
@@ -228,7 +231,7 @@ func reconstruct(d *subject.DAG, forest *partition.Forest, cov *cover.Result) (*
 // live base gate is placed by recursive bisection. The returned
 // piPads/poPads are perimeter pad assignments in PI/PO declaration
 // order.
-func SubjectPlacement(d *subject.DAG, layout place.Layout, popts place.Options) (pos []geom.Point, poPads map[int][]geom.Point, piPads, poPadList []geom.Point, err error) {
+func SubjectPlacement(ctx context.Context, d *subject.DAG, layout place.Layout, popts place.Options) (pos []geom.Point, poPads map[int][]geom.Point, piPads, poPadList []geom.Point, err error) {
 	live := d.LiveGates()
 	cellOf := make(map[int]int)
 	var widths []float64
@@ -274,7 +277,7 @@ func SubjectPlacement(d *subject.DAG, layout place.Layout, popts place.Options) 
 			nl.Nets = append(nl.Nets, place.Net{Cells: cells, Pads: padPts})
 		}
 	}
-	pl, err := place.PlaceNetlist(nl, layout, popts)
+	pl, err := place.PlaceNetlist(ctx, nl, layout, popts)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}

@@ -1,6 +1,8 @@
 package mapper
 
 import (
+	"context"
+
 	"math/rand"
 	"strings"
 	"testing"
@@ -56,7 +58,7 @@ func preparedDAG(t *testing.T, rng *rand.Rand, ni, no, terms int) (*subject.DAG,
 	if err != nil {
 		t.Fatal(err)
 	}
-	pos, poPads, _, _, err := SubjectPlacement(d, layout, place.Options{Seed: 11})
+	pos, poPads, _, _, err := SubjectPlacement(context.Background(), d, layout, place.Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +90,7 @@ func TestMapMinAreaEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	d, in, p := preparedDAG(t, rng, 7, 3, 16)
 	for _, method := range []partition.Method{partition.Dagon, partition.Cone, partition.PDP} {
-		res, err := Map(d, in, Options{K: 0, Method: method})
+		res, err := Map(context.Background(), d, in, Options{K: 0, Method: method})
 		if err != nil {
 			t.Fatalf("%v: %v", method, err)
 		}
@@ -103,7 +105,7 @@ func TestMapCongestionEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(43))
 	d, in, p := preparedDAG(t, rng, 8, 4, 20)
 	for _, k := range []float64{0, 0.0005, 0.01, 0.5, 5} {
-		res, err := Map(d, in, Options{K: k})
+		res, err := Map(context.Background(), d, in, Options{K: k})
 		if err != nil {
 			t.Fatalf("K=%g: %v", k, err)
 		}
@@ -114,11 +116,11 @@ func TestMapCongestionEquivalence(t *testing.T) {
 func TestMapAreaGrowsWithK(t *testing.T) {
 	rng := rand.New(rand.NewSource(47))
 	d, in, _ := preparedDAG(t, rng, 8, 4, 24)
-	area0, err := Map(d, in, Options{K: 0})
+	area0, err := Map(context.Background(), d, in, Options{K: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
-	areaBig, err := Map(d, in, Options{K: 100})
+	areaBig, err := Map(context.Background(), d, in, Options{K: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,11 +135,11 @@ func TestMapAreaGrowsWithK(t *testing.T) {
 func TestMapWireShrinksWithK(t *testing.T) {
 	rng := rand.New(rand.NewSource(53))
 	d, in, _ := preparedDAG(t, rng, 8, 4, 24)
-	res0, err := Map(d, in, Options{K: 0})
+	res0, err := Map(context.Background(), d, in, Options{K: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
-	resK, err := Map(d, in, Options{K: 10})
+	resK, err := Map(context.Background(), d, in, Options{K: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +164,7 @@ func TestDuplicationAccounting(t *testing.T) {
 	pos[shared] = geom.Pt(0, 0)
 	pos[i1] = geom.Pt(1, 0) // nearest consumer: father
 	pos[far] = geom.Pt(50, 0)
-	res, err := Map(d, Input{Pos: pos}, Options{K: 0, Method: partition.PDP})
+	res, err := Map(context.Background(), d, Input{Pos: pos}, Options{K: 0, Method: partition.PDP})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +186,7 @@ func TestDuplicationAccounting(t *testing.T) {
 		}
 	}
 	// DAGON on the same input never duplicates.
-	resD, err := Map(d, Input{Pos: pos}, Options{K: 0, Method: partition.Dagon})
+	resD, err := Map(context.Background(), d, Input{Pos: pos}, Options{K: 0, Method: partition.Dagon})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +207,7 @@ func TestSubjectPlacement(t *testing.T) {
 		t.Fatal(err)
 	}
 	layout, _ := place.LayoutWithRows(8, 80, library.RowHeight)
-	pos, poPads, piPads, poList, err := SubjectPlacement(d, layout, place.Options{Seed: 3})
+	pos, poPads, piPads, poList, err := SubjectPlacement(context.Background(), d, layout, place.Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +243,7 @@ func TestSubjectPlacement(t *testing.T) {
 func TestMapSummaryMentionsCells(t *testing.T) {
 	rng := rand.New(rand.NewSource(61))
 	d, in, _ := preparedDAG(t, rng, 6, 2, 10)
-	res, err := Map(d, in, Options{K: 0})
+	res, err := Map(context.Background(), d, in, Options{K: 0})
 	if err != nil {
 		t.Fatal(err)
 	}

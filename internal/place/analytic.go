@@ -1,6 +1,8 @@
 package place
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -111,10 +113,13 @@ func (a *analyticPlacer) addFix(c int, p geom.Point, w float64) {
 
 // solve runs Gauss–Seidel sweeps of the quadratic system: each cell
 // moves to the weighted average of its neighbors, fixed pulls, and its
-// spreading anchor.
-func (a *analyticPlacer) solve(sweeps int) {
+// spreading anchor. Each sweep is a cancellation point.
+func (a *analyticPlacer) solve(ctx context.Context, sweeps int) error {
 	n := len(a.pos)
 	for s := 0; s < sweeps; s++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("place: analytic solve canceled: %w", cerr)
+		}
 		for c := 0; c < n; c++ {
 			sumW := a.fixW[c] + a.anchW
 			sx := a.fixPt[c].X*a.fixW[c] + a.anchor[c].X*a.anchW
@@ -131,6 +136,7 @@ func (a *analyticPlacer) solve(sweeps int) {
 			a.pos[c] = geom.Pt(sx/sumW, sy/sumW)
 		}
 	}
+	return nil
 }
 
 // spread pushes cells out of overloaded bins by stretching each bin
@@ -223,18 +229,22 @@ func (a *analyticPlacer) remapAxis(occ [][]float64, horizontal bool, binSize, ta
 }
 
 // run executes the solve/spread loop and returns approximate global
-// positions.
-func (a *analyticPlacer) run(iters int) []geom.Point {
+// positions; it stops early with a wrapped ctx error on cancellation.
+func (a *analyticPlacer) run(ctx context.Context, iters int) ([]geom.Point, error) {
 	die := a.layout.Die
 	binTarget := a.nl.TotalWidth() * a.layout.RowHeight / float64(len(a.pos)+1)
 	a.anchW = 0
-	a.solve(40)
+	if err := a.solve(ctx, 40); err != nil {
+		return nil, err
+	}
 	for it := 0; it < iters; it++ {
 		a.spread(binTarget)
 		// Anchor weight ramps up so later iterations respect the
 		// spread layout more and more.
 		a.anchW = 0.05 * math.Pow(1.8, float64(it))
-		a.solve(12)
+		if err := a.solve(ctx, 12); err != nil {
+			return nil, err
+		}
 	}
 	// Final positions: blend toward anchors fully to avoid residual
 	// clumping, clamped into the die.
@@ -244,5 +254,5 @@ func (a *analyticPlacer) run(iters int) []geom.Point {
 		p.Y = math.Min(math.Max(p.Y, die.Min.Y), die.Max.Y)
 		a.pos[c] = p
 	}
-	return a.pos
+	return a.pos, nil
 }

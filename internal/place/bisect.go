@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -54,7 +55,12 @@ func (o *Options) defaults() {
 // min-cut bisection with FM refinement and terminal propagation,
 // followed by row legalization. The returned placement holds each
 // cell's center and row.
-func PlaceNetlist(nl *Netlist, layout Layout, opts Options) (*Placement, error) {
+//
+// Cancellation is cooperative: the bisection recursion, the analytic
+// solve/spread loop, and the refinement passes all check ctx and
+// return a wrapped ctx error promptly when it is canceled or its
+// deadline passes.
+func PlaceNetlist(ctx context.Context, nl *Netlist, layout Layout, opts Options) (*Placement, error) {
 	if err := nl.Validate(); err != nil {
 		return nil, err
 	}
@@ -70,14 +76,21 @@ func PlaceNetlist(nl *Netlist, layout Layout, opts Options) (*Placement, error) 
 	rng := rand.New(rand.NewSource(opts.Seed))
 	if opts.Analytic {
 		ap := newAnalyticPlacer(nl, layout, rng)
-		copy(p.Pos, ap.run(opts.AnalyticIters))
+		global, err := ap.run(ctx, opts.AnalyticIters)
+		if err != nil {
+			return nil, err
+		}
+		copy(p.Pos, global)
 		legalize(nl, layout, p)
 		if opts.RefinePasses > 0 {
-			refine(nl, layout, p, opts.RefinePasses, rng)
+			if err := refine(ctx, nl, layout, p, opts.RefinePasses, rng); err != nil {
+				return nil, err
+			}
 		}
 		return p, nil
 	}
 	b := &bisector{
+		ctx:    ctx,
 		nl:     nl,
 		opts:   opts,
 		rng:    rng,
@@ -97,9 +110,14 @@ func PlaceNetlist(nl *Netlist, layout Layout, opts Options) (*Placement, error) 
 		p.Pos[i] = c
 	}
 	b.run(all, layout.Die)
+	if b.err != nil {
+		return nil, b.err
+	}
 	legalize(nl, layout, p)
 	if opts.RefinePasses > 0 {
-		refine(nl, layout, p, opts.RefinePasses, rng)
+		if err := refine(ctx, nl, layout, p, opts.RefinePasses, rng); err != nil {
+			return nil, err
+		}
 	}
 	return p, nil
 }
@@ -118,6 +136,8 @@ func padBoxes(nl *Netlist) []*geom.Rect {
 }
 
 type bisector struct {
+	ctx    context.Context
+	err    error // first ctx error; aborts the recursion
 	nl     *Netlist
 	opts   Options
 	rng    *rand.Rand
@@ -132,8 +152,16 @@ type bisector struct {
 }
 
 // run recursively bisects the region and assigns final positions to
-// terminal regions.
+// terminal regions. Every recursion step is a cooperative cancellation
+// point; once the context errors the whole recursion unwinds.
 func (b *bisector) run(cells []int, region geom.Rect) {
+	if b.err != nil {
+		return
+	}
+	if cerr := b.ctx.Err(); cerr != nil {
+		b.err = fmt.Errorf("place: bisection canceled: %w", cerr)
+		return
+	}
 	if len(cells) == 0 {
 		return
 	}

@@ -1,6 +1,8 @@
 package place
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"testing"
@@ -122,7 +124,7 @@ func chainNetlist(n int, w float64) *Netlist {
 func TestPlaceChainLegality(t *testing.T) {
 	nl := chainNetlist(100, 2)
 	layout, _ := LayoutWithRows(10, 40, 5)
-	p, err := PlaceNetlist(nl, layout, Options{Seed: 1})
+	p, err := PlaceNetlist(context.Background(), nl, layout, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +183,7 @@ func TestPlaceBeatsRandom(t *testing.T) {
 		}
 	}
 	layout, _ := LayoutWithRows(16, 40, 5)
-	p, err := PlaceNetlist(nl, layout, Options{Seed: 7})
+	p, err := PlaceNetlist(context.Background(), nl, layout, Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,11 +204,11 @@ func TestPlaceBeatsRandom(t *testing.T) {
 func TestPlaceDeterminism(t *testing.T) {
 	nl := chainNetlist(60, 1.5)
 	layout, _ := LayoutWithRows(6, 30, 5)
-	p1, err := PlaceNetlist(nl, layout, Options{Seed: 42})
+	p1, err := PlaceNetlist(context.Background(), nl, layout, Options{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := PlaceNetlist(nl, layout, Options{Seed: 42})
+	p2, err := PlaceNetlist(context.Background(), nl, layout, Options{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +234,7 @@ func TestPlaceWithPads(t *testing.T) {
 		nl.Nets = append(nl.Nets, nl.Nets[0], nl.Nets[1])
 	}
 	layout, _ := LayoutWithRows(10, 100, 5)
-	p, err := PlaceNetlist(nl, layout, Options{Seed: 5})
+	p, err := PlaceNetlist(context.Background(), nl, layout, Options{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,12 +249,12 @@ func TestPlaceWithPads(t *testing.T) {
 
 func TestPlaceEmptyAndTiny(t *testing.T) {
 	layout, _ := LayoutWithRows(2, 10, 5)
-	p, err := PlaceNetlist(&Netlist{}, layout, Options{})
+	p, err := PlaceNetlist(context.Background(), &Netlist{}, layout, Options{})
 	if err != nil || len(p.Pos) != 0 {
 		t.Errorf("empty netlist: %v %v", p, err)
 	}
 	one := &Netlist{Widths: []float64{3}}
-	p, err = PlaceNetlist(one, layout, Options{})
+	p, err = PlaceNetlist(context.Background(), one, layout, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package place
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -20,11 +22,17 @@ import (
 //
 // Moves are accepted only when the summed HPWL of the affected nets
 // decreases, so refinement is monotone.
-func refine(nl *Netlist, layout Layout, p *Placement, passes int, rng *rand.Rand) {
+//
+// Refinement checks ctx between passes and periodically inside each
+// pass; on cancellation it returns a wrapped ctx error (the placement
+// stays legal — every accepted move preserves legality).
+func refine(ctx context.Context, nl *Netlist, layout Layout, p *Placement, passes int, rng *rand.Rand) error {
 	n := nl.NumCells()
 	if n < 2 || passes <= 0 {
-		return
+		return nil
 	}
+	// checkEvery bounds the work between cancellation checks.
+	const checkEvery = 1024
 	cellNets := nl.cellNets()
 
 	// Spatial index of cells by equal width class, bucketed on a
@@ -106,10 +114,18 @@ func refine(nl *Netlist, layout Layout, p *Placement, passes int, rng *rand.Rand
 	}
 
 	for pass := 0; pass < passes; pass++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("place: refinement canceled: %w", cerr)
+		}
 		improved := 0
 		// Equal-width swaps toward targets.
 		order := rng.Perm(n)
-		for _, c := range order {
+		for oi, c := range order {
+			if oi%checkEvery == checkEvery-1 {
+				if cerr := ctx.Err(); cerr != nil {
+					return fmt.Errorf("place: refinement canceled: %w", cerr)
+				}
+			}
 			tgt, ok := target(c)
 			if !ok {
 				continue
@@ -164,6 +180,9 @@ func refine(nl *Netlist, layout Layout, p *Placement, passes int, rng *rand.Rand
 		}
 		// Adjacent-pair swaps within rows.
 		for r := range rows {
+			if cerr := ctx.Err(); cerr != nil {
+				return fmt.Errorf("place: refinement canceled: %w", cerr)
+			}
 			row := rows[r]
 			sort.Slice(row, func(i, j int) bool { return p.Pos[row[i]].X < p.Pos[row[j]].X })
 			for i := 0; i+1 < len(row); i++ {
@@ -192,4 +211,5 @@ func refine(nl *Netlist, layout Layout, p *Placement, passes int, rng *rand.Rand
 			break
 		}
 	}
+	return nil
 }

@@ -1,6 +1,8 @@
 package place
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 	"time"
@@ -26,7 +28,7 @@ func TestScale30k(t *testing.T) {
 	}
 	layout, _ := LayoutWithRows(70, 700, 6.656)
 	start := time.Now()
-	p, err := PlaceNetlist(nl, layout, Options{Seed: 1})
+	p, err := PlaceNetlist(context.Background(), nl, layout, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

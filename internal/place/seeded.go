@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -15,7 +16,7 @@ import (
 // made once, matches inherit their covered gates' center of mass, and
 // the physical-design step only legalizes and locally improves rather
 // than placing from scratch.
-func PlaceSeeded(nl *Netlist, layout Layout, seeds []geom.Point, opts Options) (*Placement, error) {
+func PlaceSeeded(ctx context.Context, nl *Netlist, layout Layout, seeds []geom.Point, opts Options) (*Placement, error) {
 	if err := nl.Validate(); err != nil {
 		return nil, err
 	}
@@ -33,7 +34,9 @@ func PlaceSeeded(nl *Netlist, layout Layout, seeds []geom.Point, opts Options) (
 	}
 	legalize(nl, layout, p)
 	if opts.RefinePasses > 0 {
-		refine(nl, layout, p, opts.RefinePasses, rand.New(rand.NewSource(opts.Seed)))
+		if err := refine(ctx, nl, layout, p, opts.RefinePasses, rand.New(rand.NewSource(opts.Seed))); err != nil {
+			return nil, err
+		}
 	}
 	return p, nil
 }

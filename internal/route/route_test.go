@@ -1,6 +1,8 @@
 package route
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"strings"
@@ -108,7 +110,7 @@ func twoCellNetlist(p1, p2 geom.Point) (*place.Netlist, *place.Placement) {
 func TestRouteSingleNet(t *testing.T) {
 	layout := testLayout(t)
 	nl, pl := twoCellNetlist(geom.Pt(5, 5), geom.Pt(105, 55))
-	res, err := RouteNetlist(nl, pl, layout, Options{GCellSize: 10})
+	res, err := RouteNetlist(context.Background(), nl, pl, layout, Options{GCellSize: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +130,7 @@ func TestRouteSingleNet(t *testing.T) {
 func TestRouteSameGCellNetIsFree(t *testing.T) {
 	layout := testLayout(t)
 	nl, pl := twoCellNetlist(geom.Pt(5, 5), geom.Pt(6, 6))
-	res, err := RouteNetlist(nl, pl, layout, Options{GCellSize: 10})
+	res, err := RouteNetlist(context.Background(), nl, pl, layout, Options{GCellSize: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +149,7 @@ func TestRouteMultiPinNetUsesMST(t *testing.T) {
 		Pos: []geom.Point{geom.Pt(5, 5), geom.Pt(55, 5), geom.Pt(105, 5)},
 		Row: []int{0, 0, 0},
 	}
-	res, err := RouteNetlist(nl, pl, layout, Options{GCellSize: 10})
+	res, err := RouteNetlist(context.Background(), nl, pl, layout, Options{GCellSize: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +167,7 @@ func TestRouteWithPads(t *testing.T) {
 		Nets:   []place.Net{{Cells: []int{0}, Pads: []geom.Point{geom.Pt(0, 0)}}},
 	}
 	pl := &place.Placement{Pos: []geom.Point{geom.Pt(95, 45)}, Row: []int{0}}
-	res, err := RouteNetlist(nl, pl, layout, Options{GCellSize: 10})
+	res, err := RouteNetlist(context.Background(), nl, pl, layout, Options{GCellSize: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,11 +196,11 @@ func TestRipupRepairsHotspot(t *testing.T) {
 		nl.Nets = append(nl.Nets, place.Net{Cells: []int{a, b}})
 	}
 	pl := &place.Placement{Pos: pos, Row: make([]int, len(pos))}
-	noRipup, err := RouteNetlist(&nl, pl, layout, Options{GCellSize: 10, RipupIterations: -1})
+	noRipup, err := RouteNetlist(context.Background(), &nl, pl, layout, Options{GCellSize: 10, RipupIterations: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	withRipup, err := RouteNetlist(&nl, pl, layout, Options{GCellSize: 10, RipupIterations: 4})
+	withRipup, err := RouteNetlist(context.Background(), &nl, pl, layout, Options{GCellSize: 10, RipupIterations: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +214,7 @@ func TestRouterErrors(t *testing.T) {
 	layout := testLayout(t)
 	nl, _ := twoCellNetlist(geom.Pt(0, 0), geom.Pt(1, 1))
 	badPl := &place.Placement{Pos: []geom.Point{geom.Pt(0, 0)}}
-	if _, err := RouteNetlist(nl, badPl, layout, Options{}); err == nil {
+	if _, err := RouteNetlist(context.Background(), nl, badPl, layout, Options{}); err == nil {
 		t.Error("mismatched placement accepted")
 	}
 }
@@ -235,11 +237,11 @@ func TestCongestionGrowsWithDemand(t *testing.T) {
 	}
 	nlLo, plLo := build(30)
 	nlHi, plHi := build(600)
-	lo, err := RouteNetlist(nlLo, plLo, layout, Options{GCellSize: 10})
+	lo, err := RouteNetlist(context.Background(), nlLo, plLo, layout, Options{GCellSize: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	hi, err := RouteNetlist(nlHi, plHi, layout, Options{GCellSize: 10})
+	hi, err := RouteNetlist(context.Background(), nlHi, plHi, layout, Options{GCellSize: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package route
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -38,7 +39,12 @@ func (r *Result) Routable() bool { return r.FailedConnections == 0 && r.Violatio
 // RouteNetlist globally routes the placed netlist. Pads participate as
 // ordinary terminals. The cell-density capacity derate is computed
 // from the placement itself.
-func RouteNetlist(nl *place.Netlist, pl *place.Placement, layout place.Layout, opts Options) (*Result, error) {
+//
+// Cancellation is cooperative: the initial pattern-routing sweep and
+// every rip-up/reroute iteration check ctx periodically and return a
+// wrapped ctx error promptly when it is canceled or its deadline
+// passes.
+func RouteNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, layout place.Layout, opts Options) (*Result, error) {
 	if len(pl.Pos) != nl.NumCells() {
 		return nil, fmt.Errorf("route: placement for %d cells, netlist has %d", len(pl.Pos), nl.NumCells())
 	}
@@ -76,8 +82,24 @@ func RouteNetlist(nl *place.Netlist, pl *place.Placement, layout place.Layout, o
 		return di > dj
 	})
 
+	// checkEvery bounds the work between cooperative cancellation
+	// checks; maze reroutes dominate, so the reroute loop checks more
+	// often than the cheap pattern-routing sweep.
+	const checkEvery = 512
+	canceled := func() error {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("route: canceled: %w", cerr)
+		}
+		return nil
+	}
+
 	// Initial pattern routing.
 	for i := range segs {
+		if i%checkEvery == checkEvery-1 {
+			if err := canceled(); err != nil {
+				return nil, err
+			}
+		}
 		segs[i].path = r.patternRoute(segs[i].a, segs[i].b)
 		for _, e := range segs[i].path {
 			g.addUsage(e, 1)
@@ -85,6 +107,9 @@ func RouteNetlist(nl *place.Netlist, pl *place.Placement, layout place.Layout, o
 	}
 	// Rip-up and reroute segments crossing overflowed edges.
 	for iter := 0; iter < opts.RipupIterations; iter++ {
+		if err := canceled(); err != nil {
+			return nil, err
+		}
 		if g.TotalOverflow() == 0 {
 			break
 		}
@@ -100,6 +125,11 @@ func RouteNetlist(nl *place.Netlist, pl *place.Placement, layout place.Layout, o
 			}
 			if !bad {
 				continue
+			}
+			if rerouted%64 == 63 {
+				if err := canceled(); err != nil {
+					return nil, err
+				}
 			}
 			for _, e := range segs[i].path {
 				g.addUsage(e, -1)

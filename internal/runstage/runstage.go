@@ -1,0 +1,176 @@
+// Package runstage is the fault-isolation layer of the flow engine:
+// stage-tagged error types, panic recovery, per-stage wall-clock
+// budgets, and injectable fault points for testing.
+//
+// The paper's methodology (Figure 3) is an iterative sweep over the
+// congestion factor K; a production flow engine must survive a bad
+// iteration — a mapper panic on a pathological tree, a router that
+// blows its time budget on a hopeless floorplan — without losing the
+// whole sweep. Every pipeline stage therefore executes through Run,
+// which converts panics into typed *StageError values, enforces an
+// optional wall-clock budget via context deadlines, and gives tests a
+// per-stage point to inject failures, panics, and delays.
+package runstage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// Stage names one phase of the synthesis pipeline.
+type Stage string
+
+// The pipeline stages, in flow order.
+const (
+	StagePrepare Stage = "prepare"
+	StageMap     Stage = "map"
+	StagePlace   Stage = "place"
+	StageRoute   Stage = "route"
+	StageSTA     Stage = "sta"
+)
+
+// StageError tags a stage failure with the pipeline stage and the
+// congestion factor K of the iteration it happened in. It wraps the
+// cause, so errors.Is(err, context.DeadlineExceeded) sees through it.
+type StageError struct {
+	Stage Stage
+	// K is the congestion factor of the failing iteration; for
+	// per-design work (StagePrepare) it is 0 and meaningless.
+	K float64
+	// Err is the wrapped cause. For a recovered panic it is a
+	// synthesized error carrying the panic value's formatting.
+	Err error
+	// Panicked reports that the stage panicked rather than returning an
+	// error; PanicValue and Stack preserve the recovered value and the
+	// goroutine stack for diagnosis.
+	Panicked   bool
+	PanicValue any
+	Stack      []byte
+}
+
+// Error implements the error interface.
+func (e *StageError) Error() string {
+	if e.Panicked {
+		return fmt.Sprintf("%s stage (K=%g): panic: %v", e.Stage, e.K, e.PanicValue)
+	}
+	return fmt.Sprintf("%s stage (K=%g): %v", e.Stage, e.K, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// Timeout reports whether the stage failed by exceeding a deadline
+// (its own budget or an enclosing one).
+func (e *StageError) Timeout() bool { return errors.Is(e.Err, context.DeadlineExceeded) }
+
+// Canceled reports whether the stage failed because the run was
+// canceled.
+func (e *StageError) Canceled() bool { return errors.Is(e.Err, context.Canceled) }
+
+// AsStage extracts the *StageError from an error chain, or nil.
+func AsStage(err error) *StageError {
+	var se *StageError
+	if errors.As(err, &se) {
+		return se
+	}
+	return nil
+}
+
+// Fault is one injectable failure point, matched by stage and K.
+// Exactly one of Err/Panic should be set (Delay may accompany either,
+// or stand alone). Faults exist for tests: they let a flow test make
+// one iteration of a K-sweep fail, panic, or stall without reaching
+// into the stage implementations.
+type Fault struct {
+	Stage Stage
+	// K selects the iteration to fault; AllK faults every iteration.
+	K    float64
+	AllK bool
+	// Err, when non-nil, is returned as the stage's failure.
+	Err error
+	// Panic, when non-nil, is raised as a panic inside the stage
+	// (exercising the recovery path).
+	Panic any
+	// Delay stalls the stage before it starts, honoring context
+	// cancellation (exercising budget enforcement).
+	Delay time.Duration
+}
+
+// Hooks carries the fault injection points threaded through the flow
+// configuration. A nil *Hooks injects nothing.
+type Hooks struct {
+	Faults []Fault
+}
+
+// fire applies the first matching fault. It may sleep, panic, or
+// return an error to be treated as the stage's failure.
+func (h *Hooks) fire(ctx context.Context, stage Stage, k float64) error {
+	if h == nil {
+		return nil
+	}
+	for i := range h.Faults {
+		f := &h.Faults[i]
+		if f.Stage != stage || (!f.AllK && f.K != k) {
+			continue
+		}
+		if f.Delay > 0 {
+			t := time.NewTimer(f.Delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+		if f.Panic != nil {
+			panic(f.Panic)
+		}
+		if f.Err != nil {
+			return f.Err
+		}
+		return nil
+	}
+	return nil
+}
+
+// Run executes one pipeline stage with fault isolation: an optional
+// wall-clock budget (0 means none) is applied as a context deadline, a
+// panic inside fn is recovered into a typed *StageError, and any error
+// out of fn is tagged with the stage and K. The context passed to fn
+// carries the budget; fn is expected to check it cooperatively.
+func Run[T any](ctx context.Context, stage Stage, k float64, budget time.Duration, hooks *Hooks, fn func(context.Context) (T, error)) (out T, err error) {
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &StageError{
+				Stage:      stage,
+				K:          k,
+				Err:        fmt.Errorf("panic: %v", r),
+				Panicked:   true,
+				PanicValue: r,
+				Stack:      debug.Stack(),
+			}
+		}
+	}()
+	if herr := hooks.fire(ctx, stage, k); herr != nil {
+		return out, &StageError{Stage: stage, K: k, Err: herr}
+	}
+	out, ferr := fn(ctx)
+	if ferr != nil {
+		// A stage that aborted on its budget often surfaces the bare
+		// wrapped ctx error; prefer the deadline cause when present so
+		// Timeout() answers correctly even if fn wrapped loosely.
+		if ctx.Err() != nil && !errors.Is(ferr, ctx.Err()) {
+			ferr = fmt.Errorf("%w (%v)", ctx.Err(), ferr)
+		}
+		return out, &StageError{Stage: stage, K: k, Err: ferr}
+	}
+	return out, nil
+}

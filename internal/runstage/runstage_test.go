@@ -1,0 +1,143 @@
+package runstage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunPassesThroughResult(t *testing.T) {
+	got, err := Run(context.Background(), StageMap, 0.001, 0, nil, func(context.Context) (int, error) {
+		return 42, nil
+	})
+	if err != nil || got != 42 {
+		t.Fatalf("Run = %d, %v", got, err)
+	}
+}
+
+func TestRunTagsErrors(t *testing.T) {
+	cause := errors.New("no match at gate 7")
+	_, err := Run(context.Background(), StageMap, 0.5, 0, nil, func(context.Context) (int, error) {
+		return 0, cause
+	})
+	se := AsStage(err)
+	if se == nil {
+		t.Fatalf("error %v is not a StageError", err)
+	}
+	if se.Stage != StageMap || se.K != 0.5 || se.Panicked {
+		t.Errorf("StageError = %+v", se)
+	}
+	if !errors.Is(err, cause) {
+		t.Error("cause not reachable through Unwrap")
+	}
+	if want := "map stage (K=0.5): no match at gate 7"; err.Error() != want {
+		t.Errorf("Error() = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	_, err := Run(context.Background(), StageRoute, 0.01, 0, nil, func(context.Context) (int, error) {
+		panic("index out of range [12] with length 4")
+	})
+	se := AsStage(err)
+	if se == nil {
+		t.Fatalf("panic not converted to StageError: %v", err)
+	}
+	if !se.Panicked || se.PanicValue != "index out of range [12] with length 4" {
+		t.Errorf("StageError = %+v", se)
+	}
+	if len(se.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	if !strings.Contains(err.Error(), "panic:") {
+		t.Errorf("Error() = %q does not mention the panic", err.Error())
+	}
+}
+
+func TestRunEnforcesBudget(t *testing.T) {
+	start := time.Now()
+	_, err := Run(context.Background(), StagePlace, 0, 20*time.Millisecond, nil, func(ctx context.Context) (int, error) {
+		<-ctx.Done()
+		return 0, fmt.Errorf("place: %w", ctx.Err())
+	})
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("budget not enforced")
+	}
+	se := AsStage(err)
+	if se == nil || !se.Timeout() {
+		t.Fatalf("expected timeout StageError, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Error("DeadlineExceeded not reachable through wrapping")
+	}
+}
+
+func TestRunMarksLooselyWrappedTimeout(t *testing.T) {
+	// A stage that notices the deadline but returns its own error must
+	// still report as a timeout.
+	_, err := Run(context.Background(), StageRoute, 0, 10*time.Millisecond, nil, func(ctx context.Context) (int, error) {
+		<-ctx.Done()
+		return 0, errors.New("router gave up")
+	})
+	se := AsStage(err)
+	if se == nil || !se.Timeout() {
+		t.Fatalf("expected timeout StageError, got %v", err)
+	}
+}
+
+func TestHooksInjectError(t *testing.T) {
+	injected := errors.New("injected router failure")
+	h := &Hooks{Faults: []Fault{{Stage: StageRoute, K: 0.001, Err: injected}}}
+	// Non-matching K runs normally.
+	got, err := Run(context.Background(), StageRoute, 0.5, 0, h, func(context.Context) (int, error) { return 1, nil })
+	if err != nil || got != 1 {
+		t.Fatalf("non-matching fault fired: %d, %v", got, err)
+	}
+	// Matching K fails with the injected cause.
+	_, err = Run(context.Background(), StageRoute, 0.001, 0, h, func(context.Context) (int, error) { return 1, nil })
+	if !errors.Is(err, injected) {
+		t.Fatalf("injected fault missing: %v", err)
+	}
+	if se := AsStage(err); se == nil || se.Stage != StageRoute {
+		t.Errorf("injected fault not stage-tagged: %v", err)
+	}
+}
+
+func TestHooksInjectPanic(t *testing.T) {
+	h := &Hooks{Faults: []Fault{{Stage: StageMap, AllK: true, Panic: "boom"}}}
+	_, err := Run(context.Background(), StageMap, 0.25, 0, h, func(context.Context) (int, error) { return 1, nil })
+	se := AsStage(err)
+	if se == nil || !se.Panicked || se.PanicValue != "boom" {
+		t.Fatalf("injected panic not recovered: %v", err)
+	}
+}
+
+func TestHooksDelayHonorsCancellation(t *testing.T) {
+	h := &Hooks{Faults: []Fault{{Stage: StagePlace, AllK: true, Delay: time.Hour}}}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Run(ctx, StagePlace, 0, 0, h, func(context.Context) (int, error) { return 1, nil })
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("delay ignored cancellation")
+	}
+	if se := AsStage(err); se == nil || !se.Timeout() {
+		t.Fatalf("expected timeout, got %v", err)
+	}
+}
+
+func TestNilHooksAndAsStageMisses(t *testing.T) {
+	var h *Hooks
+	if err := h.fire(context.Background(), StageMap, 0); err != nil {
+		t.Fatal(err)
+	}
+	if AsStage(errors.New("plain")) != nil {
+		t.Error("AsStage invented a StageError")
+	}
+	if AsStage(nil) != nil {
+		t.Error("AsStage(nil) != nil")
+	}
+}
