@@ -16,8 +16,11 @@ package casyn
 
 import (
 	"context"
-
+	"encoding/json"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"casyn/internal/bench"
 	"casyn/internal/experiments"
@@ -49,7 +52,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkTable2 regenerates Table 2: the SPLA K sweep.
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.KSweep(context.Background(), bench.SPLA, benchScale)
+		res, err := experiments.KSweep(context.Background(), bench.SPLA, benchScale, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -65,7 +68,7 @@ func BenchmarkTable2(b *testing.B) {
 // three synthesis variants at their minimal routable dies.
 func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.STATable(context.Background(), bench.SPLA, benchScale, 0.001)
+		rows, err := experiments.STATable(context.Background(), bench.SPLA, benchScale, 0.001, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -78,7 +81,7 @@ func BenchmarkTable3(b *testing.B) {
 // BenchmarkTable4 regenerates Table 4: the PDC K sweep.
 func BenchmarkTable4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.KSweep(context.Background(), bench.PDC, benchScale)
+		res, err := experiments.KSweep(context.Background(), bench.PDC, benchScale, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -90,7 +93,7 @@ func BenchmarkTable4(b *testing.B) {
 // BenchmarkTable5 regenerates Table 5: PDC static timing.
 func BenchmarkTable5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.STATable(context.Background(), bench.PDC, benchScale, 0.001)
+		rows, err := experiments.STATable(context.Background(), bench.PDC, benchScale, 0.001, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -252,5 +255,60 @@ func BenchmarkFullFlow(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(it.Timing.MaxArrival, "arrival-ns")
+	}
+}
+
+// BenchmarkKSweepParallel measures the SPLA K sweep serial
+// (Workers: 1) against the full worker pool (Workers: 0 = GOMAXPROCS)
+// and reports the speedup. Each run also writes BENCH_parallel.json so
+// the perf trajectory is tracked across PRs; on a single-CPU machine
+// the speedup is honestly ~1.0 — the determinism tests, not this
+// number, guard correctness there.
+func BenchmarkKSweepParallel(b *testing.B) {
+	pc, cfg := benchContext(b)
+	cfg.KSchedule = experiments.KSchedule()
+	run := func(workers int) time.Duration {
+		c := cfg
+		c.Workers = workers
+		start := time.Now()
+		if _, err := flow.Run(context.Background(), pc, c); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	var serial, parallel time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serial += run(1)
+		parallel += run(0)
+	}
+	b.StopTimer()
+	speedup := float64(serial) / float64(parallel)
+	b.ReportMetric(serial.Seconds()/float64(b.N), "serial-s")
+	b.ReportMetric(parallel.Seconds()/float64(b.N), "parallel-s")
+	b.ReportMetric(speedup, "speedup")
+	artifact := struct {
+		Bench      string  `json:"bench"`
+		Scale      float64 `json:"scale"`
+		KValues    int     `json:"k_values"`
+		Workers    int     `json:"workers"`
+		SerialNs   int64   `json:"serial_ns"`
+		ParallelNs int64   `json:"parallel_ns"`
+		Speedup    float64 `json:"speedup"`
+	}{
+		Bench:      "spla-ksweep",
+		Scale:      benchScale,
+		KValues:    len(cfg.KSchedule),
+		Workers:    runtime.GOMAXPROCS(0),
+		SerialNs:   serial.Nanoseconds() / int64(b.N),
+		ParallelNs: parallel.Nanoseconds() / int64(b.N),
+		Speedup:    speedup,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }

@@ -73,6 +73,10 @@ type Options struct {
 	// StageTimeout bounds each individual pipeline stage; zero means
 	// no bound.
 	StageTimeout time.Duration
+	// Workers bounds the goroutines of the covering and routing
+	// fan-outs (0 = all CPUs, 1 = serial). The result is identical for
+	// every value; only wall-clock time changes.
+	Workers int
 }
 
 // Result is a completed synthesis run.
@@ -222,6 +226,7 @@ func SynthesizeSubjectContext(ctx context.Context, dag *subject.DAG, opts Option
 		STAOpts:        sta.Options{},
 		KSchedule:      []float64{opts.K},
 		StageTimeout:   opts.StageTimeout,
+		Workers:        opts.Workers,
 	}
 	if opts.IterationTimeout > 0 {
 		var cancel context.CancelFunc

@@ -22,6 +22,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"time"
 
 	"casyn"
 	"casyn/internal/bench"
@@ -64,7 +66,8 @@ func run() int {
 		stageTO   = flag.Duration("stage-timeout", 0, "wall-clock budget per pipeline stage (0 = none)")
 		// -iteration-timeout is an alias for -timeout: a casyn run is a
 		// single flow iteration, so the two budgets coincide.
-		iterTO = flag.Duration("iteration-timeout", 0, "alias for -timeout (one run = one flow iteration)")
+		iterTO  = flag.Duration("iteration-timeout", 0, "alias for -timeout (one run = one flow iteration)")
+		workers = flag.Int("workers", 0, "covering/routing goroutines (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -75,6 +78,7 @@ func run() int {
 		RunTiming:               *timing,
 		Seed:                    *seed,
 		StageTimeout:            *stageTO,
+		Workers:                 *workers,
 	}
 	switch *method {
 	case "pdp":
@@ -102,6 +106,7 @@ func run() int {
 
 	var res *casyn.Result
 	var err error
+	start := time.Now()
 	switch {
 	case *plaPath != "":
 		p, rerr := casyn.ReadPLAFile(*plaPath)
@@ -131,10 +136,13 @@ func run() int {
 		flag.Usage()
 		return exitUsage
 	}
+	elapsed := time.Since(start)
 	if err != nil {
 		return reportFailure(err)
 	}
 	fmt.Print(res.Report())
+	fmt.Printf("wall-clock:        %.2fs (workers=%d, %d CPUs)\n",
+		elapsed.Seconds(), *workers, runtime.GOMAXPROCS(0))
 	if *cellRep {
 		fmt.Println()
 		if err := res.Mapped.WriteCellReport(os.Stdout); err != nil {

@@ -17,6 +17,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"time"
 
 	"casyn/internal/bench"
 	"casyn/internal/experiments"
@@ -28,6 +30,7 @@ func main() {
 	var (
 		benchName = flag.String("bench", "spla", "benchmark class: spla or pdc")
 		scale     = flag.Float64("scale", 1.0, "benchmark scale factor")
+		workers   = flag.Int("workers", 0, "K-sweep goroutines (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -42,7 +45,9 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	res, err := experiments.KSweep(ctx, class, *scale)
+	start := time.Now()
+	res, err := experiments.KSweep(ctx, class, *scale, *workers)
+	elapsed := time.Since(start)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,4 +67,6 @@ func main() {
 		fmt.Printf("%-9g %-12.0f %-9d %-14.2f %-10d\n",
 			r.K, r.CellArea, r.NumCells, r.Utilization*100, r.Violations)
 	}
+	fmt.Printf("\nsweep wall-clock: %.2fs (workers=%d, %d CPUs)\n",
+		elapsed.Seconds(), *workers, runtime.GOMAXPROCS(0))
 }

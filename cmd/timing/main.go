@@ -16,6 +16,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"time"
 
 	"casyn/internal/bench"
 	"casyn/internal/experiments"
@@ -28,6 +30,7 @@ func main() {
 		benchName = flag.String("bench", "spla", "benchmark class: spla or pdc")
 		scale     = flag.Float64("scale", 1.0, "benchmark scale factor")
 		midK      = flag.Float64("midk", 0.001, "mid-ladder K for the congestion-aware row")
+		workers   = flag.Int("workers", 0, "covering/routing goroutines (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -42,7 +45,9 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	rows, err := experiments.STATable(ctx, class, *scale, *midK)
+	start := time.Now()
+	rows, err := experiments.STATable(ctx, class, *scale, *midK, *workers)
+	elapsed := time.Since(start)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,4 +61,6 @@ func main() {
 		fmt.Printf("%-9s %s(in) %s(out)  %6.2f ns   %14.2f ns   %10.0f µm² / %d\n",
 			r.Label, r.CriticalPI, r.CriticalPO, r.Arrival, r.SameK0PathArrival, r.ChipArea, r.NumRows)
 	}
+	fmt.Printf("\ntable wall-clock: %.2fs (workers=%d, %d CPUs)\n",
+		elapsed.Seconds(), *workers, runtime.GOMAXPROCS(0))
 }

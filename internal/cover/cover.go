@@ -18,6 +18,20 @@
 // Pedram–Bhat [9], available here as an ablation option).
 //
 // K = 0 reduces COST to the classic minimum-area objective of DAGON.
+//
+// # Parallelism
+//
+// The trees of the partition forest are independent dynamic programs:
+// they share only the read-only DAG, library, and the pre-cover
+// placement snapshot. Every cross-tree distance (a match leaf that
+// references a gate of another tree) is evaluated against that frozen
+// snapshot, never against another tree's committed center-of-mass
+// updates, so the cover of each tree is independent of tree processing
+// order and Cover's result is byte-identical for any Options.Workers
+// value. The incremental placement update remains visible where it
+// matters: within a tree, parent matches see their input subtrees'
+// centers of mass through the DP solutions, and Result.Pos carries
+// every tree's committed positions for downstream consumers.
 package cover
 
 import (
@@ -28,6 +42,7 @@ import (
 	"casyn/internal/geom"
 	"casyn/internal/library"
 	"casyn/internal/match"
+	"casyn/internal/par"
 	"casyn/internal/partition"
 	"casyn/internal/subject"
 )
@@ -70,6 +85,10 @@ type Options struct {
 	TransitiveWire bool
 	// NoWire2 drops WIRE2 entirely (WIRE = WIRE1), the other ablation.
 	NoWire2 bool
+	// Workers bounds the goroutines covering trees concurrently:
+	// 0 = runtime.GOMAXPROCS, 1 = serial. The result is identical for
+	// every value (see the package comment on parallelism).
+	Workers int
 }
 
 // Solution is the optimal cover decision at one tree vertex.
@@ -91,9 +110,10 @@ type Solution struct {
 
 // Result is the cover of the whole forest.
 type Result struct {
-	// Best holds the DP solution for every tree vertex; reconstruction
-	// reads non-root entries when logic duplication is needed.
-	Best map[int]*Solution
+	// Best holds the DP solution for every tree vertex, indexed by gate
+	// ID (nil for PIs, constants, and dead gates); reconstruction reads
+	// non-root entries when logic duplication is needed.
+	Best []*Solution
 	// Pos is the updated companion placement: covered gates moved to
 	// their selected match's center of mass.
 	Pos []geom.Point
@@ -106,9 +126,13 @@ type Result struct {
 
 // Cover runs the DP over every tree of the forest. pos gives the
 // initial placement of all subject gates and is not modified; the
-// updated positions are in Result.Pos. Each tree boundary is a
-// cooperative cancellation point: a canceled ctx stops the DP promptly
-// with a wrapped ctx error.
+// updated positions are in Result.Pos. Trees fan out across
+// opts.Workers goroutines — they share only read-only state, each tree
+// writes its own disjoint Best/Pos entries, and the root reduction
+// runs in ascending root order, so the result is deterministic and
+// identical to the serial pass. Each tree is a cooperative
+// cancellation point: a canceled ctx stops the DP promptly with a
+// wrapped ctx error.
 func Cover(ctx context.Context, dag *subject.DAG, forest *partition.Forest, lib *library.Library, pos []geom.Point, opts Options) (*Result, error) {
 	if len(pos) < dag.NumGates() {
 		return nil, fmt.Errorf("cover: %d positions for %d gates", len(pos), dag.NumGates())
@@ -117,20 +141,22 @@ func Cover(ctx context.Context, dag *subject.DAG, forest *partition.Forest, lib 
 		opts.WireUnit = 0.5
 	}
 	res := &Result{
-		Best: make(map[int]*Solution),
+		Best: make([]*Solution, dag.NumGates()),
 		Pos:  append([]geom.Point(nil), pos...),
 	}
+	// The frozen pre-cover snapshot every tree reads its distances
+	// from; res.Pos receives the committed center-of-mass updates.
+	base := append([]geom.Point(nil), pos...)
 	trees := forest.Trees(dag)
-	for ti := range trees {
-		if ti%64 == 0 {
-			if cerr := ctx.Err(); cerr != nil {
-				return nil, fmt.Errorf("cover: canceled after %d/%d trees: %w", ti, len(trees), cerr)
-			}
+	dag.PrecomputeFanouts() // no lazy rebuild race under the fan-out
+	err := par.ForEach(ctx, opts.Workers, len(trees), func(ti int) error {
+		return coverTree(dag, forest, lib, &trees[ti], base, res, opts)
+	})
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("cover: canceled with %d trees pending: %w", len(trees), cerr)
 		}
-		t := &trees[ti]
-		if err := coverTree(dag, forest, lib, t, res, opts); err != nil {
-			return nil, err
-		}
+		return nil, err
 	}
 	for _, root := range forest.Roots {
 		sol := res.Best[root]
@@ -141,8 +167,10 @@ func Cover(ctx context.Context, dag *subject.DAG, forest *partition.Forest, lib 
 }
 
 // coverTree runs the bottom-up DP on one tree and commits the chosen
-// cover's placement updates.
-func coverTree(dag *subject.DAG, forest *partition.Forest, lib *library.Library, t *partition.Tree, res *Result, opts Options) error {
+// cover's placement updates. base is the read-only pre-cover placement
+// snapshot shared by all trees; the only writes are to this tree's own
+// res.Best and res.Pos entries, which no other tree touches.
+func coverTree(dag *subject.DAG, forest *partition.Forest, lib *library.Library, t *partition.Tree, base []geom.Point, res *Result, opts Options) error {
 	inTree := t.InTree()
 	m := match.NewMatcher(dag, lib, forest.Father, inTree)
 	covered := map[int]bool{} // scratch per match
@@ -163,10 +191,10 @@ func coverTree(dag *subject.DAG, forest *partition.Forest, lib *library.Library,
 				covered[c] = true
 			}
 			// Center of mass of the covered base gates, from the
-			// current (incrementally updated) companion placement.
+			// pre-cover placement snapshot.
 			var com geom.Point
 			for _, c := range mt.Covered {
-				com = com.Add(res.Pos[c])
+				com = com.Add(base[c])
 			}
 			com = com.Scale(1 / float64(len(mt.Covered)))
 
@@ -188,7 +216,10 @@ func coverTree(dag *subject.DAG, forest *partition.Forest, lib *library.Library,
 				} else {
 					// Cross reference (PI, another tree, or a side
 					// branch): its area and wire are paid elsewhere.
-					wire1 += opts.Metric.Distance(com, res.Pos[l]) / opts.WireUnit
+					// The distance reads the frozen snapshot, keeping
+					// this tree independent of every other tree's
+					// committed updates.
+					wire1 += opts.Metric.Distance(com, base[l]) / opts.WireUnit
 				}
 			}
 			wire := wire1
@@ -227,20 +258,18 @@ func coverTree(dag *subject.DAG, forest *partition.Forest, lib *library.Library,
 		res.Best[v] = best
 	}
 	// Commit: walk the chosen cover from the root and replace covered
-	// gates' positions with their match's center of mass.
-	var commit func(v int)
-	commit = func(v int) {
+	// gates' positions with their match's center of mass. Explicit
+	// stack — tree depth is unbounded on full-size circuits.
+	stack := []int{t.Root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		sol := res.Best[v]
 		for _, c := range sol.Match.Covered {
 			res.Pos[c] = sol.Pos
 		}
-		// Collect the input subtrees before recursing: the recursion
-		// must not interleave with the membership tests.
-		for _, l := range SelectedLeafSubtrees(forest, inTree, sol) {
-			commit(l)
-		}
+		stack = append(stack, SelectedLeafSubtrees(forest, inTree, sol)...)
 	}
-	commit(t.Root)
 	return nil
 }
 

@@ -303,6 +303,68 @@ func TestMinDelayPrefersShallowCover(t *testing.T) {
 	}
 }
 
+// TestCoverWorkersDeterminism: the per-tree fan-out must produce
+// results identical to the serial pass — same solutions, same wire
+// totals, same committed placement — on a multi-tree forest with
+// cross-tree references.
+func TestCoverWorkersDeterminism(t *testing.T) {
+	// A forest with several trees: a shared subexpression fans out to
+	// three cones, so PDP/Dagon cut it into multiple trees with
+	// cross-tree leaf references.
+	d := subject.New()
+	var pis []int
+	for i := 0; i < 6; i++ {
+		pis = append(pis, d.AddPI(string(rune('a'+i))))
+	}
+	shared := d.AddNand2(pis[0], pis[1])
+	for i := 0; i < 3; i++ {
+		c1 := d.AddNand2(shared, pis[2+i])
+		c2 := d.AddInv(c1)
+		c3 := d.AddNand2(c2, pis[5])
+		d.AddOutput(string(rune('x'+i)), c3)
+	}
+	pos := make([]geom.Point, d.NumGates())
+	for i := range pos {
+		pos[i] = geom.Pt(float64(i*13%37), float64(i*7%23))
+	}
+	f, err := partition.Partition(partition.Input{DAG: d, Pos: pos}, partition.Dagon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Roots) < 2 {
+		t.Fatalf("want a multi-tree forest, got %d roots", len(f.Roots))
+	}
+	run := func(workers int) *Result {
+		res, err := Cover(context.Background(), d, f, library.Default(), pos, Options{K: 0.01, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	for _, w := range []int{2, 8} {
+		par := run(w)
+		if serial.RootArea != par.RootArea || serial.RootWire != par.RootWire {
+			t.Errorf("workers=%d: reduction differs: area %g/%g wire %g/%g",
+				w, serial.RootArea, par.RootArea, serial.RootWire, par.RootWire)
+		}
+		for g := range serial.Best {
+			a, b := serial.Best[g], par.Best[g]
+			if (a == nil) != (b == nil) {
+				t.Fatalf("workers=%d: solution presence differs at gate %d", w, g)
+			}
+			if a != nil && (a.Match.Cell.Name != b.Match.Cell.Name || a.Wire != b.Wire || a.Pos != b.Pos) {
+				t.Errorf("workers=%d: gate %d solution differs: %s/%s", w, g, a.Match.Cell.Name, b.Match.Cell.Name)
+			}
+		}
+		for g := range serial.Pos {
+			if serial.Pos[g] != par.Pos[g] {
+				t.Errorf("workers=%d: committed position differs at gate %d", w, g)
+			}
+		}
+	}
+}
+
 // arrivalOf recomputes the stage-delay arrival of a chosen cover.
 func arrivalOf(res *Result, f *partition.Forest, v int) float64 {
 	sol := res.Best[v]

@@ -189,7 +189,10 @@ type KSweepResult struct {
 // (and Err holding the cause) while the remaining ladder still runs.
 // KSweep itself errors only when preparation fails, the ctx is
 // canceled, or every K fails.
-func KSweep(ctx context.Context, class bench.Class, scale float64) (*KSweepResult, error) {
+// workers bounds the goroutines of the K sweep and the per-iteration
+// covering/routing fan-outs (0 = runtime.GOMAXPROCS, 1 = serial); the
+// table is identical for every value.
+func KSweep(ctx context.Context, class bench.Class, scale float64, workers int) (*KSweepResult, error) {
 	d, err := buildSubject(class, scale, bench.Direct)
 	if err != nil {
 		return nil, err
@@ -204,6 +207,7 @@ func KSweep(ctx context.Context, class bench.Class, scale float64) (*KSweepResul
 		RouteOpts:      RouteOpts(),
 		FreshPlacement: true,
 		KSchedule:      KSchedule(),
+		Workers:        workers,
 	}
 	pc, err := flow.Prepare(ctx, d, cfg)
 	if err != nil {
@@ -328,7 +332,9 @@ type STARow struct {
 // of the K = 0 mapping, a routable mid-K mapping, and the SIS
 // baseline, each placed and routed in the smallest die (row count)
 // that routes it cleanly, starting from the K-sweep floorplan.
-func STATable(ctx context.Context, class bench.Class, scale float64, midK float64) ([]STARow, error) {
+// workers parallelizes each variant's covering and routing
+// (0 = runtime.GOMAXPROCS, 1 = serial) without changing the rows.
+func STATable(ctx context.Context, class bench.Class, scale float64, midK float64, workers int) ([]STARow, error) {
 	d, err := buildSubject(class, scale, bench.Direct)
 	if err != nil {
 		return nil, err
@@ -355,7 +361,7 @@ func STATable(ctx context.Context, class bench.Class, scale float64, midK float6
 	var rows []STARow
 	var k0PO string
 	for vi, v := range variants {
-		row, err := staAtMinimalDie(ctx, v.dag, v.k, baseLayout)
+		row, err := staAtMinimalDie(ctx, v.dag, v.k, baseLayout, workers)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: STA %s: %w", v.label, err)
 		}
@@ -377,7 +383,7 @@ func STATable(ctx context.Context, class bench.Class, scale float64, midK float6
 // staAtMinimalDie maps the DAG at k, then grows the floorplan one row
 // at a time from the base layout until routing is clean (bounded), and
 // runs STA on the routed result.
-func staAtMinimalDie(ctx context.Context, d *subject.DAG, k float64, base place.Layout) (STARow, error) {
+func staAtMinimalDie(ctx context.Context, d *subject.DAG, k float64, base place.Layout, workers int) (STARow, error) {
 	const maxExtraRows = 10
 	row := STARow{}
 	for extra := 0; extra <= maxExtraRows; extra++ {
@@ -393,6 +399,7 @@ func staAtMinimalDie(ctx context.Context, d *subject.DAG, k float64, base place.
 			FreshPlacement: true,
 			RunSTA:         true,
 			KSchedule:      []float64{k},
+			Workers:        workers,
 		}
 		pc, err := flow.Prepare(ctx, d, cfg)
 		if err != nil {

@@ -13,7 +13,7 @@ import (
 const testScale = 0.08
 
 func TestKSweepScaledShape(t *testing.T) {
-	res, err := KSweep(context.Background(), bench.SPLA, testScale)
+	res, err := KSweep(context.Background(), bench.SPLA, testScale, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestFigure3Scaled(t *testing.T) {
 }
 
 func TestSTATableScaled(t *testing.T) {
-	rows, err := STATable(context.Background(), bench.SPLA, testScale, 0.001)
+	rows, err := STATable(context.Background(), bench.SPLA, testScale, 0.001, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,12 +25,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"casyn/internal/geom"
 	"casyn/internal/library"
 	"casyn/internal/mapper"
 	"casyn/internal/netlist"
+	"casyn/internal/par"
 	"casyn/internal/partition"
 	"casyn/internal/place"
 	"casyn/internal/route"
@@ -79,6 +81,15 @@ type Config struct {
 	// Hooks injects failures, panics, or delays into specific stages
 	// for testing; nil disables injection.
 	Hooks *runstage.Hooks
+	// Workers bounds the goroutines of the K sweep (0 =
+	// runtime.GOMAXPROCS, 1 = the serial loop). Iterations for
+	// different K values are independent, so the ladder fans out across
+	// the pool and the merged Result — iteration order, Best()
+	// selection, degrade records, truncation at the first routable K —
+	// is identical to the serial sweep. Workers is also forwarded to
+	// the per-tree covering fan-out and, when RouteOpts.Workers is
+	// unset, to the router's first pass.
+	Workers int
 }
 
 func (c *Config) defaults() {
@@ -200,8 +211,18 @@ func (r *Result) FailedIterations() []Iteration {
 // cases only: the parent ctx was canceled (the partial Result built so
 // far is still returned), or every K in the schedule failed (the
 // joined per-K errors are returned alongside the full Result).
+//
+// With cfg.Workers > 1 the ladder executes concurrently: workers claim
+// K values in ascending order and completed iterations are merged back
+// in ladder order, so the Result is identical to the serial sweep.
+// StopAtFirstRoutable becomes speculative — higher-K iterations may
+// start before a lower K proves routable and are canceled (and
+// discarded, exactly as if never run) once it does.
 func Run(ctx context.Context, pc *Context, cfg Config) (*Result, error) {
 	cfg.defaults()
+	if par.Workers(cfg.Workers) > 1 && len(cfg.KSchedule) > 1 {
+		return runParallel(ctx, pc, cfg)
+	}
 	res := &Result{BestIndex: -1}
 	var failures []error
 	for _, k := range cfg.KSchedule {
@@ -243,6 +264,127 @@ func Run(ctx context.Context, pc *Context, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// runParallel is the concurrent K sweep. Workers claim schedule
+// indices in ascending order into per-index slots; a serial assembly
+// pass then replays the slots with exactly the serial loop's
+// semantics, so callers cannot distinguish the two beyond wall-clock
+// time. Speculation: under StopAtFirstRoutable, a completed routable
+// iteration lowers the claim cutoff and cancels every higher-K
+// iteration already in flight; their slots are never examined, because
+// assembly stops at the routable K first — matching the serial sweep,
+// which would not have started them at all.
+func runParallel(ctx context.Context, pc *Context, cfg Config) (*Result, error) {
+	n := len(cfg.KSchedule)
+	type slot struct {
+		it   Iteration
+		err  error
+		done bool
+	}
+	slots := make([]slot, n)
+	ctxs := make([]context.Context, n)
+	cancels := make([]context.CancelFunc, n)
+	for i := range ctxs {
+		ctxs[i], cancels[i] = context.WithCancel(ctx)
+	}
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+	// The workers share the DAG read-only; warm the lazy fanout cache
+	// so they cannot race on its rebuild.
+	pc.DAG.PrecomputeFanouts()
+
+	var mu sync.Mutex
+	next, cutoff := 0, n
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= cutoff || ctx.Err() != nil {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	complete := func(i int, it Iteration, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		slots[i] = slot{it: it, err: err, done: true}
+		if cfg.StopAtFirstRoutable && err == nil && it.Routable && i+1 < cutoff {
+			cutoff = i + 1
+			for j := i + 1; j < n; j++ {
+				cancels[j]()
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for w := par.Workers(cfg.Workers); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				itCtx, cancel := ctxs[i], context.CancelFunc(func() {})
+				if cfg.IterationTimeout > 0 {
+					itCtx, cancel = context.WithTimeout(itCtx, cfg.IterationTimeout)
+				}
+				it, err := RunOnce(itCtx, pc, cfg.KSchedule[i], cfg)
+				cancel()
+				complete(i, it, err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Assembly: replay the slots in ladder order under the serial
+	// loop's exact rules.
+	res := &Result{BestIndex: -1}
+	var failures []error
+	for i := 0; i < n; i++ {
+		s, k := slots[i], cfg.KSchedule[i]
+		if !s.done {
+			// Never ran: the claim cutoff stopped at a lower routable K
+			// (assembly broke out before reaching here unless the
+			// parent died), or the parent was canceled.
+			if cerr := ctx.Err(); cerr != nil {
+				return res, fmt.Errorf("flow: canceled at K=%g: %w", k, cerr)
+			}
+			break
+		}
+		if s.err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return res, fmt.Errorf("flow: canceled at K=%g: %w", k, cerr)
+			}
+			it := s.it
+			it.K = k
+			it.Err = s.err
+			it.Skipped = true
+			res.Iterations = append(res.Iterations, it)
+			failures = append(failures, fmt.Errorf("K=%g: %w", k, s.err))
+			continue
+		}
+		res.Iterations = append(res.Iterations, s.it)
+		idx := len(res.Iterations) - 1
+		if res.BestIndex < 0 ||
+			(s.it.Routable && !res.Iterations[res.BestIndex].Routable) ||
+			(s.it.Routable == res.Iterations[res.BestIndex].Routable &&
+				s.it.Violations < res.Iterations[res.BestIndex].Violations) {
+			res.BestIndex = idx
+		}
+		if cfg.StopAtFirstRoutable && s.it.Routable {
+			break
+		}
+	}
+	if res.BestIndex < 0 && len(failures) > 0 {
+		return res, fmt.Errorf("flow: every K failed: %w", errors.Join(failures...))
+	}
+	return res, nil
+}
+
 // RunOnce maps, places, and routes for a single K. Each stage runs
 // under runstage.Run: panics become *runstage.StageError values,
 // cfg.StageTimeout bounds each stage, and the returned error
@@ -256,9 +398,10 @@ func RunOnce(ctx context.Context, pc *Context, k float64, cfg Config) (Iteration
 	mres, err := runstage.Run(ctx, runstage.StageMap, k, cfg.StageTimeout, cfg.Hooks,
 		func(ctx context.Context) (*mapper.Result, error) {
 			return mapper.Map(ctx, pc.DAG, mapper.Input{Pos: pc.Pos, POPads: pc.POPads}, mapper.Options{
-				K:      k,
-				Method: cfg.Method,
-				Lib:    cfg.Lib,
+				K:       k,
+				Method:  cfg.Method,
+				Lib:     cfg.Lib,
+				Workers: cfg.Workers,
 			})
 		})
 	if err != nil {
@@ -286,9 +429,13 @@ func RunOnce(ctx context.Context, pc *Context, k float64, cfg Config) (Iteration
 		return it, err
 	}
 
+	ropts := cfg.RouteOpts
+	if ropts.Workers == 0 {
+		ropts.Workers = cfg.Workers
+	}
 	rres, err := runstage.Run(ctx, runstage.StageRoute, k, cfg.StageTimeout, cfg.Hooks,
 		func(ctx context.Context) (*route.Result, error) {
-			return route.RouteNetlist(ctx, pn.Cells, pl, cfg.Layout, cfg.RouteOpts)
+			return route.RouteNetlist(ctx, pn.Cells, pl, cfg.Layout, ropts)
 		})
 	if err != nil {
 		return it, err

@@ -49,6 +49,10 @@ type Options struct {
 	// the coverer.
 	TransitiveWire bool
 	NoWire2        bool
+	// Workers bounds the goroutines of the per-tree covering fan-out
+	// (0 = runtime.GOMAXPROCS, 1 = serial); forwarded to the coverer.
+	// The mapped result is identical for every value.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -109,6 +113,7 @@ func Map(ctx context.Context, d *subject.DAG, in Input, opts Options) (*Result, 
 		Objective:      opts.Objective,
 		TransitiveWire: opts.TransitiveWire,
 		NoWire2:        opts.NoWire2,
+		Workers:        opts.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -118,103 +123,152 @@ func Map(ctx context.Context, d *subject.DAG, in Input, opts Options) (*Result, 
 
 // reconstruct builds the mapped netlist from the covering solutions,
 // instantiating duplicated logic for cross-tree references to gates
-// that the chosen covers swallowed.
+// that the chosen covers swallowed. All bookkeeping is dense slices
+// indexed by gate ID, and the cover walks use explicit stacks — tree
+// depth is unbounded on the full-size circuits.
 func reconstruct(d *subject.DAG, forest *partition.Forest, cov *cover.Result) (*Result, error) {
 	nl := netlist.New()
 	res := &Result{Netlist: nl, Forest: forest, WireEstimate: cov.RootWire}
 
-	// Visible gates: match roots of every tree's chosen cover. Their
-	// signals exist without duplication.
-	visible := make(map[int]bool)
-	inTreeOf := make(map[int]func(int) bool)
-	for _, t := range forest.Trees(d) {
-		inTree := t.InTree()
-		for _, g := range t.Gates {
-			inTreeOf[g] = inTree
+	// rootOf[g] is the root of the tree g belongs to (-1 for PIs and
+	// constants). The father of a tree vertex always has a larger ID
+	// (gates are created fanins-first), so one descending pass
+	// resolves every chain.
+	rootOf := make([]int, d.NumGates())
+	for g := range rootOf {
+		rootOf[g] = -1
+	}
+	for _, r := range forest.Roots {
+		rootOf[r] = r
+	}
+	for g := d.NumGates() - 1; g >= 0; g-- {
+		if fa := forest.Father[g]; fa >= 0 {
+			rootOf[g] = rootOf[fa]
 		}
-		var walk func(v int)
-		walk = func(v int) {
-			visible[v] = true
-			for _, l := range cover.SelectedLeafSubtrees(forest, inTree, cov.Best[v]) {
-				walk(l)
-			}
-		}
-		walk(t.Root)
+	}
+	// sameTree(g) tests membership in g's tree, the shape
+	// cover.SelectedLeafSubtrees expects.
+	sameTree := func(g int) func(int) bool {
+		tr := rootOf[g]
+		return func(x int) bool { return tr >= 0 && rootOf[x] == tr }
 	}
 
-	sigOf := make(map[int]netlist.SigID)
+	// Visible gates: match roots of every tree's chosen cover. Their
+	// signals exist without duplication.
+	visible := make([]bool, d.NumGates())
+	var walk []int
+	for _, root := range forest.Roots {
+		walk = append(walk[:0], root)
+		for len(walk) > 0 {
+			v := walk[len(walk)-1]
+			walk = walk[:len(walk)-1]
+			visible[v] = true
+			walk = append(walk, cover.SelectedLeafSubtrees(forest, sameTree(v), cov.Best[v])...)
+		}
+	}
+
+	sigOf := make([]netlist.SigID, d.NumGates())
+	haveSig := make([]bool, d.NumGates())
+	setSig := func(g int, s netlist.SigID) {
+		sigOf[g] = s
+		haveSig[g] = true
+	}
 	// Primary inputs and constants first.
 	for _, pi := range d.PIs() {
-		sigOf[pi] = nl.AddSignal(d.Gate(pi).Name, netlist.SigPI)
+		setSig(pi, nl.AddSignal(d.Gate(pi).Name, netlist.SigPI))
 	}
 	for g := 0; g < d.NumGates(); g++ {
 		switch d.Gate(g).Type {
 		case subject.Const0:
-			sigOf[g] = nl.AddSignal("const0", netlist.SigConst0)
+			setSig(g, nl.AddSignal("const0", netlist.SigConst0))
 		case subject.Const1:
-			sigOf[g] = nl.AddSignal("const1", netlist.SigConst1)
+			setSig(g, nl.AddSignal("const1", netlist.SigConst1))
 		}
 	}
 
-	var instantiate func(g int, dup bool) (netlist.SigID, error)
-	instantiate = func(g int, dup bool) (netlist.SigID, error) {
-		if sig, ok := sigOf[g]; ok {
-			return sig, nil
-		}
-		sol := cov.Best[g]
-		if sol == nil {
-			return 0, fmt.Errorf("mapper: no covering solution for gate %d (%s)", g, d.Gate(g).Type)
-		}
-		inTree := inTreeOf[g]
-		subtree := map[int]bool{}
-		for _, l := range cover.SelectedLeafSubtrees(forest, inTree, sol) {
-			subtree[l] = true
-		}
-		inputs := make([]netlist.SigID, len(sol.Match.Leaves))
-		for i, l := range sol.Match.Leaves {
-			// A leaf heading an in-tree subtree inherits this gate's
-			// duplication status; a cross reference is a duplicate only
-			// if its signal is not already visible.
-			leafDup := dup
-			if !subtree[l] {
-				leafDup = !visible[l] && d.Gate(l).Type != subject.PI &&
-					d.Gate(l).Type != subject.Const0 && d.Gate(l).Type != subject.Const1
+	// instantiate emits the instance producing g's signal, first
+	// emitting its match leaves. The recursion is a two-phase stack:
+	// a frame's first visit pushes its leaf frames (reversed, so they
+	// complete in leaf order and instance names match the recursive
+	// formulation); the revisit finds every leaf signal present and
+	// creates the instance.
+	type frame struct {
+		g        int
+		dup      bool
+		expanded bool
+	}
+	var stack []frame
+	instantiate := func(g int, dup bool) error {
+		stack = append(stack[:0], frame{g: g, dup: dup})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if haveSig[f.g] {
+				stack = stack[:len(stack)-1]
+				continue
 			}
-			sig, err := instantiate(l, leafDup)
-			if err != nil {
-				return 0, err
+			sol := cov.Best[f.g]
+			if sol == nil {
+				return fmt.Errorf("mapper: no covering solution for gate %d (%s)", f.g, d.Gate(f.g).Type)
 			}
-			inputs[i] = sig
+			if !f.expanded {
+				f.expanded = true
+				subtree := map[int]bool{}
+				for _, l := range cover.SelectedLeafSubtrees(forest, sameTree(f.g), sol) {
+					subtree[l] = true
+				}
+				leaves := sol.Match.Leaves
+				for i := len(leaves) - 1; i >= 0; i-- {
+					l := leaves[i]
+					if haveSig[l] {
+						continue
+					}
+					// A leaf heading an in-tree subtree inherits this
+					// gate's duplication status; a cross reference is a
+					// duplicate only if its signal is not already
+					// visible.
+					leafDup := f.dup
+					if !subtree[l] {
+						leafDup = !visible[l] && d.Gate(l).Type != subject.PI &&
+							d.Gate(l).Type != subject.Const0 && d.Gate(l).Type != subject.Const1
+					}
+					// f may be invalidated by the append; re-read nothing
+					// from it after this point in the loop.
+					stack = append(stack, frame{g: l, dup: leafDup})
+				}
+				continue
+			}
+			inputs := make([]netlist.SigID, len(sol.Match.Leaves))
+			for i, l := range sol.Match.Leaves {
+				inputs[i] = sigOf[l]
+			}
+			name := fmt.Sprintf("u%d", nl.NumCells())
+			_, out := nl.AddInstance(name, sol.Match.Cell, sol.Match.PatternIndex, inputs, sol.Pos)
+			res.InstGate = append(res.InstGate, f.g)
+			if f.dup {
+				res.DuplicatedCells++
+			}
+			setSig(f.g, out)
+			stack = stack[:len(stack)-1]
 		}
-		name := fmt.Sprintf("u%d", nl.NumCells())
-		_, out := nl.AddInstance(name, sol.Match.Cell, sol.Match.PatternIndex, inputs, sol.Pos)
-		res.InstGate = append(res.InstGate, g)
-		if dup {
-			res.DuplicatedCells++
-		}
-		sigOf[g] = out
-		return out, nil
+		return nil
 	}
 
 	// Instantiate all visible gates in ascending (topological) gate-ID
 	// order, then resolve the primary outputs.
 	for g := 0; g < d.NumGates(); g++ {
 		if visible[g] {
-			if _, err := instantiate(g, false); err != nil {
+			if err := instantiate(g, false); err != nil {
 				return nil, err
 			}
 		}
 	}
 	for _, o := range d.Outputs() {
-		sig, ok := sigOf[o.Gate]
-		if !ok {
-			var err error
-			sig, err = instantiate(o.Gate, true)
-			if err != nil {
+		if !haveSig[o.Gate] {
+			if err := instantiate(o.Gate, true); err != nil {
 				return nil, err
 			}
 		}
-		nl.AddPO(o.Name, sig)
+		nl.AddPO(o.Name, sigOf[o.Gate])
 	}
 
 	res.CellArea = nl.CellArea()
@@ -248,6 +302,17 @@ func SubjectPlacement(ctx context.Context, d *subject.DAG, layout place.Layout, 
 	pads := layout.PerimeterPads(nPI + nPO)
 	piPads = pads[:nPI]
 	poPadList = pads[nPI:]
+	// Gate → pad index maps, built once; the per-live-gate loop below
+	// must not rescan the PI and output lists (that was quadratic on
+	// the PLA-style benchmarks, whose output counts are large).
+	piIdx := make(map[int]int, nPI)
+	for i, pi := range d.PIs() {
+		piIdx[pi] = i
+	}
+	poIdx := make(map[int][]int, nPO)
+	for i, o := range d.Outputs() {
+		poIdx[o.Gate] = append(poIdx[o.Gate], i)
+	}
 
 	nl := &place.Netlist{Widths: widths}
 	// One net per driving gate with at least one consumer.
@@ -256,22 +321,16 @@ func SubjectPlacement(ctx context.Context, d *subject.DAG, layout place.Layout, 
 		var padPts []geom.Point
 		if c, ok := cellOf[g]; ok {
 			cells = append(cells, c)
-		} else if t := d.Gate(g).Type; t == subject.PI {
-			for i, pi := range d.PIs() {
-				if pi == g {
-					padPts = append(padPts, piPads[i])
-				}
-			}
+		} else if i, ok := piIdx[g]; ok && d.Gate(g).Type == subject.PI {
+			padPts = append(padPts, piPads[i])
 		}
 		for _, fo := range d.Fanouts(g) {
 			if c, ok := cellOf[fo]; ok {
 				cells = append(cells, c)
 			}
 		}
-		for i, o := range d.Outputs() {
-			if o.Gate == g {
-				padPts = append(padPts, poPadList[i])
-			}
+		for _, i := range poIdx[g] {
+			padPts = append(padPts, poPadList[i])
 		}
 		if len(cells)+len(padPts) >= 2 {
 			nl.Nets = append(nl.Nets, place.Net{Cells: cells, Pads: padPts})

@@ -106,14 +106,16 @@ func isTreeGate(t subject.GateType) bool {
 	return t == subject.Nand2 || t == subject.Inv
 }
 
-// drivesPO reports whether gate g drives any primary output.
-func drivesPO(d *subject.DAG, g int) bool {
+// poDrivers returns a dense gate-indexed set of primary-output
+// drivers. The per-gate rescan of Outputs it replaces was quadratic
+// on the PLA-style benchmarks (tens of thousands of gates times
+// hundreds of outputs).
+func poDrivers(d *subject.DAG) []bool {
+	set := make([]bool, d.NumGates())
 	for _, o := range d.Outputs() {
-		if o.Gate == g {
-			return true
-		}
+		set[o.Gate] = true
 	}
-	return false
+	return set
 }
 
 // finish fills Roots from Father and returns the forest.
@@ -133,12 +135,13 @@ func finish(d *subject.DAG, father []int) *Forest {
 func partitionDagon(d *subject.DAG) *Forest {
 	father := newFatherSlice(d)
 	live := liveSet(d)
+	isPODriver := poDrivers(d)
 	for _, g := range d.LiveGates() {
 		if !isTreeGate(d.Gate(g).Type) {
 			continue
 		}
 		fos := liveFanouts(d, g, live)
-		if len(fos) == 1 && !drivesPO(d, g) {
+		if len(fos) == 1 && !isPODriver[g] {
 			father[g] = fos[0]
 		}
 	}
@@ -150,13 +153,14 @@ func partitionDagon(d *subject.DAG) *Forest {
 func partitionCone(d *subject.DAG) *Forest {
 	father := newFatherSlice(d)
 	assigned := make([]bool, d.NumGates())
+	isPODriver := poDrivers(d)
 	var grow func(g int)
 	grow = func(g int) {
 		for _, fi := range d.Fanins(g) {
 			if !isTreeGate(d.Gate(fi).Type) || assigned[fi] {
 				continue
 			}
-			if drivesPO(d, fi) {
+			if isPODriver[fi] {
 				continue // PO drivers stay roots of their own cones
 			}
 			assigned[fi] = true
@@ -192,6 +196,7 @@ func partitionPDP(in Input) *Forest {
 	d := in.DAG
 	father := newFatherSlice(d)
 	live := liveSet(d)
+	isPODriver := poDrivers(d)
 	for _, g := range d.LiveGates() {
 		if !isTreeGate(d.Gate(g).Type) {
 			continue
@@ -216,7 +221,7 @@ func partitionPDP(in Input) *Forest {
 		if bestFather < 0 {
 			continue // pad-nearest or no consumers: stays a root
 		}
-		if drivesPO(d, g) && len(in.POPads[g]) == 0 {
+		if isPODriver[g] && len(in.POPads[g]) == 0 {
 			// PO driver without pad information: keep it a root so the
 			// output signal is always visible without duplication.
 			continue

@@ -44,6 +44,11 @@ type Options struct {
 	CapacityScale float64
 	// CongestionExponent shapes the maze router's edge cost (default 2).
 	CongestionExponent float64
+	// Workers bounds the goroutines of the initial routing sweep:
+	// 0 = runtime.GOMAXPROCS, 1 = serial. Results are identical for
+	// every value — the sweep works in fixed batches against an
+	// immutable congestion snapshot, so only wall-clock time changes.
+	Workers int
 }
 
 func (o *Options) defaults(layout place.Layout) {

@@ -277,3 +277,48 @@ func TestCongestionMapRenderAndHotspots(t *testing.T) {
 		t.Error("lower threshold must count at least as many hotspots")
 	}
 }
+
+func TestRouteWorkersDeterminism(t *testing.T) {
+	// The parallel first pass works in fixed batches against an
+	// immutable congestion snapshot, so every Workers value must give
+	// the same result — including rip-up, which starts from the same
+	// initial usage.
+	layout := testLayout(t)
+	var nl place.Netlist
+	var pos []geom.Point
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 400; i++ {
+		a := len(pos)
+		pos = append(pos, geom.Pt(rng.Float64()*200, rng.Float64()*100))
+		b := len(pos)
+		pos = append(pos, geom.Pt(rng.Float64()*200, rng.Float64()*100))
+		nl.Widths = append(nl.Widths, 1, 1)
+		nl.Nets = append(nl.Nets, place.Net{Cells: []int{a, b}})
+	}
+	pl := &place.Placement{Pos: pos, Row: make([]int, len(pos))}
+	route := func(workers int) *Result {
+		t.Helper()
+		res, err := RouteNetlist(context.Background(), &nl, pl, layout,
+			Options{GCellSize: 10, RipupIterations: 3, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	ref := route(1)
+	for _, w := range []int{0, 2, 8} {
+		got := route(w)
+		if got.Violations != ref.Violations ||
+			got.OverflowEdges != ref.OverflowEdges ||
+			got.FailedConnections != ref.FailedConnections ||
+			got.WireLength != ref.WireLength ||
+			got.MaxCongestion != ref.MaxCongestion {
+			t.Errorf("workers=%d diverged: %+v vs %+v", w, got, ref)
+		}
+		for i := range ref.NetLength {
+			if got.NetLength[i] != ref.NetLength[i] {
+				t.Fatalf("workers=%d: net %d length %g != %g", w, i, got.NetLength[i], ref.NetLength[i])
+			}
+		}
+	}
+}

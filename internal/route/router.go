@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"casyn/internal/geom"
+	"casyn/internal/par"
 	"casyn/internal/place"
 )
 
@@ -82,10 +83,6 @@ func RouteNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, l
 		return di > dj
 	})
 
-	// checkEvery bounds the work between cooperative cancellation
-	// checks; maze reroutes dominate, so the reroute loop checks more
-	// often than the cheap pattern-routing sweep.
-	const checkEvery = 512
 	canceled := func() error {
 		if cerr := ctx.Err(); cerr != nil {
 			return fmt.Errorf("route: canceled: %w", cerr)
@@ -93,19 +90,40 @@ func RouteNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, l
 		return nil
 	}
 
-	// Initial pattern routing.
-	for i := range segs {
-		if i%checkEvery == checkEvery-1 {
-			if err := canceled(); err != nil {
-				return nil, err
+	// Initial pattern routing, in fixed batches. Within a batch every
+	// segment is routed against the immutable congestion state frozen
+	// at the batch boundary, so the segments are independent and fan
+	// out across opts.Workers goroutines; their usage is then applied
+	// in segment order before the next batch sees the grid. Batch
+	// boundaries depend only on the segment indices — never on the
+	// worker count — so the routing is byte-identical for any Workers
+	// value, and each batch boundary is a cancellation point.
+	const firstPassBatch = 256
+	for start := 0; start < len(segs); start += firstPassBatch {
+		if err := canceled(); err != nil {
+			return nil, err
+		}
+		end := start + firstPassBatch
+		if end > len(segs) {
+			end = len(segs)
+		}
+		batch := segs[start:end]
+		if err := par.ForEach(ctx, opts.Workers, len(batch), func(j int) error {
+			batch[j].path = r.patternRoute(batch[j].a, batch[j].b)
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("route: canceled: %w", err)
+		}
+		for j := range batch {
+			for _, e := range batch[j].path {
+				g.addUsage(e, 1)
 			}
 		}
-		segs[i].path = r.patternRoute(segs[i].a, segs[i].b)
-		for _, e := range segs[i].path {
-			g.addUsage(e, 1)
-		}
 	}
-	// Rip-up and reroute segments crossing overflowed edges.
+	// Rip-up and reroute segments crossing overflowed edges. This loop
+	// stays serial: negotiated congestion is inherently sequential
+	// (every reroute must see the previous one's usage), and it touches
+	// only the minority of segments crossing hot spots.
 	for iter := 0; iter < opts.RipupIterations; iter++ {
 		if err := canceled(); err != nil {
 			return nil, err

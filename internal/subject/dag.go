@@ -226,6 +226,16 @@ func (d *DAG) Fanouts(id int) []int {
 	return d.fanouts[id]
 }
 
+// PrecomputeFanouts builds the fanout cache eagerly. Concurrent
+// readers (the parallel K sweep and per-tree covering share one
+// read-only DAG) must not race on the lazy rebuild inside Fanouts, so
+// parallel sections call this once before fanning out.
+func (d *DAG) PrecomputeFanouts() {
+	if d.fanouts == nil {
+		d.rebuildFanouts()
+	}
+}
+
 func (d *DAG) rebuildFanouts() {
 	d.fanouts = make([][]int, len(d.gates))
 	for i := range d.gates {
