@@ -29,6 +29,7 @@ import (
 	"casyn/internal/mapper"
 	"casyn/internal/place"
 	"casyn/internal/route"
+	"casyn/internal/verify"
 )
 
 // benchScale shrinks every benchmark circuit; the experiments keep
@@ -311,4 +312,101 @@ func BenchmarkKSweepParallel(b *testing.B) {
 	if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// Equivalence-checker benchmarks: the simulation engine's vector
+// throughput and the BDD backend's proof cost on the standard
+// benchmark circuit (subject DAG vs its mapped netlist). Both merge
+// their numbers into BENCH_verify.json so the checker's perf
+// trajectory is tracked across PRs alongside the parallel sweep's.
+
+// verifyPair maps the benchmark circuit once and returns the DAG and
+// netlist the checker compares.
+func verifyPair(b *testing.B) (*flow.Context, *mapper.Result) {
+	b.Helper()
+	pc, _ := benchContext(b)
+	mres, err := mapper.Map(context.Background(), pc.DAG, mapper.Input{Pos: pc.Pos, POPads: pc.POPads}, mapper.Options{K: 0.001})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pc, mres
+}
+
+// writeVerifyBench merges one benchmark's numbers into
+// BENCH_verify.json (each benchmark owns a key, so either can run
+// alone without clobbering the other).
+func writeVerifyBench(b *testing.B, key string, value map[string]any) {
+	b.Helper()
+	artifact := map[string]any{}
+	if data, err := os.ReadFile("BENCH_verify.json"); err == nil {
+		// Best effort: a corrupt or hand-edited file is overwritten.
+		_ = json.Unmarshal(data, &artifact)
+	}
+	artifact[key] = value
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_verify.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkVerifySim measures the 64-way bit-parallel simulation
+// engine alone (SimOnly: directed patterns plus seeded random
+// batches, no exact backend).
+func BenchmarkVerifySim(b *testing.B) {
+	pc, mres := verifyPair(b)
+	opts := verify.Options{SimOnly: true}
+	var vectors, inputs int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := verify.Equivalent(context.Background(), pc.DAG, mres.Netlist, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Equivalent {
+			b.Fatalf("benchmark pair inequivalent: %s", rep)
+		}
+		vectors, inputs = rep.VectorsSimulated, rep.Inputs
+	}
+	b.StopTimer()
+	nsPerVector := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(vectors)
+	b.ReportMetric(float64(vectors), "vectors")
+	b.ReportMetric(nsPerVector, "ns/vector")
+	writeVerifyBench(b, "sim", map[string]any{
+		"bench":         "spla-dag-vs-netlist",
+		"scale":         benchScale,
+		"inputs":        inputs,
+		"vectors":       vectors,
+		"ns_per_vector": nsPerVector,
+		"ns_per_check":  b.Elapsed().Nanoseconds() / int64(b.N),
+	})
+}
+
+// BenchmarkVerifyBDD measures the full proof: simulation phase plus
+// the hash-consed ROBDD backend running to equal roots.
+func BenchmarkVerifyBDD(b *testing.B) {
+	pc, mres := verifyPair(b)
+	var nodes, inputs int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := verify.Equivalent(context.Background(), pc.DAG, mres.Netlist, verify.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Proven || rep.Method != verify.MethodBDD {
+			b.Fatalf("expected a BDD proof, got %s", rep)
+		}
+		nodes, inputs = rep.BDDNodes, rep.Inputs
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(nodes), "bdd-nodes")
+	writeVerifyBench(b, "bdd", map[string]any{
+		"bench":        "spla-dag-vs-netlist",
+		"scale":        benchScale,
+		"inputs":       inputs,
+		"bdd_nodes":    nodes,
+		"ns_per_proof": b.Elapsed().Nanoseconds() / int64(b.N),
+	})
 }

@@ -40,6 +40,7 @@ import (
 	"casyn/internal/route"
 	"casyn/internal/sta"
 	"casyn/internal/subject"
+	"casyn/internal/verify"
 )
 
 // Options configures Synthesize.
@@ -77,6 +78,17 @@ type Options struct {
 	// fan-outs (0 = all CPUs, 1 = serial). The result is identical for
 	// every value; only wall-clock time changes.
 	Workers int
+	// Verify runs the combinational equivalence checker over the
+	// pipeline: the decomposed subject DAG is checked against the
+	// input Boolean network (when synthesis starts from a network or
+	// PLA) and the mapped netlist against the subject DAG. An
+	// inequivalence aborts synthesis with the counterexample in the
+	// error; the proof report lands in Result.Verify.
+	Verify bool
+	// VerifyOpts tunes the checker when Verify is set (zero value =
+	// library defaults: seeded simulation, 2^20-node BDD budget,
+	// exhaustive fallback up to 20 inputs).
+	VerifyOpts verify.Options
 }
 
 // Result is a completed synthesis run.
@@ -111,6 +123,9 @@ type Result struct {
 	// Timing is the full STA result (only when RunTiming): slack
 	// reports, per-endpoint arrivals, path dumps.
 	Timing *sta.Result
+	// Verify is the mapped-netlist equivalence report (only when
+	// Options.Verify was set).
+	Verify *verify.Report
 }
 
 // Report formats the result like the paper's tables.
@@ -124,6 +139,9 @@ func (r *Result) Report() string {
 	fmt.Fprintf(&b, "routed wirelength: %.0f µm\n", r.WireLength)
 	if r.CriticalPath != "" {
 		fmt.Fprintf(&b, "critical path:     %s\n", r.CriticalPath)
+	}
+	if r.Verify != nil {
+		fmt.Fprintf(&b, "verification:      %s\n", r.Verify)
 	}
 	return b.String()
 }
@@ -170,6 +188,17 @@ func SynthesizeContext(ctx context.Context, p *logic.PLA, opts Options) (*Result
 	if err != nil {
 		return nil, err
 	}
+	if opts.Verify {
+		// Checks the whole technology-independent front end at once:
+		// two-level minimization, extraction, and decomposition.
+		rep, err := verify.Equivalent(ctx, p, dag, opts.VerifyOpts)
+		if err != nil {
+			return nil, err
+		}
+		if !rep.Equivalent {
+			return nil, fmt.Errorf("casyn: technology-independent synthesis changed the function: %s", rep)
+		}
+	}
 	return SynthesizeSubjectContext(ctx, dag, opts)
 }
 
@@ -188,6 +217,15 @@ func SynthesizeNetworkContext(ctx context.Context, n *bnet.Network, opts Options
 	dag, err := subject.Decompose(n)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Verify {
+		rep, err := verify.Equivalent(ctx, n, dag, opts.VerifyOpts)
+		if err != nil {
+			return nil, err
+		}
+		if !rep.Equivalent {
+			return nil, fmt.Errorf("casyn: decomposition changed the function: %s", rep)
+		}
 	}
 	return SynthesizeSubjectContext(ctx, dag, opts)
 }
@@ -227,6 +265,8 @@ func SynthesizeSubjectContext(ctx context.Context, dag *subject.DAG, opts Option
 		KSchedule:      []float64{opts.K},
 		StageTimeout:   opts.StageTimeout,
 		Workers:        opts.Workers,
+		Verify:         opts.Verify,
+		VerifyOpts:     opts.VerifyOpts,
 	}
 	if opts.IterationTimeout > 0 {
 		var cancel context.CancelFunc
@@ -257,6 +297,7 @@ func SynthesizeSubjectContext(ctx context.Context, dag *subject.DAG, opts Option
 		res.CriticalPath = it.Timing.String()
 		res.Timing = it.Timing
 	}
+	res.Verify = it.Verify
 	return res, nil
 }
 

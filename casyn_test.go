@@ -21,6 +21,7 @@ func smallPLA(t *testing.T) *logic.PLA {
 }
 
 func TestSynthesizeEndToEnd(t *testing.T) {
+	t.Parallel()
 	p := smallPLA(t)
 	res, err := Synthesize(p, Options{K: 0.001, RunTiming: true})
 	if err != nil {
@@ -44,6 +45,7 @@ func TestSynthesizeEndToEnd(t *testing.T) {
 }
 
 func TestSynthesizeKZeroVsMidK(t *testing.T) {
+	t.Parallel()
 	p := smallPLA(t)
 	r0, err := Synthesize(p, Options{K: 0})
 	if err != nil {
@@ -59,6 +61,7 @@ func TestSynthesizeKZeroVsMidK(t *testing.T) {
 }
 
 func TestSynthesizeSISPath(t *testing.T) {
+	t.Parallel()
 	p := smallPLA(t)
 	direct, err := Synthesize(p, Options{})
 	if err != nil {
@@ -74,6 +77,7 @@ func TestSynthesizeSISPath(t *testing.T) {
 }
 
 func TestReadPLARoundTrip(t *testing.T) {
+	t.Parallel()
 	src := ".i 2\n.o 1\n11 1\n0- 1\n.e\n"
 	p, err := ReadPLA(strings.NewReader(src))
 	if err != nil {
@@ -92,6 +96,7 @@ func TestReadPLARoundTrip(t *testing.T) {
 }
 
 func TestSynthesizeDeterminism(t *testing.T) {
+	t.Parallel()
 	p := smallPLA(t)
 	a, err := Synthesize(p, Options{K: 0.001})
 	if err != nil {
@@ -107,6 +112,7 @@ func TestSynthesizeDeterminism(t *testing.T) {
 }
 
 func TestSynthesizeFunctionalEquivalenceViaNetwork(t *testing.T) {
+	t.Parallel()
 	// The mapped result is validated inside the pipeline; here check
 	// the network entry point works and respects the SIS flag.
 	rng := rand.New(rand.NewSource(5))

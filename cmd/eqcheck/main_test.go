@@ -1,0 +1,127 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const parityPLA = `
+.i 3
+.o 1
+.ilb a b c
+.ob odd
+.p 4
+001 1
+010 1
+100 1
+111 1
+.e
+`
+
+// parityBLIF is the same function as a Boolean network (a ^ b ^ c),
+// exercising the mixed-format path.
+const parityBLIF = `
+.model parity
+.inputs a b c
+.outputs odd
+.names a b ab
+10 1
+01 1
+.names ab c odd
+10 1
+01 1
+.end
+`
+
+// notParityPLA drops one minterm.
+const notParityPLA = `
+.i 3
+.o 1
+.ilb a b c
+.ob odd
+.p 3
+001 1
+010 1
+100 1
+.e
+`
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(context.Background(), args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunProvenEquivalent(t *testing.T) {
+	t.Parallel()
+	a := writeFile(t, "a.pla", parityPLA)
+	b := writeFile(t, "b.blif", parityBLIF)
+	code, out, _ := runCLI(t, a, b)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (output %q)", code, out)
+	}
+	if !strings.Contains(out, "equivalent") || strings.Contains(out, "NOT") {
+		t.Errorf("unexpected verdict: %q", out)
+	}
+}
+
+func TestRunCounterexample(t *testing.T) {
+	t.Parallel()
+	a := writeFile(t, "a.pla", parityPLA)
+	b := writeFile(t, "b.pla", notParityPLA)
+	code, out, _ := runCLI(t, a, b)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (output %q)", code, out)
+	}
+	if !strings.Contains(out, "counterexample") {
+		t.Errorf("no counterexample in output: %q", out)
+	}
+}
+
+func TestRunSimOnlyUnproven(t *testing.T) {
+	t.Parallel()
+	a := writeFile(t, "a.pla", parityPLA)
+	b := writeFile(t, "b.blif", parityBLIF)
+	code, out, _ := runCLI(t, "-sim-only", a, b)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 (output %q)", code, out)
+	}
+	if !strings.Contains(out, "unproven") {
+		t.Errorf("verdict not marked unproven: %q", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	t.Parallel()
+	good := writeFile(t, "good.pla", parityPLA)
+	cases := map[string][]string{
+		"no args":          {},
+		"one arg":          {good},
+		"missing file":     {good, filepath.Join(t.TempDir(), "absent.pla")},
+		"bad extension":    {good, writeFile(t, "x.v", "module x; endmodule")},
+		"bad flag":         {"-definitely-not-a-flag", good, good},
+		"unparsable input": {good, writeFile(t, "broken.pla", ".i 2\n.o 1\nnot a term\n")},
+	}
+	for name, args := range cases {
+		name, args := name, args
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if code, out, _ := runCLI(t, args...); code != 3 {
+				t.Errorf("exit = %d, want 3 (output %q)", code, out)
+			}
+		})
+	}
+}

@@ -8,6 +8,7 @@ import (
 )
 
 func TestGenerateDeterminism(t *testing.T) {
+	t.Parallel()
 	spec := SPLA.ScaledSpec(0.05)
 	a, err := Generate(spec)
 	if err != nil {
@@ -28,6 +29,7 @@ func TestGenerateDeterminism(t *testing.T) {
 }
 
 func TestGenerateValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := Generate(Spec{}); err == nil {
 		t.Error("zero spec accepted")
 	}
@@ -37,6 +39,7 @@ func TestGenerateValidation(t *testing.T) {
 }
 
 func TestClassSpecs(t *testing.T) {
+	t.Parallel()
 	for _, c := range []Class{SPLA, PDC, TooLarge} {
 		spec := c.Spec()
 		if spec.Inputs == 0 || spec.Outputs == 0 || spec.Terms == 0 {
@@ -56,6 +59,7 @@ func TestClassSpecs(t *testing.T) {
 }
 
 func TestFullSizeBaseGateCalibration(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("full-size calibration skipped in short mode")
 	}
@@ -87,6 +91,7 @@ func TestFullSizeBaseGateCalibration(t *testing.T) {
 }
 
 func TestBuildSubjectEquivalence(t *testing.T) {
+	t.Parallel()
 	spec := SPLA.ScaledSpec(0.02)
 	p, err := Generate(spec)
 	if err != nil {
@@ -118,6 +123,7 @@ func TestBuildSubjectEquivalence(t *testing.T) {
 }
 
 func TestSISShrinksButShares(t *testing.T) {
+	t.Parallel()
 	spec := SPLA.ScaledSpec(0.05)
 	p, err := Generate(spec)
 	if err != nil {
@@ -140,6 +146,7 @@ func TestSISShrinksButShares(t *testing.T) {
 }
 
 func TestLayeredGeneratorDeterminismAndEquivalence(t *testing.T) {
+	t.Parallel()
 	spec := TooLargeLayered().Scaled(0.05)
 	shared := spec
 	shared.SharedControls = true
@@ -175,6 +182,7 @@ func TestLayeredGeneratorDeterminismAndEquivalence(t *testing.T) {
 }
 
 func TestLayeredSubjectStyles(t *testing.T) {
+	t.Parallel()
 	spec := TooLargeLayered().Scaled(0.05)
 	direct, err := BuildLayeredSubject(spec, Direct)
 	if err != nil {
@@ -211,6 +219,7 @@ func TestLayeredSubjectStyles(t *testing.T) {
 }
 
 func TestLayeredValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := GenerateLayered(LayeredSpec{}); err == nil {
 		t.Error("zero layered spec accepted")
 	}

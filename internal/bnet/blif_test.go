@@ -24,6 +24,7 @@ const sampleBLIF = `# a small combinational model
 `
 
 func TestReadBLIF(t *testing.T) {
+	t.Parallel()
 	n, err := ReadBLIF(strings.NewReader(sampleBLIF))
 	if err != nil {
 		t.Fatal(err)
@@ -54,6 +55,7 @@ func TestReadBLIF(t *testing.T) {
 }
 
 func TestReadBLIFOutOfOrderBlocks(t *testing.T) {
+	t.Parallel()
 	// t1 is used before its .names block appears.
 	src := ".model x\n.inputs a b\n.outputs f\n.names t1 f\n1 1\n.names a b t1\n11 1\n.end\n"
 	n, err := ReadBLIF(strings.NewReader(src))
@@ -70,6 +72,7 @@ func TestReadBLIFOutOfOrderBlocks(t *testing.T) {
 }
 
 func TestReadBLIFLineContinuation(t *testing.T) {
+	t.Parallel()
 	src := ".model x\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n"
 	n, err := ReadBLIF(strings.NewReader(src))
 	if err != nil {
@@ -81,6 +84,7 @@ func TestReadBLIFLineContinuation(t *testing.T) {
 }
 
 func TestReadBLIFErrors(t *testing.T) {
+	t.Parallel()
 	bad := []string{
 		"",
 		".model a\n.model b\n.end\n",
@@ -97,6 +101,7 @@ func TestReadBLIFErrors(t *testing.T) {
 }
 
 func TestBLIFWriteReadRoundTrip(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(91))
 	for trial := 0; trial < 8; trial++ {
 		ni, no := 6, 3
@@ -138,6 +143,7 @@ func TestBLIFWriteReadRoundTrip(t *testing.T) {
 }
 
 func TestBLIFConstantNodes(t *testing.T) {
+	t.Parallel()
 	n := New()
 	n.AddPI("a")
 	zero := n.AddInternal("zero", nil)

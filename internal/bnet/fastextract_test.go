@@ -8,6 +8,7 @@ import (
 )
 
 func TestFastExtractPreservesFunction(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(71))
 	for trial := 0; trial < 8; trial++ {
 		ni, no := 8, 4
@@ -44,6 +45,7 @@ func TestFastExtractPreservesFunction(t *testing.T) {
 }
 
 func TestFastExtractReducesLiterals(t *testing.T) {
+	t.Parallel()
 	// Heavy shared-motif structure: extraction must shrink literals.
 	rng := rand.New(rand.NewSource(73))
 	ni, no := 10, 6
@@ -80,6 +82,7 @@ func TestFastExtractReducesLiterals(t *testing.T) {
 }
 
 func TestShareIdenticalCubes(t *testing.T) {
+	t.Parallel()
 	// The same cube in two outputs is extracted once and shared.
 	n := New()
 	a := n.AddPI("a")
@@ -102,6 +105,7 @@ func TestShareIdenticalCubes(t *testing.T) {
 }
 
 func TestSimplifyNodesPreservesFunction(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(97))
 	for trial := 0; trial < 10; trial++ {
 		ni, no := 6, 3
@@ -138,6 +142,7 @@ func TestSimplifyNodesPreservesFunction(t *testing.T) {
 }
 
 func TestSimplifyNodesRemovesRedundancy(t *testing.T) {
+	t.Parallel()
 	// f = ab + a'c + bc: the consensus term bc is redundant.
 	n := New()
 	a := n.AddPI("a")
@@ -159,6 +164,7 @@ func TestSimplifyNodesRemovesRedundancy(t *testing.T) {
 }
 
 func TestSimplifyRespectsSupportBound(t *testing.T) {
+	t.Parallel()
 	n := New()
 	var lits []Lit
 	for i := 0; i < 6; i++ {

@@ -22,6 +22,7 @@ func buildXorNet() (*Network, NodeID, NodeID) {
 }
 
 func TestNetworkBasics(t *testing.T) {
+	t.Parallel()
 	n, a, b := buildXorNet()
 	if n.NumNodes() != 4 {
 		t.Fatalf("NumNodes = %d", n.NumNodes())
@@ -44,6 +45,7 @@ func TestNetworkBasics(t *testing.T) {
 }
 
 func TestNetworkEval(t *testing.T) {
+	t.Parallel()
 	n, _, _ := buildXorNet()
 	cases := []struct {
 		in   []bool
@@ -69,6 +71,7 @@ func TestNetworkEval(t *testing.T) {
 }
 
 func TestNegatedPO(t *testing.T) {
+	t.Parallel()
 	n := New()
 	a := n.AddPI("a")
 	buf := n.AddInternal("buf", NewSop(mkCube(Lit{a, false})))
@@ -83,6 +86,7 @@ func TestNegatedPO(t *testing.T) {
 }
 
 func TestTopoOrder(t *testing.T) {
+	t.Parallel()
 	n, _, _ := buildXorNet()
 	order, err := n.TopoOrder()
 	if err != nil {
@@ -103,6 +107,7 @@ func TestTopoOrder(t *testing.T) {
 }
 
 func TestTopoOrderCycle(t *testing.T) {
+	t.Parallel()
 	n := New()
 	a := n.AddPI("a")
 	x := n.AddInternal("x", nil)
@@ -114,6 +119,7 @@ func TestTopoOrderCycle(t *testing.T) {
 }
 
 func TestDuplicateNamePanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("duplicate name must panic")
@@ -125,6 +131,7 @@ func TestDuplicateNamePanics(t *testing.T) {
 }
 
 func TestSweep(t *testing.T) {
+	t.Parallel()
 	n := New()
 	a := n.AddPI("a")
 	b := n.AddPI("b")
@@ -151,6 +158,7 @@ func TestSweep(t *testing.T) {
 }
 
 func TestCloneIndependence(t *testing.T) {
+	t.Parallel()
 	n, a, _ := buildXorNet()
 	c := n.Clone()
 	f, _ := n.Lookup("f")
@@ -163,6 +171,7 @@ func TestCloneIndependence(t *testing.T) {
 }
 
 func TestFromPLA(t *testing.T) {
+	t.Parallel()
 	src := ".i 3\n.o 2\n.ilb a b c\n.ob f g\n1-0 10\n-11 11\n0-- 01\n.e\n"
 	p, err := logic.ReadPLA(strings.NewReader(src))
 	if err != nil {
@@ -194,6 +203,7 @@ func TestFromPLA(t *testing.T) {
 }
 
 func TestExtractSharesKernel(t *testing.T) {
+	t.Parallel()
 	// f = ac + bc, g = ad + bd: the divisor (a+b) is shared.
 	n := New()
 	a := n.AddPI("a")
@@ -224,6 +234,7 @@ func TestExtractSharesKernel(t *testing.T) {
 }
 
 func TestExtractPreservesFunctionRandom(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(9))
 	for trial := 0; trial < 10; trial++ {
 		ni, no := 6, 3
@@ -260,6 +271,7 @@ func TestExtractPreservesFunctionRandom(t *testing.T) {
 }
 
 func TestExtractIncreasesSharing(t *testing.T) {
+	t.Parallel()
 	// A PLA with many shared subterms must end with higher max fanout
 	// after extraction — the SIS signature the experiments rely on.
 	rng := rand.New(rand.NewSource(13))
@@ -293,6 +305,7 @@ func TestExtractIncreasesSharing(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
+	t.Parallel()
 	if KindPI.String() != "pi" || KindInternal.String() != "internal" || KindPO.String() != "po" {
 		t.Error("Kind.String broken")
 	}

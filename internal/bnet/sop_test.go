@@ -18,6 +18,7 @@ func mkCube(lits ...Lit) Cube {
 }
 
 func TestNewCubeNormalization(t *testing.T) {
+	t.Parallel()
 	c := mkCube(lit(3, false), lit(1, true), lit(3, false))
 	if len(c) != 2 {
 		t.Fatalf("len = %d, want 2 (dup removed)", len(c))
@@ -31,6 +32,7 @@ func TestNewCubeNormalization(t *testing.T) {
 }
 
 func TestCubeContainsAllAndRemove(t *testing.T) {
+	t.Parallel()
 	c := mkCube(lit(1, false), lit(2, true), lit(5, false))
 	d := mkCube(lit(1, false), lit(5, false))
 	if !c.ContainsAll(d) {
@@ -46,6 +48,7 @@ func TestCubeContainsAllAndRemove(t *testing.T) {
 }
 
 func TestCubeIntersectMerge(t *testing.T) {
+	t.Parallel()
 	a := mkCube(lit(1, false), lit(2, false))
 	b := mkCube(lit(2, false), lit(3, true))
 	in := a.Intersect(b)
@@ -64,6 +67,7 @@ func TestCubeIntersectMerge(t *testing.T) {
 }
 
 func TestSopNormalization(t *testing.T) {
+	t.Parallel()
 	// a + ab normalizes to a (absorption).
 	s := NewSop(
 		mkCube(lit(1, false)),
@@ -80,6 +84,7 @@ func TestSopNormalization(t *testing.T) {
 }
 
 func TestSopSupportAndLiterals(t *testing.T) {
+	t.Parallel()
 	s := NewSop(
 		mkCube(lit(4, false), lit(2, true)),
 		mkCube(lit(2, false)),
@@ -94,6 +99,7 @@ func TestSopSupportAndLiterals(t *testing.T) {
 }
 
 func TestSopEval(t *testing.T) {
+	t.Parallel()
 	// f = x1·x2' + x3
 	s := NewSop(
 		mkCube(lit(1, false), lit(2, true)),
@@ -115,6 +121,7 @@ func TestSopEval(t *testing.T) {
 }
 
 func TestDivideByCube(t *testing.T) {
+	t.Parallel()
 	// F = abc + abd + e ; F/ab = c + d, R = e.
 	ab := mkCube(lit(1, false), lit(2, false))
 	f := NewSop(
@@ -129,6 +136,7 @@ func TestDivideByCube(t *testing.T) {
 }
 
 func TestWeakDivide(t *testing.T) {
+	t.Parallel()
 	// F = ac + ad + bc + bd + e; D = a + b → Q = c + d, R = e.
 	f := NewSop(
 		mkCube(lit(1, false), lit(3, false)),
@@ -169,6 +177,7 @@ func TestWeakDivide(t *testing.T) {
 }
 
 func TestCommonCubeAndCubeFree(t *testing.T) {
+	t.Parallel()
 	// F = abc + abd: common cube ab.
 	f := NewSop(
 		mkCube(lit(1, false), lit(2, false), lit(3, false)),
@@ -191,6 +200,7 @@ func TestCommonCubeAndCubeFree(t *testing.T) {
 }
 
 func TestKernels(t *testing.T) {
+	t.Parallel()
 	// The textbook example F = adf + aef + bdf + bef + cdf + cef + g
 	// has kernels {a+b+c, d+e, F itself}.
 	a, b, c2, d, e, f2, g := lit(1, false), lit(2, false), lit(3, false), lit(4, false), lit(5, false), lit(6, false), lit(7, false)
@@ -225,6 +235,7 @@ func TestKernels(t *testing.T) {
 }
 
 func TestCubeDivisors(t *testing.T) {
+	t.Parallel()
 	// F = abc + abd: pairwise intersection ab.
 	f := NewSop(
 		mkCube(lit(1, false), lit(2, false), lit(3, false)),
@@ -237,6 +248,7 @@ func TestCubeDivisors(t *testing.T) {
 }
 
 func TestSopRename(t *testing.T) {
+	t.Parallel()
 	s := NewSop(mkCube(lit(1, false), lit(2, true)))
 	r := s.Rename(2, 7)
 	if r[0][1] != lit(7, true) && r[0][0] != lit(7, true) {
@@ -247,6 +259,7 @@ func TestSopRename(t *testing.T) {
 // Property: weak division reconstruction D·Q + R == F on random SOPs
 // whenever Q is non-empty.
 func TestWeakDivideReconstructionProperty(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(5))
 	randomSop := func(nvars, ncubes, maxw int) Sop {
 		var cubes []Cube

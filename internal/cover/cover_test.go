@@ -44,6 +44,7 @@ func coverIt(t *testing.T, d *subject.DAG, pos []geom.Point, opts Options) (*Res
 }
 
 func TestMinAreaPicksNand3(t *testing.T) {
+	t.Parallel()
 	d, root := nand3Chain()
 	res, _ := coverIt(t, d, nil, Options{K: 0})
 	sol := res.Best[root]
@@ -62,6 +63,7 @@ func TestMinAreaPicksNand3(t *testing.T) {
 // TestMinAreaOptimality exhaustively checks DP optimality on a small
 // tree against brute-force enumeration of covers.
 func TestMinAreaOptimality(t *testing.T) {
+	t.Parallel()
 	// Tree: root = NAND(INV(NAND(a,b)), INV(NAND(c,e))) — the NAND4
 	// shape; the DP must find NAND4's area if it is the cheapest.
 	d := subject.New()
@@ -86,6 +88,7 @@ func TestMinAreaOptimality(t *testing.T) {
 }
 
 func TestCoverAlwaysFeasible(t *testing.T) {
+	t.Parallel()
 	// A shape no complex cell fully covers still maps via base cells.
 	d := subject.New()
 	a := d.AddPI("a")
@@ -103,6 +106,7 @@ func TestCoverAlwaysFeasible(t *testing.T) {
 // fanins placed far from the min-area cell's location, a positive K
 // must switch the cover to a higher-area, shorter-wire solution.
 func TestFigure1Tradeoff(t *testing.T) {
+	t.Parallel()
 	d, root := nand3Chain()
 	// Positions: put the NAND3's would-be location far from b,c.
 	pos := make([]geom.Point, d.NumGates())
@@ -135,6 +139,7 @@ func TestFigure1Tradeoff(t *testing.T) {
 }
 
 func TestKZeroMatchesDagonAreaInvariance(t *testing.T) {
+	t.Parallel()
 	// With K=0 the positions must not affect the chosen area.
 	d, _ := nand3Chain()
 	posA := make([]geom.Point, d.NumGates())
@@ -150,6 +155,7 @@ func TestKZeroMatchesDagonAreaInvariance(t *testing.T) {
 }
 
 func TestCenterOfMassAndIncrementalUpdate(t *testing.T) {
+	t.Parallel()
 	d, root := nand3Chain()
 	pos := make([]geom.Point, d.NumGates())
 	// Gates 3,4,5 are inner, mid, root.
@@ -178,6 +184,7 @@ func TestCenterOfMassAndIncrementalUpdate(t *testing.T) {
 }
 
 func TestWireCostTwoLevelScope(t *testing.T) {
+	t.Parallel()
 	// Chain of three INVs: x -> i1 -> i2 -> i3 (root). With default
 	// options, WIRE at the root counts the root match's fanin wire
 	// plus its child's WIRE1 — not the grandchild's.
@@ -207,6 +214,7 @@ func TestWireCostTwoLevelScope(t *testing.T) {
 }
 
 func TestCoverErrorOnShortPositions(t *testing.T) {
+	t.Parallel()
 	d, _ := nand3Chain()
 	f, err := partition.Partition(partition.Input{DAG: d}, partition.Dagon)
 	if err != nil {
@@ -218,6 +226,7 @@ func TestCoverErrorOnShortPositions(t *testing.T) {
 }
 
 func TestSelectedLeafSubtrees(t *testing.T) {
+	t.Parallel()
 	d, root := nand3Chain()
 	res, f := coverIt(t, d, nil, Options{K: 0})
 	inTree := func(g int) bool { return f.Father[g] >= 0 || g == root }
@@ -229,6 +238,7 @@ func TestSelectedLeafSubtrees(t *testing.T) {
 }
 
 func TestMinDelayObjective(t *testing.T) {
+	t.Parallel()
 	// A deep chain: min-delay covering must not be worse in levels
 	// than min-area, and must track arrival estimates.
 	d := subject.New()
@@ -270,6 +280,7 @@ func TestMinDelayObjective(t *testing.T) {
 }
 
 func TestMinDelayPrefersShallowCover(t *testing.T) {
+	t.Parallel()
 	// NAND4 shape: balanced (2-level) vs linear patterns exist; the
 	// delay objective must pick a cover whose estimated arrival is no
 	// worse than the area objective's.
@@ -308,6 +319,7 @@ func TestMinDelayPrefersShallowCover(t *testing.T) {
 // totals, same committed placement — on a multi-tree forest with
 // cross-tree references.
 func TestCoverWorkersDeterminism(t *testing.T) {
+	t.Parallel()
 	// A forest with several trees: a shared subexpression fans out to
 	// three cones, so PDP/Dagon cut it into multiple trees with
 	// cross-tree leaf references.

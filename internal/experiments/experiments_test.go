@@ -13,6 +13,7 @@ import (
 const testScale = 0.08
 
 func TestKSweepScaledShape(t *testing.T) {
+	t.Parallel()
 	res, err := KSweep(context.Background(), bench.SPLA, testScale, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -40,6 +41,7 @@ func TestKSweepScaledShape(t *testing.T) {
 }
 
 func TestTable1Scaled(t *testing.T) {
+	t.Parallel()
 	rows, layout, err := Table1(context.Background(), testScale)
 	if err != nil {
 		t.Fatal(err)
@@ -62,6 +64,7 @@ func TestTable1Scaled(t *testing.T) {
 }
 
 func TestFigure1Invariants(t *testing.T) {
+	t.Parallel()
 	minArea, congestion, err := Figure1()
 	if err != nil {
 		t.Fatal(err)
@@ -85,6 +88,7 @@ func TestFigure1Invariants(t *testing.T) {
 }
 
 func TestFigure3Scaled(t *testing.T) {
+	t.Parallel()
 	res, err := Figure3(context.Background(), bench.SPLA, testScale, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -99,6 +103,7 @@ func TestFigure3Scaled(t *testing.T) {
 }
 
 func TestSTATableScaled(t *testing.T) {
+	t.Parallel()
 	rows, err := STATable(context.Background(), bench.SPLA, testScale, 0.001, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -128,6 +133,7 @@ func TestSTATableScaled(t *testing.T) {
 }
 
 func TestPartitionAblationScaled(t *testing.T) {
+	t.Parallel()
 	rows, err := PartitionAblation(context.Background(), bench.SPLA, testScale, 0.001)
 	if err != nil {
 		t.Fatal(err)
@@ -143,6 +149,7 @@ func TestPartitionAblationScaled(t *testing.T) {
 }
 
 func TestWireCostAblationScaled(t *testing.T) {
+	t.Parallel()
 	rows, err := WireCostAblation(context.Background(), bench.SPLA, testScale, 0.005)
 	if err != nil {
 		t.Fatal(err)
@@ -163,6 +170,7 @@ func TestWireCostAblationScaled(t *testing.T) {
 }
 
 func TestCalibrationConstants(t *testing.T) {
+	t.Parallel()
 	ro := RouteOpts()
 	if ro.CapacityScale != CapacityScale || ro.GCellSize != GCellSize {
 		t.Error("RouteOpts does not carry the calibration")

@@ -39,6 +39,7 @@ import (
 	"casyn/internal/runstage"
 	"casyn/internal/sta"
 	"casyn/internal/subject"
+	"casyn/internal/verify"
 )
 
 // Config parameterizes the flow.
@@ -81,6 +82,17 @@ type Config struct {
 	// Hooks injects failures, panics, or delays into specific stages
 	// for testing; nil disables injection.
 	Hooks *runstage.Hooks
+	// Verify enables the post-mapping equivalence check: every mapped
+	// netlist is verified against the subject DAG (verify.Equivalent)
+	// before placement. An inequivalent netlist fails its iteration
+	// with a StageVerify error — functional corruption never degrades
+	// silently into a metrics row. The report (including unproven
+	// verdicts on designs too wide for the exact engines) lands in
+	// Iteration.Verify.
+	Verify bool
+	// VerifyOpts forwards to the equivalence checker when Verify is
+	// set (zero value = library defaults).
+	VerifyOpts verify.Options
 	// Workers bounds the goroutines of the K sweep (0 =
 	// runtime.GOMAXPROCS, 1 = the serial loop). Iterations for
 	// different K values are independent, so the ladder fans out across
@@ -162,6 +174,10 @@ type Iteration struct {
 	Routable bool
 	Timing   *sta.Result
 	Netlist  *netlist.Netlist
+	// Verify is the mapped-netlist equivalence report (only when
+	// Config.Verify is set; always Equivalent when non-nil, because an
+	// inequivalent netlist fails the iteration instead).
+	Verify *verify.Report
 	// Err is non-nil when this iteration failed (stage error, panic,
 	// or per-iteration timeout); typically a *runstage.StageError.
 	Err error
@@ -412,6 +428,24 @@ func RunOnce(ctx context.Context, pc *Context, k float64, cfg Config) (Iteration
 	it.NumCells = mres.NumCells
 	it.DuplicatedCells = mres.DuplicatedCells
 	it.Utilization = cfg.Layout.Utilization(mres.CellArea)
+
+	if cfg.Verify {
+		rep, err := runstage.Run(ctx, runstage.StageVerify, k, cfg.StageTimeout, cfg.Hooks,
+			func(ctx context.Context) (*verify.Report, error) {
+				rep, err := verify.Equivalent(ctx, pc.DAG, mres.Netlist, cfg.VerifyOpts)
+				if err != nil {
+					return nil, err
+				}
+				if !rep.Equivalent {
+					return rep, fmt.Errorf("mapped netlist differs from subject DAG: %s", rep)
+				}
+				return rep, nil
+			})
+		if err != nil {
+			return it, err
+		}
+		it.Verify = rep
+	}
 
 	pn := mres.Netlist.ToPlacement(pc.PIPads, pc.POList)
 	pl, err := runstage.Run(ctx, runstage.StagePlace, k, cfg.StageTimeout, cfg.Hooks,

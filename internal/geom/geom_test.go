@@ -9,6 +9,7 @@ import (
 func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
 
 func TestPointArithmetic(t *testing.T) {
+	t.Parallel()
 	p := Pt(1, 2)
 	q := Pt(3, -4)
 	if got := p.Add(q); got != Pt(4, -2) {
@@ -23,6 +24,7 @@ func TestPointArithmetic(t *testing.T) {
 }
 
 func TestManhattanDistance(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		p, q Point
 		want float64
@@ -40,12 +42,14 @@ func TestManhattanDistance(t *testing.T) {
 }
 
 func TestEuclideanDistance(t *testing.T) {
+	t.Parallel()
 	if got := Pt(0, 0).Euclidean(Pt(3, 4)); !almostEq(got, 5) {
 		t.Errorf("Euclidean = %g, want 5", got)
 	}
 }
 
 func TestMetricDispatch(t *testing.T) {
+	t.Parallel()
 	p, q := Pt(0, 0), Pt(3, 4)
 	if got := ManhattanMetric.Distance(p, q); !almostEq(got, 7) {
 		t.Errorf("ManhattanMetric = %g, want 7", got)
@@ -59,6 +63,7 @@ func TestMetricDispatch(t *testing.T) {
 }
 
 func TestRectConstruction(t *testing.T) {
+	t.Parallel()
 	// R normalizes swapped corners.
 	r := R(5, 7, 1, 2)
 	if r.Min != Pt(1, 2) || r.Max != Pt(5, 7) {
@@ -79,6 +84,7 @@ func TestRectConstruction(t *testing.T) {
 }
 
 func TestRectContains(t *testing.T) {
+	t.Parallel()
 	r := R(0, 0, 10, 10)
 	for _, p := range []Point{Pt(0, 0), Pt(10, 10), Pt(5, 5), Pt(0, 10)} {
 		if !r.Contains(p) {
@@ -93,6 +99,7 @@ func TestRectContains(t *testing.T) {
 }
 
 func TestRectIntersects(t *testing.T) {
+	t.Parallel()
 	a := R(0, 0, 10, 10)
 	cases := []struct {
 		b    Rect
@@ -115,6 +122,7 @@ func TestRectIntersects(t *testing.T) {
 }
 
 func TestRectUnion(t *testing.T) {
+	t.Parallel()
 	got := R(0, 0, 1, 1).Union(R(5, -2, 6, 3))
 	want := R(0, -2, 6, 3)
 	if got != want {
@@ -123,6 +131,7 @@ func TestRectUnion(t *testing.T) {
 }
 
 func TestRectExpand(t *testing.T) {
+	t.Parallel()
 	r := R(2, 2, 4, 4)
 	if got := r.Expand(1); got != R(1, 1, 5, 5) {
 		t.Errorf("Expand(1) = %v", got)
@@ -138,6 +147,7 @@ func TestRectExpand(t *testing.T) {
 }
 
 func TestBoundingBoxAndHPWL(t *testing.T) {
+	t.Parallel()
 	pts := []Point{Pt(1, 1), Pt(4, 0), Pt(2, 6)}
 	bb := BoundingBox(pts)
 	if bb != R(1, 0, 4, 6) {
@@ -155,6 +165,7 @@ func TestBoundingBoxAndHPWL(t *testing.T) {
 }
 
 func TestCenterOfMass(t *testing.T) {
+	t.Parallel()
 	pts := []Point{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
 	if got := CenterOfMass(pts); got != Pt(1, 1) {
 		t.Errorf("CenterOfMass = %v, want (1,1)", got)
@@ -165,6 +176,7 @@ func TestCenterOfMass(t *testing.T) {
 }
 
 func TestWeightedCenterOfMass(t *testing.T) {
+	t.Parallel()
 	pts := []Point{Pt(0, 0), Pt(4, 0)}
 	got := WeightedCenterOfMass(pts, []float64{1, 3})
 	if got != Pt(3, 0) {
@@ -186,6 +198,7 @@ func TestWeightedCenterOfMass(t *testing.T) {
 // non-negative, zero iff equal points, and satisfies the triangle
 // inequality.
 func TestManhattanMetricProperties(t *testing.T) {
+	t.Parallel()
 	f := func(ax, ay, bx, by, cx, cy float64) bool {
 		// Constrain to a sane range to avoid inf/overflow noise.
 		clamp := func(v float64) float64 {
@@ -215,6 +228,7 @@ func TestManhattanMetricProperties(t *testing.T) {
 // Property: HPWL is invariant under permutation of the pin list and
 // never decreases when a point is added.
 func TestHPWLProperties(t *testing.T) {
+	t.Parallel()
 	f := func(xs, ys []float64, extraX, extraY float64) bool {
 		n := len(xs)
 		if len(ys) < n {
@@ -252,6 +266,7 @@ func TestHPWLProperties(t *testing.T) {
 
 // Property: CenterOfMass lies inside the bounding box of its points.
 func TestCenterOfMassInsideBBox(t *testing.T) {
+	t.Parallel()
 	f := func(xs, ys []float64) bool {
 		n := len(xs)
 		if len(ys) < n {

@@ -1,0 +1,97 @@
+package library
+
+import (
+	"testing"
+)
+
+// cellReference is the complete table of CORELIB cell semantics: one
+// reference function per cell, evaluated over the pattern's variable
+// order. TestEveryCellFunctionAgainstTruthTable asserts the table
+// covers every cell in the default library, so adding a cell without a
+// reference here fails the suite.
+var cellReference = map[string]func(v []bool) bool{
+	"INV":    func(v []bool) bool { return !v[0] },
+	"NAND2":  func(v []bool) bool { return !(v[0] && v[1]) },
+	"NAND3":  func(v []bool) bool { return !(v[0] && v[1] && v[2]) },
+	"NAND4":  func(v []bool) bool { return !(v[0] && v[1] && v[2] && v[3]) },
+	"NAND5":  func(v []bool) bool { return !(v[0] && v[1] && v[2] && v[3] && v[4]) },
+	"NAND6":  func(v []bool) bool { return !(v[0] && v[1] && v[2] && v[3] && v[4] && v[5]) },
+	"NOR2":   func(v []bool) bool { return !(v[0] || v[1]) },
+	"NOR3":   func(v []bool) bool { return !(v[0] || v[1] || v[2]) },
+	"NOR4":   func(v []bool) bool { return !(v[0] || v[1] || v[2] || v[3]) },
+	"AND2":   func(v []bool) bool { return v[0] && v[1] },
+	"AND3":   func(v []bool) bool { return v[0] && v[1] && v[2] },
+	"AND4":   func(v []bool) bool { return v[0] && v[1] && v[2] && v[3] },
+	"OR2":    func(v []bool) bool { return v[0] || v[1] },
+	"OR3":    func(v []bool) bool { return v[0] || v[1] || v[2] },
+	"AOI21":  func(v []bool) bool { return !(v[0] && v[1] || v[2]) },
+	"AOI22":  func(v []bool) bool { return !(v[0] && v[1] || v[2] && v[3]) },
+	"AOI211": func(v []bool) bool { return !(v[0] && v[1] || v[2] || v[3]) },
+	"AOI222": func(v []bool) bool { return !(v[0] && v[1] || v[2] && v[3] || v[4] && v[5]) },
+	"OAI21":  func(v []bool) bool { return !((v[0] || v[1]) && v[2]) },
+	"OAI22":  func(v []bool) bool { return !((v[0] || v[1]) && (v[2] || v[3])) },
+	"OAI211": func(v []bool) bool { return !((v[0] || v[1]) && v[2] && v[3]) },
+	"OAI222": func(v []bool) bool { return !((v[0] || v[1]) && (v[2] || v[3]) && (v[4] || v[5])) },
+	"XOR2":   func(v []bool) bool { return v[0] != v[1] },
+	"XNOR2":  func(v []bool) bool { return v[0] == v[1] },
+}
+
+// TestEveryCellFunctionAgainstTruthTable checks every pattern of every
+// CORELIB cell against its reference function over the full truth
+// table, and that the reference table and the library agree on the
+// cell set in both directions.
+func TestEveryCellFunctionAgainstTruthTable(t *testing.T) {
+	t.Parallel()
+	l := Default()
+	for _, cell := range l.Cells() {
+		ref, ok := cellReference[cell.Name]
+		if !ok {
+			t.Errorf("cell %s has no reference function", cell.Name)
+			continue
+		}
+		vars := cell.Patterns[0].Vars()
+		for m := 0; m < 1<<len(vars); m++ {
+			vals := make([]bool, len(vars))
+			assign := map[string]bool{}
+			for i, v := range vars {
+				vals[i] = m>>i&1 == 1
+				assign[v] = vals[i]
+			}
+			want := ref(vals)
+			for pi, p := range cell.Patterns {
+				if got := p.Eval(assign); got != want {
+					t.Errorf("%s pattern %d (%s) minterm %d: got %v want %v",
+						cell.Name, pi, p, m, got, want)
+				}
+			}
+		}
+	}
+	for name := range cellReference {
+		if l.Cell(name) == nil {
+			t.Errorf("reference names cell %s that the library lacks", name)
+		}
+	}
+}
+
+// TestCellPatternsShareVariableOrder: every pattern of a cell exposes
+// the same variable list in the same order — the contract the mapper's
+// leaf binding and the netlist's pin assignment both rely on.
+func TestCellPatternsShareVariableOrder(t *testing.T) {
+	t.Parallel()
+	for _, cell := range Default().Cells() {
+		base := cell.Patterns[0].Vars()
+		for pi, p := range cell.Patterns {
+			vars := p.Vars()
+			if len(vars) != len(base) {
+				t.Errorf("%s pattern %d has %d vars, pattern 0 has %d", cell.Name, pi, len(vars), len(base))
+				continue
+			}
+			for i := range vars {
+				if vars[i] != base[i] {
+					t.Errorf("%s pattern %d variable order %v differs from %v", cell.Name, pi, vars, base)
+					break
+				}
+			}
+		}
+	}
+}

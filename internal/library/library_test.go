@@ -7,6 +7,7 @@ import (
 )
 
 func TestParsePattern(t *testing.T) {
+	t.Parallel()
 	p, err := ParsePattern("NAND(a,INV(NAND(b,c)))")
 	if err != nil {
 		t.Fatal(err)
@@ -29,6 +30,7 @@ func TestParsePattern(t *testing.T) {
 }
 
 func TestParsePatternErrors(t *testing.T) {
+	t.Parallel()
 	bad := []string{
 		"",
 		"NAND(a)",
@@ -46,6 +48,7 @@ func TestParsePatternErrors(t *testing.T) {
 }
 
 func TestPatternEval(t *testing.T) {
+	t.Parallel()
 	// NAND3 pattern = (abc)'.
 	p := MustParsePattern("NAND(a,INV(NAND(b,c)))")
 	for m := 0; m < 8; m++ {
@@ -60,6 +63,7 @@ func TestPatternEval(t *testing.T) {
 }
 
 func TestDefaultLibraryValidates(t *testing.T) {
+	t.Parallel()
 	l := Default()
 	for _, c := range l.Cells() {
 		if err := c.Validate(); err != nil {
@@ -72,6 +76,7 @@ func TestDefaultLibraryValidates(t *testing.T) {
 }
 
 func TestDefaultLibraryFunctions(t *testing.T) {
+	t.Parallel()
 	l := Default()
 	// Spot-check cell functions against their intended semantics.
 	checks := map[string]func(a, b, c, d bool) bool{
@@ -115,6 +120,7 @@ func TestDefaultLibraryFunctions(t *testing.T) {
 }
 
 func TestFigure1AreaCalibration(t *testing.T) {
+	t.Parallel()
 	l := Default()
 	minArea := l.Cell("NAND3").Area + l.Cell("AOI21").Area + 2*l.Cell("INV").Area
 	if math.Abs(minArea-53.248) > 1e-9 {
@@ -127,6 +133,7 @@ func TestFigure1AreaCalibration(t *testing.T) {
 }
 
 func TestCellValidateCatchesBadCells(t *testing.T) {
+	t.Parallel()
 	bad := []*Cell{
 		{Name: "", Area: 1, Patterns: []*Pattern{Var("a")}},
 		{Name: "X", Area: 0, Patterns: []*Pattern{Var("a")}},
@@ -149,6 +156,7 @@ func TestCellValidateCatchesBadCells(t *testing.T) {
 }
 
 func TestNewLibraryRejectsDuplicatesAndMissingBase(t *testing.T) {
+	t.Parallel()
 	inv := &Cell{Name: "INV", Area: 1, Patterns: []*Pattern{MustParsePattern("INV(a)")}}
 	nd := &Cell{Name: "NAND2", Area: 1, Patterns: []*Pattern{MustParsePattern("NAND(a,b)")}}
 	if _, err := NewLibrary("t", []*Cell{inv, nd, inv}); err == nil {
@@ -166,6 +174,7 @@ func TestNewLibraryRejectsDuplicatesAndMissingBase(t *testing.T) {
 }
 
 func TestCellWidth(t *testing.T) {
+	t.Parallel()
 	l := Default()
 	inv := l.Inv()
 	if math.Abs(inv.Width()*RowHeight-inv.Area) > 1e-9 {
@@ -174,6 +183,7 @@ func TestCellWidth(t *testing.T) {
 }
 
 func TestNumInputs(t *testing.T) {
+	t.Parallel()
 	l := Default()
 	wants := map[string]int{"INV": 1, "NAND2": 2, "NAND3": 3, "NAND4": 4, "AOI21": 3, "XOR2": 2}
 	for name, want := range wants {
@@ -184,6 +194,7 @@ func TestNumInputs(t *testing.T) {
 }
 
 func TestPatternStringGrammar(t *testing.T) {
+	t.Parallel()
 	for _, c := range Default().Cells() {
 		for _, p := range c.Patterns {
 			s := p.String()
@@ -198,6 +209,7 @@ func TestPatternStringGrammar(t *testing.T) {
 }
 
 func TestWideCellFunctions(t *testing.T) {
+	t.Parallel()
 	l := Default()
 	checks := map[string]func(v []bool) bool{
 		"NAND5":  func(v []bool) bool { return !(v[0] && v[1] && v[2] && v[3] && v[4]) },
@@ -236,6 +248,7 @@ func TestWideCellFunctions(t *testing.T) {
 }
 
 func TestWideCellsAreaPerInputFalls(t *testing.T) {
+	t.Parallel()
 	// The min-area incentive: bigger NANDs must be cheaper per input.
 	l := Default()
 	chain := []string{"NAND2", "NAND3", "NAND4", "NAND5", "NAND6"}

@@ -33,6 +33,7 @@ func vecEqual(a, b []bool) bool {
 }
 
 func TestParseCover(t *testing.T) {
+	t.Parallel()
 	c := MustParseCover("1-0 01-")
 	if c.Inputs() != 3 || c.Len() != 2 {
 		t.Fatalf("Inputs=%d Len=%d", c.Inputs(), c.Len())
@@ -47,6 +48,7 @@ func TestParseCover(t *testing.T) {
 }
 
 func TestCoverEval(t *testing.T) {
+	t.Parallel()
 	// f = a·b' + c  over (a,b,c)
 	c := MustParseCover("10- --1")
 	cases := []struct {
@@ -66,6 +68,7 @@ func TestCoverEval(t *testing.T) {
 }
 
 func TestCofactorLit(t *testing.T) {
+	t.Parallel()
 	c := MustParseCover("1-0 01- 0-1")
 	pc := c.CofactorLit(0, true)
 	// Cubes with literal a': dropped. Cubes with a or don't-care kept,
@@ -80,6 +83,7 @@ func TestCofactorLit(t *testing.T) {
 }
 
 func TestTautology(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		cover string
 		n     int
@@ -108,6 +112,7 @@ func TestTautology(t *testing.T) {
 }
 
 func TestContainsCube(t *testing.T) {
+	t.Parallel()
 	c := MustParseCover("1-- 01-")
 	if !c.ContainsCube(MustParseCube("11-")) {
 		t.Error("cover must contain 11-")
@@ -126,6 +131,7 @@ func TestContainsCube(t *testing.T) {
 }
 
 func TestSingleCubeContainment(t *testing.T) {
+	t.Parallel()
 	c := MustParseCover("1-- 110 10- ---")
 	c.SingleCubeContainment()
 	if c.Len() != 1 || !c.Cubes[0].IsUniversal() {
@@ -134,6 +140,7 @@ func TestSingleCubeContainment(t *testing.T) {
 }
 
 func TestIrredundant(t *testing.T) {
+	t.Parallel()
 	// ab + a'c + bc: bc is the classic redundant consensus term.
 	c := MustParseCover("11- 0-1 -11")
 	before := evalAll(c)
@@ -147,6 +154,7 @@ func TestIrredundant(t *testing.T) {
 }
 
 func TestComplement(t *testing.T) {
+	t.Parallel()
 	cases := []string{
 		"1-0 01-",
 		"11- -11 0-1",
@@ -176,6 +184,7 @@ func TestComplement(t *testing.T) {
 }
 
 func TestEquivalent(t *testing.T) {
+	t.Parallel()
 	a := MustParseCover("11- -11 0-1")
 	b := MustParseCover("11- 0-1") // same function, consensus removed
 	if !a.Equivalent(b) {
@@ -188,6 +197,7 @@ func TestEquivalent(t *testing.T) {
 }
 
 func TestMinimizePreservesFunction(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 60; trial++ {
 		n := rng.Intn(6) + 2
@@ -208,6 +218,7 @@ func TestMinimizePreservesFunction(t *testing.T) {
 }
 
 func TestMinimizeWithDontCares(t *testing.T) {
+	t.Parallel()
 	// ON = 11, DC = 10: minimizer may expand to 1-.
 	on := MustParseCover("11")
 	dc := MustParseCover("10")
@@ -218,6 +229,7 @@ func TestMinimizeWithDontCares(t *testing.T) {
 }
 
 func TestMergeDistanceOne(t *testing.T) {
+	t.Parallel()
 	c := MustParseCover("110 111")
 	c.MergeDistanceOne()
 	if c.Len() != 1 || c.Cubes[0].String() != "11-" {
@@ -233,6 +245,7 @@ func TestMergeDistanceOne(t *testing.T) {
 }
 
 func TestMinimizeIsIrredundantAndPrime(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(11))
 	for trial := 0; trial < 30; trial++ {
 		n := rng.Intn(5) + 2
@@ -267,6 +280,7 @@ func TestMinimizeIsIrredundantAndPrime(t *testing.T) {
 }
 
 func TestCoverString(t *testing.T) {
+	t.Parallel()
 	c := MustParseCover("1-0 01-")
 	if got := c.String(); got != "1-0\n01-" {
 		t.Errorf("String = %q", got)

@@ -7,6 +7,7 @@ import (
 )
 
 func TestParseCube(t *testing.T) {
+	t.Parallel()
 	c, err := ParseCube("10-1")
 	if err != nil {
 		t.Fatal(err)
@@ -29,6 +30,7 @@ func TestParseCube(t *testing.T) {
 }
 
 func TestCubeSettersAndLiteralCount(t *testing.T) {
+	t.Parallel()
 	c := NewCube(70) // spans two words
 	if !c.IsUniversal() {
 		t.Fatal("new cube must be universal")
@@ -54,6 +56,7 @@ func TestCubeSettersAndLiteralCount(t *testing.T) {
 }
 
 func TestCubeContains(t *testing.T) {
+	t.Parallel()
 	wide := MustParseCube("1---")
 	narrow := MustParseCube("10-1")
 	if !wide.Contains(narrow) {
@@ -75,6 +78,7 @@ func TestCubeContains(t *testing.T) {
 }
 
 func TestCubeIntersect(t *testing.T) {
+	t.Parallel()
 	a := MustParseCube("1--")
 	b := MustParseCube("-0-")
 	got, ok := a.Intersect(b)
@@ -88,6 +92,7 @@ func TestCubeIntersect(t *testing.T) {
 }
 
 func TestCubeDistance(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		a, b string
 		want int
@@ -105,6 +110,7 @@ func TestCubeDistance(t *testing.T) {
 }
 
 func TestCubeCofactor(t *testing.T) {
+	t.Parallel()
 	c := MustParseCube("1-0")
 	got, ok := c.Cofactor(0, true)
 	if !ok || got.String() != "--0" {
@@ -120,6 +126,7 @@ func TestCubeCofactor(t *testing.T) {
 }
 
 func TestCubeSupercube(t *testing.T) {
+	t.Parallel()
 	a := MustParseCube("10-")
 	b := MustParseCube("11-")
 	sc := a.Supercube(b)
@@ -132,6 +139,7 @@ func TestCubeSupercube(t *testing.T) {
 }
 
 func TestCubeEval(t *testing.T) {
+	t.Parallel()
 	c := MustParseCube("1-0")
 	if !c.EvalAssignment([]bool{true, false, false}) {
 		t.Error("1-0 must accept 1x0")
@@ -163,6 +171,7 @@ func randomCube(rng *rand.Rand, n int) Cube {
 
 // Property: parse(String(c)) == c round-trips.
 func TestCubeStringRoundTrip(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 200; trial++ {
 		n := rng.Intn(80) + 1
@@ -176,6 +185,7 @@ func TestCubeStringRoundTrip(t *testing.T) {
 
 // Property: a.Contains(b) iff the intersection of a and b equals b.
 func TestCubeContainsMatchesIntersection(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(2))
 	for trial := 0; trial < 500; trial++ {
 		n := rng.Intn(20) + 1
@@ -190,6 +200,7 @@ func TestCubeContainsMatchesIntersection(t *testing.T) {
 
 // Property: distance-0 cubes intersect, distance>0 cubes do not.
 func TestCubeDistanceIntersectionAgreement(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := rng.Intn(20) + 1
@@ -205,6 +216,7 @@ func TestCubeDistanceIntersectionAgreement(t *testing.T) {
 // Property: supercube contains both operands and evaluation agrees on
 // all assignments of small cubes.
 func TestCubeSupercubeProperty(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(3))
 	for trial := 0; trial < 300; trial++ {
 		n := rng.Intn(8) + 1

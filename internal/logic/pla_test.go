@@ -20,6 +20,7 @@ const samplePLA = `# tiny two-output example
 `
 
 func TestReadPLA(t *testing.T) {
+	t.Parallel()
 	p, err := ReadPLA(strings.NewReader(samplePLA))
 	if err != nil {
 		t.Fatal(err)
@@ -39,6 +40,7 @@ func TestReadPLA(t *testing.T) {
 }
 
 func TestReadPLAJoinedPlanes(t *testing.T) {
+	t.Parallel()
 	// Some writers emit input and output planes without a separator.
 	src := ".i 2\n.o 1\n111\n.e\n"
 	p, err := ReadPLA(strings.NewReader(src))
@@ -51,6 +53,7 @@ func TestReadPLAJoinedPlanes(t *testing.T) {
 }
 
 func TestReadPLAErrors(t *testing.T) {
+	t.Parallel()
 	bad := []string{
 		"1-0 1\n",              // term before .i/.o
 		".i 2\n.o 1\n1-0 1\n",  // wrong input width
@@ -68,6 +71,7 @@ func TestReadPLAErrors(t *testing.T) {
 }
 
 func TestPLAWriteReadRoundTrip(t *testing.T) {
+	t.Parallel()
 	p, err := ReadPLA(strings.NewReader(samplePLA))
 	if err != nil {
 		t.Fatal(err)
@@ -99,6 +103,7 @@ func TestPLAWriteReadRoundTrip(t *testing.T) {
 }
 
 func TestOutputCoverAndSetOutputCover(t *testing.T) {
+	t.Parallel()
 	p, _ := ReadPLA(strings.NewReader(samplePLA))
 	cov := p.OutputCover(0)
 	if cov.Len() != 2 {
@@ -131,6 +136,7 @@ func TestOutputCoverAndSetOutputCover(t *testing.T) {
 }
 
 func TestPLAMinimizePreservesBehaviour(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(21))
 	for trial := 0; trial < 20; trial++ {
 		ni := rng.Intn(5) + 2
@@ -179,6 +185,7 @@ func TestPLAMinimizePreservesBehaviour(t *testing.T) {
 }
 
 func TestAddTermValidation(t *testing.T) {
+	t.Parallel()
 	p := NewPLA(3, 2)
 	if err := p.AddTerm(MustParseCube("1-"), []bool{true, false}); err == nil {
 		t.Error("wrong input width accepted")
@@ -192,6 +199,7 @@ func TestAddTermValidation(t *testing.T) {
 }
 
 func TestPLAStatsAndSort(t *testing.T) {
+	t.Parallel()
 	p, _ := ReadPLA(strings.NewReader(samplePLA))
 	s := p.Stats()
 	if s.Inputs != 3 || s.Outputs != 2 || s.Terms != 3 {
@@ -209,6 +217,7 @@ func TestPLAStatsAndSort(t *testing.T) {
 }
 
 func TestDefaultNames(t *testing.T) {
+	t.Parallel()
 	p := NewPLA(2, 1)
 	_ = p.AddTerm(MustParseCube("11"), []bool{true})
 	var buf bytes.Buffer

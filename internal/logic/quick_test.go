@@ -35,6 +35,7 @@ func widen(c Cube, n int) Cube {
 // Property: containment is a partial order — reflexive and
 // antisymmetric (mutual containment implies equality).
 func TestQuickCubeContainmentPartialOrder(t *testing.T) {
+	t.Parallel()
 	f := func(a, b quickCube) bool {
 		n := a.C.Inputs()
 		if b.C.Inputs() > n {
@@ -57,6 +58,7 @@ func TestQuickCubeContainmentPartialOrder(t *testing.T) {
 // Property: intersection is the greatest lower bound — contained in
 // both operands, and any cube contained in both is contained in it.
 func TestQuickCubeIntersectionGLB(t *testing.T) {
+	t.Parallel()
 	f := func(a, b, c quickCube) bool {
 		n := 12
 		x, y, z := widen(a.C, n), widen(b.C, n), widen(c.C, n)
@@ -84,6 +86,7 @@ func TestQuickCubeIntersectionGLB(t *testing.T) {
 // Property: the supercube is the least upper bound with respect to
 // containment of the operands.
 func TestQuickSupercubeLUB(t *testing.T) {
+	t.Parallel()
 	f := func(a, b quickCube) bool {
 		n := 12
 		x, y := widen(a.C, n), widen(b.C, n)
@@ -98,6 +101,7 @@ func TestQuickSupercubeLUB(t *testing.T) {
 // Property: cover complement is an involution on the function —
 // complementing twice gives an equivalent cover.
 func TestQuickComplementInvolution(t *testing.T) {
+	t.Parallel()
 	cfg := &quick.Config{MaxCount: 40}
 	f := func(a, b, c quickCube) bool {
 		n := 6
@@ -116,6 +120,7 @@ func TestQuickComplementInvolution(t *testing.T) {
 // Property: Minimize never changes the function (checked by
 // Equivalent, which is exact) and never grows the cube count.
 func TestQuickMinimizeSoundness(t *testing.T) {
+	t.Parallel()
 	cfg := &quick.Config{MaxCount: 40}
 	f := func(a, b, c, d quickCube) bool {
 		n := 6

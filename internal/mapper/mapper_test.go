@@ -87,6 +87,7 @@ func checkEquivalent(t *testing.T, res *Result, p *logic.PLA, rng *rand.Rand, ve
 }
 
 func TestMapMinAreaEquivalence(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(41))
 	d, in, p := preparedDAG(t, rng, 7, 3, 16)
 	for _, method := range []partition.Method{partition.Dagon, partition.Cone, partition.PDP} {
@@ -102,6 +103,7 @@ func TestMapMinAreaEquivalence(t *testing.T) {
 }
 
 func TestMapCongestionEquivalence(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(43))
 	d, in, p := preparedDAG(t, rng, 8, 4, 20)
 	for _, k := range []float64{0, 0.0005, 0.01, 0.5, 5} {
@@ -114,6 +116,7 @@ func TestMapCongestionEquivalence(t *testing.T) {
 }
 
 func TestMapAreaGrowsWithK(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(47))
 	d, in, _ := preparedDAG(t, rng, 8, 4, 24)
 	area0, err := Map(context.Background(), d, in, Options{K: 0})
@@ -133,6 +136,7 @@ func TestMapAreaGrowsWithK(t *testing.T) {
 }
 
 func TestMapWireShrinksWithK(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(53))
 	d, in, _ := preparedDAG(t, rng, 8, 4, 24)
 	res0, err := Map(context.Background(), d, in, Options{K: 0})
@@ -149,6 +153,7 @@ func TestMapWireShrinksWithK(t *testing.T) {
 }
 
 func TestDuplicationAccounting(t *testing.T) {
+	t.Parallel()
 	// Force duplication: multi-fanout gate covered inside its father's
 	// tree under PDP while another tree references it.
 	d := subject.New()
@@ -196,6 +201,7 @@ func TestDuplicationAccounting(t *testing.T) {
 }
 
 func TestSubjectPlacement(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(59))
 	p := samplePLA(rng, 6, 3, 12)
 	n, err := bnet.FromPLA(p)
@@ -241,6 +247,7 @@ func TestSubjectPlacement(t *testing.T) {
 }
 
 func TestMapSummaryMentionsCells(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(61))
 	d, in, _ := preparedDAG(t, rng, 6, 2, 10)
 	res, err := Map(context.Background(), d, in, Options{K: 0})

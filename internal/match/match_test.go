@@ -34,6 +34,7 @@ func cellNames(ms []Match) map[string]bool {
 }
 
 func TestMatchNand2AndInv(t *testing.T) {
+	t.Parallel()
 	d := subject.New()
 	a := d.AddPI("a")
 	b := d.AddPI("b")
@@ -63,6 +64,7 @@ func TestMatchNand2AndInv(t *testing.T) {
 }
 
 func TestMatchNand3BothShapes(t *testing.T) {
+	t.Parallel()
 	// NAND3 in "a NAND (b AND c)" shape.
 	d := subject.New()
 	a := d.AddPI("a")
@@ -102,6 +104,7 @@ func TestMatchNand3BothShapes(t *testing.T) {
 }
 
 func TestMatchAoi21(t *testing.T) {
+	t.Parallel()
 	// AOI21 = INV(NAND(NAND(a,b), INV(c))).
 	d := subject.New()
 	a := d.AddPI("a")
@@ -134,6 +137,7 @@ func TestMatchAoi21(t *testing.T) {
 }
 
 func TestMatchStopsAtTreeBoundary(t *testing.T) {
+	t.Parallel()
 	// inner = NAND(a,b) is multi-fanout: DAGON cuts it, so NAND3 must
 	// NOT match across it from the root tree.
 	d := subject.New()
@@ -173,6 +177,7 @@ func TestMatchStopsAtTreeBoundary(t *testing.T) {
 }
 
 func TestMatchRespectsFatherEdge(t *testing.T) {
+	t.Parallel()
 	// Both consumers of the multi-fanout gate w live in the same tree.
 	// The matcher may cover w only through its father edge.
 	d := subject.New()
@@ -211,6 +216,7 @@ func TestMatchRespectsFatherEdge(t *testing.T) {
 }
 
 func TestMatchXorRequiresSharedLeaf(t *testing.T) {
+	t.Parallel()
 	// XOR pattern has repeated variables; it only matches when the
 	// repeated leaves bind the same gate. Build the XOR shape with
 	// distinct duplicated inputs — must NOT match XOR2.
@@ -230,6 +236,7 @@ func TestMatchXorRequiresSharedLeaf(t *testing.T) {
 }
 
 func TestEveryTreeVertexHasAMatch(t *testing.T) {
+	t.Parallel()
 	// Covering feasibility: every NAND2/INV vertex must match at least
 	// its base cell.
 	d := subject.New()
@@ -258,6 +265,7 @@ func TestEveryTreeVertexHasAMatch(t *testing.T) {
 // cell's pattern evaluated on the leaf values must equal the subject
 // gate's value, over all PI assignments.
 func TestMatchFunctionalCorrectness(t *testing.T) {
+	t.Parallel()
 	d := subject.New()
 	a := d.AddPI("a")
 	b := d.AddPI("b")

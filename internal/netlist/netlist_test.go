@@ -22,6 +22,7 @@ func buildSmall() (*Netlist, *library.Library) {
 }
 
 func TestNetlistBasics(t *testing.T) {
+	t.Parallel()
 	n, lib := buildSmall()
 	if n.NumCells() != 2 {
 		t.Fatalf("NumCells = %d", n.NumCells())
@@ -43,6 +44,7 @@ func TestNetlistBasics(t *testing.T) {
 }
 
 func TestNetlistEval(t *testing.T) {
+	t.Parallel()
 	n, _ := buildSmall()
 	cases := []struct {
 		in   []bool
@@ -68,6 +70,7 @@ func TestNetlistEval(t *testing.T) {
 }
 
 func TestNetlistConstSignals(t *testing.T) {
+	t.Parallel()
 	lib := library.Default()
 	n := New()
 	c1 := n.AddSignal("const1", SigConst1)
@@ -84,6 +87,7 @@ func TestNetlistConstSignals(t *testing.T) {
 }
 
 func TestTopoOrder(t *testing.T) {
+	t.Parallel()
 	n, _ := buildSmall()
 	order, err := n.TopoOrder()
 	if err != nil {
@@ -100,6 +104,7 @@ func TestTopoOrder(t *testing.T) {
 }
 
 func TestCheckCatchesCorruption(t *testing.T) {
+	t.Parallel()
 	n, _ := buildSmall()
 	// Arity violation.
 	n.Instances[0].Inputs = n.Instances[0].Inputs[:1]
@@ -121,6 +126,7 @@ func TestCheckCatchesCorruption(t *testing.T) {
 }
 
 func TestToPlacement(t *testing.T) {
+	t.Parallel()
 	n, _ := buildSmall()
 	piPads := []geom.Point{geom.Pt(0, 0), geom.Pt(0, 5), geom.Pt(0, 10)}
 	poPads := []geom.Point{geom.Pt(50, 5)}
@@ -150,6 +156,7 @@ func TestToPlacement(t *testing.T) {
 }
 
 func TestToPlacementDedupesPins(t *testing.T) {
+	t.Parallel()
 	// An instance using the same signal on two pins contributes one
 	// placement pin.
 	lib := library.Default()

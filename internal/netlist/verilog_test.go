@@ -10,6 +10,7 @@ import (
 )
 
 func TestWriteVerilogStructure(t *testing.T) {
+	t.Parallel()
 	n, _ := buildSmall()
 	var buf bytes.Buffer
 	if err := n.WriteVerilog(&buf, "demo"); err != nil {
@@ -38,6 +39,7 @@ func TestWriteVerilogStructure(t *testing.T) {
 }
 
 func TestWriteVerilogConstants(t *testing.T) {
+	t.Parallel()
 	lib := library.Default()
 	n := New()
 	c1 := n.AddSignal("one", SigConst1)
@@ -58,6 +60,7 @@ func TestWriteVerilogConstants(t *testing.T) {
 }
 
 func TestSanitizeVerilogName(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		in   string
 		id   int
@@ -76,6 +79,7 @@ func TestSanitizeVerilogName(t *testing.T) {
 }
 
 func TestWriteCellReport(t *testing.T) {
+	t.Parallel()
 	n, lib := buildSmall()
 	var buf bytes.Buffer
 	if err := n.WriteCellReport(&buf); err != nil {

@@ -12,6 +12,7 @@ import (
 )
 
 func TestWorkersNormalization(t *testing.T) {
+	t.Parallel()
 	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
 		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
 	}
@@ -27,6 +28,7 @@ func TestWorkersNormalization(t *testing.T) {
 }
 
 func TestForEachRunsEveryTaskOnce(t *testing.T) {
+	t.Parallel()
 	for _, workers := range []int{1, 2, 8, 100} {
 		const n = 57
 		counts := make([]int32, n)
@@ -46,6 +48,7 @@ func TestForEachRunsEveryTaskOnce(t *testing.T) {
 }
 
 func TestForEachZeroTasks(t *testing.T) {
+	t.Parallel()
 	if err := ForEach(context.Background(), 4, 0, func(int) error {
 		t.Fatal("fn called for n=0")
 		return nil
@@ -55,6 +58,7 @@ func TestForEachZeroTasks(t *testing.T) {
 }
 
 func TestForEachBoundsConcurrency(t *testing.T) {
+	t.Parallel()
 	const workers = 3
 	var cur, peak int32
 	err := ForEach(context.Background(), workers, 40, func(i int) error {
@@ -78,6 +82,7 @@ func TestForEachBoundsConcurrency(t *testing.T) {
 }
 
 func TestForEachReturnsLowestIndexError(t *testing.T) {
+	t.Parallel()
 	// Several tasks fail; the reported error must be the one a serial
 	// loop would have hit first (lowest index among failures actually
 	// dispatched).
@@ -96,6 +101,7 @@ func TestForEachReturnsLowestIndexError(t *testing.T) {
 }
 
 func TestForEachStopsDispatchAfterError(t *testing.T) {
+	t.Parallel()
 	var ran int32
 	injected := errors.New("boom")
 	err := ForEach(context.Background(), 2, 1000, func(i int) error {
@@ -114,6 +120,7 @@ func TestForEachStopsDispatchAfterError(t *testing.T) {
 }
 
 func TestForEachContextCancel(t *testing.T) {
+	t.Parallel()
 	ctx, cancel := context.WithCancel(context.Background())
 	var ran int32
 	var once sync.Once
@@ -135,6 +142,7 @@ func TestForEachContextCancel(t *testing.T) {
 }
 
 func TestForEachTaskErrorBeatsCtxError(t *testing.T) {
+	t.Parallel()
 	// A task failure and a cancellation race: the task error wins when
 	// its index is a real task (ctx errors rank below all task errors).
 	ctx, cancel := context.WithCancel(context.Background())
@@ -152,6 +160,7 @@ func TestForEachTaskErrorBeatsCtxError(t *testing.T) {
 }
 
 func TestMapOrderedResults(t *testing.T) {
+	t.Parallel()
 	for _, workers := range []int{1, 8} {
 		out, err := Map(context.Background(), workers, 100, func(i int) (int, error) {
 			return i * i, nil
@@ -168,6 +177,7 @@ func TestMapOrderedResults(t *testing.T) {
 }
 
 func TestMapPartialOnError(t *testing.T) {
+	t.Parallel()
 	out, err := Map(context.Background(), 1, 10, func(i int) (int, error) {
 		if i == 4 {
 			return 0, errors.New("stop")
@@ -183,6 +193,7 @@ func TestMapPartialOnError(t *testing.T) {
 }
 
 func TestForEachDeterministicReduction(t *testing.T) {
+	t.Parallel()
 	// The same computation under different worker counts must reduce to
 	// identical results.
 	run := func(workers int) []int {

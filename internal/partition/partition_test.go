@@ -37,6 +37,7 @@ func uniformPos(d *subject.DAG) []geom.Point {
 }
 
 func TestDagonCutsMultiFanout(t *testing.T) {
+	t.Parallel()
 	d, n := buildDiamond()
 	f, err := Partition(Input{DAG: d}, Dagon)
 	if err != nil {
@@ -59,6 +60,7 @@ func TestDagonCutsMultiFanout(t *testing.T) {
 }
 
 func TestConeAssignsByFirstReach(t *testing.T) {
+	t.Parallel()
 	// Two outputs sharing n1; the first output's cone takes n1.
 	d := subject.New()
 	a := d.AddPI("a")
@@ -81,6 +83,7 @@ func TestConeAssignsByFirstReach(t *testing.T) {
 }
 
 func TestPDPNearestFather(t *testing.T) {
+	t.Parallel()
 	d, n := buildDiamond()
 	pos := make([]geom.Point, d.NumGates())
 	// Place n1 next to n3 and far from n2.
@@ -108,6 +111,7 @@ func TestPDPNearestFather(t *testing.T) {
 }
 
 func TestPDPPadNearest(t *testing.T) {
+	t.Parallel()
 	// A gate drives both a PO pad and another gate; when the pad is
 	// nearest the gate must stay a root.
 	d := subject.New()
@@ -141,6 +145,7 @@ func TestPDPPadNearest(t *testing.T) {
 }
 
 func TestPDPRequiresPositions(t *testing.T) {
+	t.Parallel()
 	d, _ := buildDiamond()
 	if _, err := Partition(Input{DAG: d}, PDP); err == nil {
 		t.Error("PDP without positions must error")
@@ -235,6 +240,7 @@ func checkForestInvariants(t *testing.T, d *subject.DAG, f *Forest, method Metho
 }
 
 func TestForestInvariantsAcrossMethods(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(17))
 	for trial := 0; trial < 15; trial++ {
 		d := randomDAG(rng, 6, 40)
@@ -256,6 +262,7 @@ func TestForestInvariantsAcrossMethods(t *testing.T) {
 // only on positions, not on output processing order. We emulate order
 // change by building the same logic with outputs declared in reverse.
 func TestPDPOrderIndependence(t *testing.T) {
+	t.Parallel()
 	build := func(reverse bool) (*subject.DAG, []geom.Point) {
 		d := subject.New()
 		a := d.AddPI("a")
@@ -308,6 +315,7 @@ func TestPDPOrderIndependence(t *testing.T) {
 // TestPDPNearestInvariant is the paper's stated property: the father
 // of every internal vertex is the nearest consumer.
 func TestPDPNearestInvariant(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(23))
 	for trial := 0; trial < 10; trial++ {
 		d := randomDAG(rng, 5, 30)
@@ -342,6 +350,7 @@ func TestPDPNearestInvariant(t *testing.T) {
 }
 
 func TestTreesTopologicalAndChildren(t *testing.T) {
+	t.Parallel()
 	d, n := buildDiamond()
 	f, err := Partition(Input{DAG: d}, Dagon)
 	if err != nil {
@@ -375,6 +384,7 @@ func TestTreesTopologicalAndChildren(t *testing.T) {
 }
 
 func TestMethodString(t *testing.T) {
+	t.Parallel()
 	if Dagon.String() != "dagon" || Cone.String() != "cone" || PDP.String() != "pdp" {
 		t.Error("Method.String broken")
 	}

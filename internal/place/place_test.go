@@ -11,6 +11,7 @@ import (
 )
 
 func TestNewLayout(t *testing.T) {
+	t.Parallel()
 	l, err := NewLayout(207062, 1.0, 6.656)
 	if err != nil {
 		t.Fatal(err)
@@ -32,6 +33,7 @@ func TestNewLayout(t *testing.T) {
 }
 
 func TestLayoutRows(t *testing.T) {
+	t.Parallel()
 	l, err := LayoutWithRows(10, 100, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -54,6 +56,7 @@ func TestLayoutRows(t *testing.T) {
 }
 
 func TestPerimeterPads(t *testing.T) {
+	t.Parallel()
 	l, _ := LayoutWithRows(10, 100, 5)
 	pads := l.PerimeterPads(16)
 	if len(pads) != 16 {
@@ -71,6 +74,7 @@ func TestPerimeterPads(t *testing.T) {
 }
 
 func TestNetlistValidate(t *testing.T) {
+	t.Parallel()
 	nl := &Netlist{Widths: []float64{1, 2}, Nets: []Net{{Cells: []int{0, 1}}}}
 	if err := nl.Validate(); err != nil {
 		t.Errorf("valid netlist rejected: %v", err)
@@ -86,6 +90,7 @@ func TestNetlistValidate(t *testing.T) {
 }
 
 func TestHPWL(t *testing.T) {
+	t.Parallel()
 	nl := &Netlist{
 		Widths: []float64{1, 1, 1},
 		Nets: []Net{
@@ -122,6 +127,7 @@ func chainNetlist(n int, w float64) *Netlist {
 }
 
 func TestPlaceChainLegality(t *testing.T) {
+	t.Parallel()
 	nl := chainNetlist(100, 2)
 	layout, _ := LayoutWithRows(10, 40, 5)
 	p, err := PlaceNetlist(context.Background(), nl, layout, Options{Seed: 1})
@@ -157,6 +163,7 @@ func TestPlaceChainLegality(t *testing.T) {
 }
 
 func TestPlaceBeatsRandom(t *testing.T) {
+	t.Parallel()
 	// A clustered netlist: 8 clusters of 16 cells with dense internal
 	// nets and sparse external ones. Min-cut placement must beat a
 	// random scatter by a wide margin.
@@ -202,6 +209,7 @@ func TestPlaceBeatsRandom(t *testing.T) {
 }
 
 func TestPlaceDeterminism(t *testing.T) {
+	t.Parallel()
 	nl := chainNetlist(60, 1.5)
 	layout, _ := LayoutWithRows(6, 30, 5)
 	p1, err := PlaceNetlist(context.Background(), nl, layout, Options{Seed: 42})
@@ -220,6 +228,7 @@ func TestPlaceDeterminism(t *testing.T) {
 }
 
 func TestPlaceWithPads(t *testing.T) {
+	t.Parallel()
 	// Two cells, each tied to an opposite corner pad; placement must
 	// pull them apart toward their pads.
 	nl := &Netlist{
@@ -248,6 +257,7 @@ func TestPlaceWithPads(t *testing.T) {
 }
 
 func TestPlaceEmptyAndTiny(t *testing.T) {
+	t.Parallel()
 	layout, _ := LayoutWithRows(2, 10, 5)
 	p, err := PlaceNetlist(context.Background(), &Netlist{}, layout, Options{})
 	if err != nil || len(p.Pos) != 0 {
@@ -264,6 +274,7 @@ func TestPlaceEmptyAndTiny(t *testing.T) {
 }
 
 func TestRunFMReducesCut(t *testing.T) {
+	t.Parallel()
 	// Two cliques of 6 cells joined by one edge; a bad initial split
 	// must be repaired to the 1-cut partition.
 	const n = 12

@@ -22,6 +22,7 @@ func testLayout(t *testing.T) place.Layout {
 }
 
 func TestNewGridGeometry(t *testing.T) {
+	t.Parallel()
 	layout := testLayout(t)
 	g, err := NewGrid(layout, Options{GCellSize: 10}, nil)
 	if err != nil {
@@ -46,6 +47,7 @@ func TestNewGridGeometry(t *testing.T) {
 }
 
 func TestGridCapacityDerate(t *testing.T) {
+	t.Parallel()
 	layout := testLayout(t)
 	full, err := NewGrid(layout, Options{GCellSize: 10}, nil)
 	if err != nil {
@@ -71,6 +73,7 @@ func TestGridCapacityDerate(t *testing.T) {
 }
 
 func TestOverflowAccounting(t *testing.T) {
+	t.Parallel()
 	layout := testLayout(t)
 	g, err := NewGrid(layout, Options{GCellSize: 10}, nil)
 	if err != nil {
@@ -108,6 +111,7 @@ func twoCellNetlist(p1, p2 geom.Point) (*place.Netlist, *place.Placement) {
 }
 
 func TestRouteSingleNet(t *testing.T) {
+	t.Parallel()
 	layout := testLayout(t)
 	nl, pl := twoCellNetlist(geom.Pt(5, 5), geom.Pt(105, 55))
 	res, err := RouteNetlist(context.Background(), nl, pl, layout, Options{GCellSize: 10})
@@ -128,6 +132,7 @@ func TestRouteSingleNet(t *testing.T) {
 }
 
 func TestRouteSameGCellNetIsFree(t *testing.T) {
+	t.Parallel()
 	layout := testLayout(t)
 	nl, pl := twoCellNetlist(geom.Pt(5, 5), geom.Pt(6, 6))
 	res, err := RouteNetlist(context.Background(), nl, pl, layout, Options{GCellSize: 10})
@@ -140,6 +145,7 @@ func TestRouteSameGCellNetIsFree(t *testing.T) {
 }
 
 func TestRouteMultiPinNetUsesMST(t *testing.T) {
+	t.Parallel()
 	layout := testLayout(t)
 	nl := &place.Netlist{
 		Widths: []float64{1, 1, 1},
@@ -161,6 +167,7 @@ func TestRouteMultiPinNetUsesMST(t *testing.T) {
 }
 
 func TestRouteWithPads(t *testing.T) {
+	t.Parallel()
 	layout := testLayout(t)
 	nl := &place.Netlist{
 		Widths: []float64{1},
@@ -177,6 +184,7 @@ func TestRouteWithPads(t *testing.T) {
 }
 
 func TestRipupRepairsHotspot(t *testing.T) {
+	t.Parallel()
 	// Saturate a narrow corridor: many parallel nets crossing the
 	// same column. With rip-up they must spread; the router should
 	// not leave avoidable overflow when plenty of capacity exists in
@@ -211,6 +219,7 @@ func TestRipupRepairsHotspot(t *testing.T) {
 }
 
 func TestRouterErrors(t *testing.T) {
+	t.Parallel()
 	layout := testLayout(t)
 	nl, _ := twoCellNetlist(geom.Pt(0, 0), geom.Pt(1, 1))
 	badPl := &place.Placement{Pos: []geom.Point{geom.Pt(0, 0)}}
@@ -220,6 +229,7 @@ func TestRouterErrors(t *testing.T) {
 }
 
 func TestCongestionGrowsWithDemand(t *testing.T) {
+	t.Parallel()
 	layout := testLayout(t)
 	build := func(n int) (*place.Netlist, *place.Placement) {
 		var nl place.Netlist
@@ -251,6 +261,7 @@ func TestCongestionGrowsWithDemand(t *testing.T) {
 }
 
 func TestCongestionMapRenderAndHotspots(t *testing.T) {
+	t.Parallel()
 	layout := testLayout(t)
 	g, err := NewGrid(layout, Options{GCellSize: 10}, nil)
 	if err != nil {
@@ -279,6 +290,7 @@ func TestCongestionMapRenderAndHotspots(t *testing.T) {
 }
 
 func TestRouteWorkersDeterminism(t *testing.T) {
+	t.Parallel()
 	// The parallel first pass works in fixed batches against an
 	// immutable congestion snapshot, so every Workers value must give
 	// the same result — including rip-up, which starts from the same

@@ -27,6 +27,7 @@ type Stage string
 const (
 	StagePrepare Stage = "prepare"
 	StageMap     Stage = "map"
+	StageVerify  Stage = "verify"
 	StagePlace   Stage = "place"
 	StageRoute   Stage = "route"
 	StageSTA     Stage = "sta"

@@ -24,6 +24,7 @@ func chain(n int) *netlist.Netlist {
 }
 
 func TestChainDelayScalesWithDepth(t *testing.T) {
+	t.Parallel()
 	r2, err := Analyze(chain(2), nil, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -44,6 +45,7 @@ func TestChainDelayScalesWithDepth(t *testing.T) {
 }
 
 func TestWireLengthIncreasesDelay(t *testing.T) {
+	t.Parallel()
 	nl := chain(3)
 	short, err := Analyze(nl, nil, Options{})
 	if err != nil {
@@ -67,6 +69,7 @@ func TestWireLengthIncreasesDelay(t *testing.T) {
 }
 
 func TestCriticalPathEndpoints(t *testing.T) {
+	t.Parallel()
 	// Two paths: a deep one from a, a shallow one from b.
 	lib := library.Default()
 	nl := netlist.New()
@@ -111,6 +114,7 @@ func TestCriticalPathEndpoints(t *testing.T) {
 }
 
 func TestFanoutLoadSlowsDriver(t *testing.T) {
+	t.Parallel()
 	// One inverter driving 1 vs 8 sinks.
 	build := func(fan int) *netlist.Netlist {
 		lib := library.Default()
@@ -137,6 +141,7 @@ func TestFanoutLoadSlowsDriver(t *testing.T) {
 }
 
 func TestConstSignalTiming(t *testing.T) {
+	t.Parallel()
 	lib := library.Default()
 	nl := netlist.New()
 	c1 := nl.AddSignal("one", netlist.SigConst1)
@@ -153,6 +158,7 @@ func TestConstSignalTiming(t *testing.T) {
 }
 
 func TestAnalyzeErrors(t *testing.T) {
+	t.Parallel()
 	nl := netlist.New()
 	nl.AddSignal("a", netlist.SigPI)
 	if _, err := Analyze(nl, nil, Options{}); err == nil {
@@ -161,6 +167,7 @@ func TestAnalyzeErrors(t *testing.T) {
 }
 
 func TestNetLengths(t *testing.T) {
+	t.Parallel()
 	sigNet := []int{-1, 0, 1, 0}
 	netLength := []float64{10, 20}
 	got := NetLengths(sigNet, netLength)
@@ -173,6 +180,7 @@ func TestNetLengths(t *testing.T) {
 }
 
 func TestSlackReport(t *testing.T) {
+	t.Parallel()
 	lib := library.Default()
 	nl := netlist.New()
 	a := nl.AddSignal("a", netlist.SigPI)

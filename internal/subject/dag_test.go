@@ -10,6 +10,7 @@ import (
 )
 
 func TestStructuralHashing(t *testing.T) {
+	t.Parallel()
 	d := New()
 	a := d.AddPI("a")
 	b := d.AddPI("b")
@@ -26,6 +27,7 @@ func TestStructuralHashing(t *testing.T) {
 }
 
 func TestInvCancellation(t *testing.T) {
+	t.Parallel()
 	d := New()
 	a := d.AddPI("a")
 	if d.AddInv(d.AddInv(a)) != a {
@@ -34,6 +36,7 @@ func TestInvCancellation(t *testing.T) {
 }
 
 func TestConstantFolding(t *testing.T) {
+	t.Parallel()
 	d := New()
 	a := d.AddPI("a")
 	c0 := d.Const(false)
@@ -56,6 +59,7 @@ func TestConstantFolding(t *testing.T) {
 }
 
 func TestAndOrHelpers(t *testing.T) {
+	t.Parallel()
 	d := New()
 	a := d.AddPI("a")
 	b := d.AddPI("b")
@@ -85,6 +89,7 @@ func TestAndOrHelpers(t *testing.T) {
 }
 
 func TestFanoutsAndMultiFanout(t *testing.T) {
+	t.Parallel()
 	d := New()
 	a := d.AddPI("a")
 	b := d.AddPI("b")
@@ -116,6 +121,7 @@ func TestFanoutsAndMultiFanout(t *testing.T) {
 }
 
 func TestTopoOrderIsTopological(t *testing.T) {
+	t.Parallel()
 	d := New()
 	a := d.AddPI("a")
 	b := d.AddPI("b")
@@ -137,6 +143,7 @@ func TestTopoOrderIsTopological(t *testing.T) {
 }
 
 func TestLiveGates(t *testing.T) {
+	t.Parallel()
 	d := New()
 	a := d.AddPI("a")
 	b := d.AddPI("b")
@@ -156,6 +163,7 @@ func TestLiveGates(t *testing.T) {
 }
 
 func TestStats(t *testing.T) {
+	t.Parallel()
 	d := New()
 	a := d.AddPI("a")
 	b := d.AddPI("b")
@@ -173,6 +181,7 @@ func TestStats(t *testing.T) {
 }
 
 func TestGateTypeString(t *testing.T) {
+	t.Parallel()
 	for gt, want := range map[GateType]string{PI: "pi", Nand2: "nand2", Inv: "inv", Const0: "const0", Const1: "const1"} {
 		if gt.String() != want {
 			t.Errorf("%d.String() = %q, want %q", gt, gt.String(), want)
@@ -202,6 +211,7 @@ func decomposeSample(t *testing.T, src string) (*bnet.Network, *DAG) {
 }
 
 func TestDecomposeEquivalence(t *testing.T) {
+	t.Parallel()
 	src := ".i 4\n.o 2\n1-0- 10\n-11- 11\n0--1 01\n1111 10\n.e\n"
 	n, d := decomposeSample(t, src)
 	assign := make([]bool, 4)
@@ -226,6 +236,7 @@ func TestDecomposeEquivalence(t *testing.T) {
 }
 
 func TestDecomposeConstants(t *testing.T) {
+	t.Parallel()
 	// An output with no terms is constant 0.
 	n := bnet.New()
 	n.AddPI("a")
@@ -246,6 +257,7 @@ func TestDecomposeConstants(t *testing.T) {
 }
 
 func TestDecomposeRandomEquivalence(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(31))
 	for trial := 0; trial < 10; trial++ {
 		ni := rng.Intn(6) + 3
@@ -297,6 +309,7 @@ func TestDecomposeRandomEquivalence(t *testing.T) {
 }
 
 func TestDecomposeBalancedDepth(t *testing.T) {
+	t.Parallel()
 	// A 16-literal single-cube function must decompose with depth
 	// O(log n), not a 15-deep chain.
 	n := bnet.New()

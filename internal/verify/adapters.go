@@ -1,0 +1,246 @@
+package verify
+
+import (
+	"fmt"
+
+	"casyn/internal/bnet"
+	"casyn/internal/library"
+	"casyn/internal/logic"
+	"casyn/internal/netlist"
+	"casyn/internal/subject"
+)
+
+// Compile lowers any supported circuit representation to the common
+// IR. Supported types: *Circuit (returned as-is), *bnet.Network,
+// *subject.DAG, *netlist.Netlist, and *logic.PLA.
+func Compile(v any) (*Circuit, error) {
+	switch x := v.(type) {
+	case *Circuit:
+		return x, nil
+	case *bnet.Network:
+		return FromNetwork(x)
+	case *subject.DAG:
+		return FromDAG(x)
+	case *netlist.Netlist:
+		return FromNetlist(x)
+	case *logic.PLA:
+		return FromPLA(x)
+	default:
+		return nil, fmt.Errorf("verify: unsupported circuit type %T", v)
+	}
+}
+
+// FromNetwork compiles a Boolean network: each internal node's SOP
+// becomes an OR of cube ANDs over its fanin nodes; POs take their
+// driving literal's phase. An internal node with a nil function (a
+// swept node or a constant-false function) compiles to constant false,
+// matching subject.Decompose.
+func FromNetwork(n *bnet.Network) (*Circuit, error) {
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	c := NewCircuit("bnet")
+	sig := make([]int32, n.NumNodes())
+	for i := range sig {
+		sig[i] = -1
+	}
+	lit := func(l bnet.Lit) (int32, error) {
+		g := sig[l.Node]
+		if g < 0 {
+			return 0, fmt.Errorf("verify: bnet literal references unbuilt node %d", l.Node)
+		}
+		if l.Neg {
+			g = c.Not(g)
+		}
+		return g, nil
+	}
+	for _, id := range order {
+		nd := n.Node(id)
+		switch nd.Kind {
+		case bnet.KindPI:
+			sig[id] = c.Input(nd.Name)
+		case bnet.KindInternal:
+			root := c.Const(false)
+			for _, cube := range nd.Fn {
+				term := c.Const(true)
+				for _, l := range cube {
+					g, err := lit(l)
+					if err != nil {
+						return nil, err
+					}
+					term = c.And(term, g)
+				}
+				root = c.Or(root, term)
+			}
+			sig[id] = root
+		case bnet.KindPO:
+			if len(nd.Fn) != 1 || len(nd.Fn[0]) != 1 {
+				return nil, fmt.Errorf("verify: PO %q has non-literal function", nd.Name)
+			}
+			g, err := lit(nd.Fn[0][0])
+			if err != nil {
+				return nil, err
+			}
+			c.AddOutput(nd.Name, g)
+		}
+	}
+	return c, c.checkInterface()
+}
+
+// FromDAG compiles a subject DAG of NAND2/INV base gates.
+func FromDAG(d *subject.DAG) (*Circuit, error) {
+	c := NewCircuit("subject")
+	sig := make([]int32, d.NumGates())
+	// Gate IDs are created fanins-first, so ascending order is
+	// topological.
+	for id := 0; id < d.NumGates(); id++ {
+		g := d.Gate(id)
+		switch g.Type {
+		case subject.PI:
+			sig[id] = c.Input(g.Name)
+		case subject.Const0:
+			sig[id] = c.Const(false)
+		case subject.Const1:
+			sig[id] = c.Const(true)
+		case subject.Inv:
+			sig[id] = c.Not(sig[g.In[0]])
+		case subject.Nand2:
+			sig[id] = c.Nand(sig[g.In[0]], sig[g.In[1]])
+		default:
+			return nil, fmt.Errorf("verify: unknown gate type %v", g.Type)
+		}
+	}
+	for _, o := range d.Outputs() {
+		c.AddOutput(o.Name, sig[o.Gate])
+	}
+	return c, c.checkInterface()
+}
+
+// FromNetlist compiles a technology-mapped netlist by expanding every
+// instance's selected cell pattern (a NAND2/INV tree) over its input
+// signals, with the pattern variables bound in
+// Cell.Patterns[PatternIndex].Vars() order — exactly the binding the
+// mapper committed.
+func FromNetlist(nl *netlist.Netlist) (*Circuit, error) {
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	c := NewCircuit("netlist")
+	sig := make([]int32, len(nl.Signals))
+	for i := range sig {
+		sig[i] = -1
+	}
+	for _, s := range nl.Signals {
+		switch s.Kind {
+		case netlist.SigPI:
+			sig[s.ID] = c.Input(s.Name)
+		case netlist.SigConst0:
+			sig[s.ID] = c.Const(false)
+		case netlist.SigConst1:
+			sig[s.ID] = c.Const(true)
+		}
+	}
+	for _, ii := range order {
+		inst := &nl.Instances[ii]
+		pat := inst.Cell.Patterns[inst.PatternIndex]
+		vars := pat.Vars()
+		if len(vars) != len(inst.Inputs) {
+			return nil, fmt.Errorf("verify: instance %s has %d inputs for %d pattern vars",
+				inst.Name, len(inst.Inputs), len(vars))
+		}
+		binding := make(map[string]int32, len(vars))
+		for vi, v := range vars {
+			in := sig[inst.Inputs[vi]]
+			if in < 0 {
+				return nil, fmt.Errorf("verify: instance %s input signal %d has no driver node", inst.Name, inst.Inputs[vi])
+			}
+			binding[v] = in
+		}
+		root, err := compilePattern(c, pat, binding)
+		if err != nil {
+			return nil, fmt.Errorf("verify: instance %s: %w", inst.Name, err)
+		}
+		sig[inst.Output] = root
+	}
+	for _, po := range nl.POs {
+		g := sig[po.Sig]
+		if g < 0 {
+			return nil, fmt.Errorf("verify: PO %q signal has no driver node", po.Name)
+		}
+		c.AddOutput(po.Name, g)
+	}
+	return c, c.checkInterface()
+}
+
+// compilePattern lowers a library pattern tree under a variable
+// binding.
+func compilePattern(c *Circuit, p *library.Pattern, binding map[string]int32) (int32, error) {
+	switch p.Op {
+	case library.OpVar:
+		g, ok := binding[p.Var]
+		if !ok {
+			return 0, fmt.Errorf("unbound pattern variable %q", p.Var)
+		}
+		return g, nil
+	case library.OpInv:
+		k, err := compilePattern(c, p.Kids[0], binding)
+		if err != nil {
+			return 0, err
+		}
+		return c.Not(k), nil
+	case library.OpNand2:
+		a, err := compilePattern(c, p.Kids[0], binding)
+		if err != nil {
+			return 0, err
+		}
+		b, err := compilePattern(c, p.Kids[1], binding)
+		if err != nil {
+			return 0, err
+		}
+		return c.Nand(a, b), nil
+	default:
+		return 0, fmt.Errorf("invalid pattern op %d", p.Op)
+	}
+}
+
+// FromPLA compiles a two-level PLA directly: each output is the OR of
+// its product terms. Input/output names follow the PLA's .ilb/.ob
+// declarations with the same in<i>/out<o> defaults bnet.FromPLA uses,
+// so a PLA verifies against the network built from it.
+func FromPLA(p *logic.PLA) (*Circuit, error) {
+	c := NewCircuit("pla")
+	ins := make([]int32, p.NumInputs)
+	for i := range ins {
+		name := fmt.Sprintf("in%d", i)
+		if i < len(p.InputNames) && p.InputNames[i] != "" {
+			name = p.InputNames[i]
+		}
+		ins[i] = c.Input(name)
+	}
+	for o := 0; o < p.NumOutputs; o++ {
+		root := c.Const(false)
+		for t, cube := range p.Terms {
+			if !p.Outputs[t][o] {
+				continue
+			}
+			term := c.Const(true)
+			for i := 0; i < p.NumInputs; i++ {
+				switch cube.Lit(i) {
+				case 1:
+					term = c.And(term, ins[i])
+				case -1:
+					term = c.And(term, c.Not(ins[i]))
+				}
+			}
+			root = c.Or(root, term)
+		}
+		name := fmt.Sprintf("out%d", o)
+		if o < len(p.OutputNames) && p.OutputNames[o] != "" {
+			name = p.OutputNames[o]
+		}
+		c.AddOutput(name, root)
+	}
+	return c, c.checkInterface()
+}

@@ -1,0 +1,242 @@
+package verify
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// errBDDBudget reports that the ROBDD engine exceeded its node budget;
+// Equivalent then falls back to exhaustive enumeration when the input
+// count permits, or reports an unproven (simulation-only) result.
+var errBDDBudget = errors.New("verify: BDD node budget exceeded")
+
+// bddRef is a node index into the manager's table. Refs 0 and 1 are
+// the false/true terminals.
+type bddRef = uint32
+
+const (
+	bddFalse bddRef = 0
+	bddTrue  bddRef = 1
+)
+
+// bddNode is one ROBDD vertex: the decision variable (unified input
+// ordinal) and the cofactor children. Terminals carry Var = maxVar.
+type bddNode struct {
+	Var    int32
+	Lo, Hi bddRef
+}
+
+type bddOp uint8
+
+const (
+	bddAnd bddOp = iota
+	bddOr
+	bddXor
+)
+
+type bddAppKey struct {
+	op   bddOp
+	a, b bddRef
+}
+
+// bddManager is a hash-consed reduced-ordered BDD store with an
+// operation cache and a hard node budget. Variable order is the
+// unified input ordinal order (circuit a's input order).
+type bddManager struct {
+	nodes  []bddNode
+	unique map[bddNode]bddRef
+	cache  map[bddAppKey]bddRef
+	budget int
+	// steps counts apply calls for cooperative cancellation.
+	steps int
+	ctx   context.Context
+}
+
+func newBDDManager(ctx context.Context, numVars, budget int) *bddManager {
+	m := &bddManager{
+		unique: make(map[bddNode]bddRef),
+		cache:  make(map[bddAppKey]bddRef),
+		budget: budget,
+		ctx:    ctx,
+	}
+	term := int32(numVars)
+	m.nodes = append(m.nodes,
+		bddNode{Var: term, Lo: bddFalse, Hi: bddFalse}, // 0: false
+		bddNode{Var: term, Lo: bddTrue, Hi: bddTrue},   // 1: true
+	)
+	return m
+}
+
+// mk returns the canonical node (v, lo, hi), applying the reduction
+// rule and hash-consing.
+func (m *bddManager) mk(v int32, lo, hi bddRef) (bddRef, error) {
+	if lo == hi {
+		return lo, nil
+	}
+	key := bddNode{Var: v, Lo: lo, Hi: hi}
+	if r, ok := m.unique[key]; ok {
+		return r, nil
+	}
+	if len(m.nodes) >= m.budget {
+		return 0, errBDDBudget
+	}
+	r := bddRef(len(m.nodes))
+	m.nodes = append(m.nodes, key)
+	m.unique[key] = r
+	return r, nil
+}
+
+// variable returns the single-variable BDD for input ordinal v.
+func (m *bddManager) variable(v int) (bddRef, error) {
+	return m.mk(int32(v), bddFalse, bddTrue)
+}
+
+func terminalOf(op bddOp, a, b bddRef) (bddRef, bool) {
+	switch op {
+	case bddAnd:
+		switch {
+		case a == bddFalse || b == bddFalse:
+			return bddFalse, true
+		case a == bddTrue:
+			return b, true
+		case b == bddTrue:
+			return a, true
+		case a == b:
+			return a, true
+		}
+	case bddOr:
+		switch {
+		case a == bddTrue || b == bddTrue:
+			return bddTrue, true
+		case a == bddFalse:
+			return b, true
+		case b == bddFalse:
+			return a, true
+		case a == b:
+			return a, true
+		}
+	case bddXor:
+		switch {
+		case a == b:
+			return bddFalse, true
+		case a == bddFalse:
+			return b, true
+		case b == bddFalse:
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// apply computes op(a, b) with memoization.
+func (m *bddManager) apply(op bddOp, a, b bddRef) (bddRef, error) {
+	if r, ok := terminalOf(op, a, b); ok {
+		return r, nil
+	}
+	m.steps++
+	if m.steps%4096 == 0 {
+		if err := m.ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
+	// Commutative ops: canonicalize the cache key.
+	if a > b {
+		a, b = b, a
+	}
+	key := bddAppKey{op: op, a: a, b: b}
+	if r, ok := m.cache[key]; ok {
+		return r, nil
+	}
+	na, nb := m.nodes[a], m.nodes[b]
+	v := na.Var
+	if nb.Var < v {
+		v = nb.Var
+	}
+	alo, ahi := a, a
+	if na.Var == v {
+		alo, ahi = na.Lo, na.Hi
+	}
+	blo, bhi := b, b
+	if nb.Var == v {
+		blo, bhi = nb.Lo, nb.Hi
+	}
+	lo, err := m.apply(op, alo, blo)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := m.apply(op, ahi, bhi)
+	if err != nil {
+		return 0, err
+	}
+	r, err := m.mk(v, lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	m.cache[key] = r
+	return r, nil
+}
+
+// not complements f. With no complement edges this is XOR with true.
+func (m *bddManager) not(f bddRef) (bddRef, error) {
+	return m.apply(bddXor, f, bddTrue)
+}
+
+// buildCircuit constructs the output BDDs of a circuit, with perm
+// mapping the circuit's own input ordinals to unified variable
+// indices.
+func (m *bddManager) buildCircuit(c *Circuit, perm []int) ([]bddRef, error) {
+	vals := make([]bddRef, len(c.nodes))
+	for i, n := range c.nodes {
+		var r bddRef
+		var err error
+		switch n.Op {
+		case opInput:
+			r, err = m.variable(perm[n.A])
+		case opConst0:
+			r = bddFalse
+		case opConst1:
+			r = bddTrue
+		case opNot:
+			r, err = m.not(vals[n.A])
+		case opAnd:
+			r, err = m.apply(bddAnd, vals[n.A], vals[n.B])
+		case opOr:
+			r, err = m.apply(bddOr, vals[n.A], vals[n.B])
+		case opNand:
+			if r, err = m.apply(bddAnd, vals[n.A], vals[n.B]); err == nil {
+				r, err = m.not(r)
+			}
+		default:
+			err = fmt.Errorf("verify: invalid IR op %d", n.Op)
+		}
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = r
+	}
+	out := make([]bddRef, len(c.outputs))
+	for o, root := range c.outputs {
+		out[o] = vals[root.Node]
+	}
+	return out, nil
+}
+
+// satVector extracts one satisfying assignment of f (which must not be
+// the false terminal) over numVars unified variables; unconstrained
+// variables are false. In a reduced BDD the true terminal is reachable
+// from every non-false node, so greedily descending into any non-false
+// child terminates at the true terminal.
+func (m *bddManager) satVector(f bddRef, numVars int) []bool {
+	vec := make([]bool, numVars)
+	for f != bddTrue {
+		n := m.nodes[f]
+		if n.Lo != bddFalse {
+			f = n.Lo
+		} else {
+			vec[n.Var] = true
+			f = n.Hi
+		}
+	}
+	return vec
+}

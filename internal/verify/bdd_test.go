@@ -1,0 +1,115 @@
+package verify
+
+import (
+	"context"
+	"testing"
+)
+
+// TestBDDCanonicity: structurally different but functionally equal
+// builds reach the same node; different functions reach different
+// nodes.
+func TestBDDCanonicity(t *testing.T) {
+	t.Parallel()
+	m := newBDDManager(context.Background(), 3, 1<<16)
+	x, _ := m.variable(0)
+	y, _ := m.variable(1)
+	z, _ := m.variable(2)
+	// (x ∧ y) ∨ (x ∧ z) vs x ∧ (y ∨ z)
+	xy, err := m.apply(bddAnd, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xz, err := m.apply(bddAnd, x, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhs, err := m.apply(bddOr, xy, xz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yz, err := m.apply(bddOr, y, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs, err := m.apply(bddAnd, x, yz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lhs != rhs {
+		t.Errorf("distributivity not canonical: %d vs %d", lhs, rhs)
+	}
+	other, err := m.apply(bddOr, x, yz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == lhs {
+		t.Error("distinct functions share a node")
+	}
+}
+
+// TestBDDNotInvolution: ¬¬f == f through the XOR-based complement.
+func TestBDDNotInvolution(t *testing.T) {
+	t.Parallel()
+	m := newBDDManager(context.Background(), 2, 1<<16)
+	x, _ := m.variable(0)
+	y, _ := m.variable(1)
+	f, err := m.apply(bddAnd, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, err := m.not(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nnf, err := m.not(nf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nnf != f {
+		t.Errorf("double complement not canonical: %d vs %d", nnf, f)
+	}
+}
+
+// TestBDDSatVector: the extracted assignment satisfies the function it
+// was extracted from.
+func TestBDDSatVector(t *testing.T) {
+	t.Parallel()
+	m := newBDDManager(context.Background(), 4, 1<<16)
+	// f = x0 ∧ ¬x2 ∧ x3
+	x0, _ := m.variable(0)
+	x2, _ := m.variable(2)
+	x3, _ := m.variable(3)
+	n2, err := m.not(x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.apply(bddAnd, x0, n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err = m.apply(bddAnd, f, x3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := m.satVector(f, 4)
+	if !vec[0] || vec[2] || !vec[3] {
+		t.Errorf("satVector %v does not satisfy x0∧¬x2∧x3", vec)
+	}
+}
+
+// TestBDDBudgetError: the node budget surfaces as errBDDBudget.
+func TestBDDBudgetError(t *testing.T) {
+	t.Parallel()
+	m := newBDDManager(context.Background(), 8, 4)
+	x, err := m.variable(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := m.variable(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.apply(bddAnd, x, y); err != errBDDBudget {
+		t.Errorf("want errBDDBudget, got %v", err)
+	}
+}

@@ -1,0 +1,110 @@
+package diffharness
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"casyn/internal/logic"
+	"casyn/internal/verify"
+)
+
+// circuitsDir is the shared example corpus, relative to this package.
+const circuitsDir = "../../../examples/circuits"
+
+// corpus loads every example circuit, failing the test if the corpus
+// is missing or empty (a silent empty glob would vacuously pass).
+func corpus(t *testing.T) map[string]*logic.PLA {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(circuitsDir, "*.pla"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no example circuits in %s", circuitsDir)
+	}
+	out := make(map[string]*logic.PLA, len(paths))
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := logic.ReadPLA(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		out[strings.TrimSuffix(filepath.Base(path), ".pla")] = p
+	}
+	return out
+}
+
+// TestSweepEveryExampleCircuit is the acceptance sweep: every example
+// circuit, K ∈ {0, 0.5, 1, 2}, workers ∈ {1, 4}; every hand-off
+// proven, every worker count byte-identical.
+func TestSweepEveryExampleCircuit(t *testing.T) {
+	t.Parallel()
+	for name, p := range corpus(t) {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(context.Background(), name, p, Default())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Network == nil || res.Decompose == nil {
+				t.Fatal("front-end reports missing")
+			}
+			for _, w := range []int{1, 4} {
+				checks, ok := res.Runs[w]
+				if !ok {
+					t.Fatalf("no run for workers=%d", w)
+				}
+				if len(checks) != 4 {
+					t.Fatalf("workers=%d: %d checks, want 4", w, len(checks))
+				}
+				for _, c := range checks {
+					if !c.Report.Proven {
+						t.Errorf("workers=%d K=%g: unproven", w, c.K)
+					}
+					if c.Fingerprint == "" {
+						t.Errorf("workers=%d K=%g: empty fingerprint", w, c.K)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestHarnessRejectsEmptyConfig: a degenerate sweep is an error, not a
+// vacuous pass.
+func TestHarnessRejectsEmptyConfig(t *testing.T) {
+	t.Parallel()
+	p := corpus(t)["dec24"]
+	if p == nil {
+		t.Skip("dec24 example missing")
+	}
+	if _, err := Run(context.Background(), "dec24", p, Config{}); err == nil {
+		t.Error("empty config did not error")
+	}
+}
+
+// TestHarnessHonorsVerifyOpts: forcing SimOnly makes every proof
+// impossible, and the harness (which demands proofs) must say so
+// rather than pass vacuously.
+func TestHarnessHonorsVerifyOpts(t *testing.T) {
+	t.Parallel()
+	p := corpus(t)["dec24"]
+	if p == nil {
+		t.Skip("dec24 example missing")
+	}
+	cfg := Default()
+	cfg.Ks = []float64{0}
+	cfg.Workers = []int{1}
+	cfg.Verify = verify.Options{SimOnly: true}
+	_, err := Run(context.Background(), "dec24", p, cfg)
+	if err == nil || !strings.Contains(err.Error(), "unproven") {
+		t.Errorf("want unproven error, got %v", err)
+	}
+}

@@ -1,0 +1,241 @@
+package verify
+
+import (
+	"context"
+	"math/bits"
+	"math/rand"
+)
+
+// simPair drives the bit-parallel simulation of two circuits over a
+// unified input ordering (circuit a's input order; bPerm[j] gives the
+// unified ordinal feeding b's input j) and a unified output pairing
+// (a's output order; bOut[o] is b's output index for a's output o).
+type simPair struct {
+	a, b       *Circuit
+	ea, eb     *WordEval
+	bPerm      []int
+	bOut       []int
+	bIn        []uint64 // scratch: b-order input words
+	vectors    int      // total vectors simulated
+	outNames   []string
+	inputNames []string
+}
+
+func newSimPair(a, b *Circuit, bPerm, bOut []int) *simPair {
+	return &simPair{
+		a: a, b: b,
+		ea: NewWordEval(a), eb: NewWordEval(b),
+		bPerm: bPerm, bOut: bOut,
+		bIn:        make([]uint64, b.NumInputs()),
+		outNames:   a.OutputNames(),
+		inputNames: a.InputNames(),
+	}
+}
+
+// evalBatch evaluates one 64-vector batch on both circuits; valid
+// masks the meaningful bits. It returns a counterexample for the first
+// differing (output, bit) pair, or nil.
+func (s *simPair) evalBatch(in []uint64, valid uint64) (*Counterexample, error) {
+	av, err := s.ea.Eval(in)
+	if err != nil {
+		return nil, err
+	}
+	for j, u := range s.bPerm {
+		s.bIn[j] = in[u]
+	}
+	bv, err := s.eb.Eval(s.bIn)
+	if err != nil {
+		return nil, err
+	}
+	s.vectors += bits.OnesCount64(valid)
+	for o := range av {
+		diff := (av[o] ^ bv[s.bOut[o]]) & valid
+		if diff == 0 {
+			continue
+		}
+		bit := uint(bits.TrailingZeros64(diff))
+		cex := &Counterexample{
+			InputNames: s.inputNames,
+			Inputs:     make([]bool, len(in)),
+			Output:     s.outNames[o],
+			AValue:     av[o]>>bit&1 == 1,
+			BValue:     bv[s.bOut[o]]>>bit&1 == 1,
+		}
+		for i, w := range in {
+			cex.Inputs[i] = w>>bit&1 == 1
+		}
+		return cex, nil
+	}
+	return nil, nil
+}
+
+// batcher accumulates single vectors into 64-wide word batches.
+type batcher struct {
+	s     *simPair
+	words []uint64
+	fill  int
+}
+
+func newBatcher(s *simPair) *batcher {
+	return &batcher{s: s, words: make([]uint64, s.a.NumInputs())}
+}
+
+// add queues one vector; when the batch fills it is evaluated.
+func (b *batcher) add(vec []bool) (*Counterexample, error) {
+	for i, v := range vec {
+		if v {
+			b.words[i] |= 1 << uint(b.fill)
+		}
+	}
+	b.fill++
+	if b.fill == 64 {
+		return b.flush()
+	}
+	return nil, nil
+}
+
+// flush evaluates any queued vectors.
+func (b *batcher) flush() (*Counterexample, error) {
+	if b.fill == 0 {
+		return nil, nil
+	}
+	valid := ^uint64(0)
+	if b.fill < 64 {
+		valid = 1<<uint(b.fill) - 1
+	}
+	cex, err := b.s.evalBatch(b.words, valid)
+	for i := range b.words {
+		b.words[i] = 0
+	}
+	b.fill = 0
+	return cex, err
+}
+
+// runDirected simulates the structured patterns: all-zeros, all-ones,
+// one-hot, one-cold, and single-input sensitization around random base
+// vectors (each base plus its n single-bit neighbors — any function
+// unate or sensitive in one input at that base point mismatches here).
+func (s *simPair) runDirected(ctx context.Context, rng *rand.Rand, bases int) (*Counterexample, error) {
+	n := s.a.NumInputs()
+	bt := newBatcher(s)
+	vec := make([]bool, n)
+	emit := func() (*Counterexample, error) { return bt.add(vec) }
+
+	set := func(v bool) {
+		for i := range vec {
+			vec[i] = v
+		}
+	}
+	// All-zeros, all-ones.
+	set(false)
+	if cex, err := emit(); cex != nil || err != nil {
+		return cex, err
+	}
+	set(true)
+	if cex, err := emit(); cex != nil || err != nil {
+		return cex, err
+	}
+	// One-hot and one-cold.
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		set(false)
+		vec[i] = true
+		if cex, err := emit(); cex != nil || err != nil {
+			return cex, err
+		}
+		set(true)
+		vec[i] = false
+		if cex, err := emit(); cex != nil || err != nil {
+			return cex, err
+		}
+	}
+	// Sensitization: random base vectors and their single-bit flips.
+	for b := 0; b < bases; b++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for i := range vec {
+			vec[i] = rng.Intn(2) == 1
+		}
+		if cex, err := emit(); cex != nil || err != nil {
+			return cex, err
+		}
+		for i := 0; i < n; i++ {
+			vec[i] = !vec[i]
+			if cex, err := emit(); cex != nil || err != nil {
+				return cex, err
+			}
+			vec[i] = !vec[i]
+		}
+	}
+	return bt.flush()
+}
+
+// runRandom simulates batches of 64 fully random vectors each.
+func (s *simPair) runRandom(ctx context.Context, rng *rand.Rand, batches int) (*Counterexample, error) {
+	n := s.a.NumInputs()
+	words := make([]uint64, n)
+	for b := 0; b < batches; b++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		if cex, err := s.evalBatch(words, ^uint64(0)); cex != nil || err != nil {
+			return cex, err
+		}
+	}
+	return nil, nil
+}
+
+// basisWords are the classic exhaustive-simulation constants: word
+// basisWords[i] enumerates input i over the 64 minterms of one block.
+var basisWords = [6]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// runExhaustive enumerates all 2^n input vectors bit-parallel: inputs
+// 0..5 take the basis words, higher inputs follow the bits of the
+// block counter. Returns the first counterexample, or nil after a full
+// (proving) pass.
+func (s *simPair) runExhaustive(ctx context.Context) (*Counterexample, error) {
+	n := s.a.NumInputs()
+	words := make([]uint64, n)
+	valid := ^uint64(0)
+	if n < 6 {
+		valid = 1<<(1<<uint(n)) - 1
+	}
+	for i := 0; i < n && i < 6; i++ {
+		words[i] = basisWords[i]
+	}
+	blocks := uint64(1)
+	if n > 6 {
+		blocks = 1 << uint(n-6)
+	}
+	for blk := uint64(0); blk < blocks; blk++ {
+		if blk%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		for i := 6; i < n; i++ {
+			if blk>>uint(i-6)&1 == 1 {
+				words[i] = ^uint64(0)
+			} else {
+				words[i] = 0
+			}
+		}
+		if cex, err := s.evalBatch(words, valid); cex != nil || err != nil {
+			return cex, err
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,377 @@
+package verify
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"casyn/internal/bnet"
+	"casyn/internal/library"
+	"casyn/internal/logic"
+	"casyn/internal/mapper"
+	"casyn/internal/place"
+	"casyn/internal/subject"
+)
+
+// quickstartPLA is the README/quickstart design: a 4-bit prime
+// detector plus two side functions.
+const quickstartPLA = `
+.i 4
+.o 3
+.ilb x0 x1 x2 x3
+.ob prime carry any
+.p 9
+0100 100
+0110 100
+1010 100
+1110 100
+1011 100
+1101 100
+11-- 010
+--11 010
+1--- 001
+-1-- 001
+`
+
+func mustPLA(t *testing.T, src string) *logic.PLA {
+	t.Helper()
+	p, err := logic.ReadPLA(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// randomPLA builds a random multi-output PLA for property-style tests.
+func randomPLA(rng *rand.Rand, ni, no, terms int) *logic.PLA {
+	p := logic.NewPLA(ni, no)
+	for t := 0; t < terms; t++ {
+		cb := logic.NewCube(ni)
+		for i := 0; i < ni; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				cb.SetPos(i)
+			case 1:
+				cb.SetNeg(i)
+			}
+		}
+		outs := make([]bool, no)
+		outs[rng.Intn(no)] = true
+		for o := range outs {
+			if rng.Intn(4) == 0 {
+				outs[o] = true
+			}
+		}
+		if err := p.AddTerm(cb, outs); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+// mapPLA runs the front half of the pipeline: PLA → network → subject
+// DAG → placed → mapped netlist at the given K.
+func mapPLA(t *testing.T, p *logic.PLA, k float64) (*bnet.Network, *subject.DAG, *mapper.Result) {
+	t.Helper()
+	n, err := bnet.FromPLA(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := subject.Decompose(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := place.NewLayout(float64(d.BaseGateCount())*4.6/0.58+200, 1.0, library.RowHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, poPads, _, _, err := mapper.SubjectPlacement(context.Background(), d, layout, place.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := mapper.Map(context.Background(), d, mapper.Input{Pos: pos, POPads: poPads}, mapper.Options{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, d, mres
+}
+
+func TestEquivalentAcrossRepresentations(t *testing.T) {
+	t.Parallel()
+	p := mustPLA(t, quickstartPLA)
+	n, d, mres := mapPLA(t, p, 0.001)
+	pairs := []struct {
+		name string
+		a, b any
+	}{
+		{"pla-bnet", p, n},
+		{"bnet-dag", n, d},
+		{"dag-netlist", d, mres.Netlist},
+		{"pla-netlist", p, mres.Netlist},
+	}
+	for _, pair := range pairs {
+		rep, err := Equivalent(context.Background(), pair.a, pair.b, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", pair.name, err)
+		}
+		if !rep.Equivalent || !rep.Proven {
+			t.Errorf("%s: want proven equivalent, got %s", pair.name, rep)
+		}
+	}
+}
+
+// TestCorruptedNetlistYieldsCounterexample swaps one gate's cell in
+// the mapped netlist (NAND2 → NOR2, same arity, different function)
+// and checks the checker refutes with a concrete vector — the
+// acceptance demonstration of the issue.
+func TestCorruptedNetlistYieldsCounterexample(t *testing.T) {
+	t.Parallel()
+	p := mustPLA(t, quickstartPLA)
+	_, d, mres := mapPLA(t, p, 0)
+	nl := mres.Netlist
+	lib := library.Default()
+	corrupted := false
+	for i := range nl.Instances {
+		if nl.Instances[i].Cell.Name == "NAND2" {
+			nl.Instances[i].Cell = lib.Cell("NOR2")
+			nl.Instances[i].PatternIndex = 0
+			corrupted = true
+			break
+		}
+	}
+	if !corrupted {
+		t.Fatal("mapped netlist contains no NAND2 to corrupt")
+	}
+	rep, err := Equivalent(context.Background(), d, nl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Equivalent {
+		t.Fatalf("corrupted netlist reported equivalent: %s", rep)
+	}
+	cex := rep.Counterexample
+	if cex == nil {
+		t.Fatal("no counterexample on inequivalence")
+	}
+	// The counterexample must actually distinguish the two circuits.
+	cd, err := Compile(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, err := cd.EvalVector(cex.Inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-order the vector for the netlist's own input ordering.
+	nlIn := make([]bool, len(cex.Inputs))
+	pos := map[string]int{}
+	for i, name := range cd.InputNames() {
+		pos[name] = i
+	}
+	for j, name := range cn.InputNames() {
+		nlIn[j] = cex.Inputs[pos[name]]
+	}
+	bv, err := cn.EvalVector(nlIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oa, ob := -1, -1
+	for i, name := range cd.OutputNames() {
+		if name == cex.Output {
+			oa = i
+		}
+	}
+	for i, name := range cn.OutputNames() {
+		if name == cex.Output {
+			ob = i
+		}
+	}
+	if oa < 0 || ob < 0 {
+		t.Fatalf("counterexample output %q not found", cex.Output)
+	}
+	if av[oa] == bv[ob] {
+		t.Errorf("counterexample %s does not distinguish the circuits", cex)
+	}
+	if av[oa] != cex.AValue || bv[ob] != cex.BValue {
+		t.Errorf("counterexample values disagree with report: %s", cex)
+	}
+}
+
+func TestInterfaceMismatchIsError(t *testing.T) {
+	t.Parallel()
+	a := NewCircuit("a")
+	a.AddOutput("f", a.Input("x"))
+	b := NewCircuit("b")
+	b.AddOutput("g", b.Input("x"))
+	if _, err := Equivalent(context.Background(), a, b, Options{}); err == nil {
+		t.Error("mismatched output names accepted")
+	}
+	c := NewCircuit("c")
+	c.AddOutput("f", c.And(c.Input("x"), c.Input("y")))
+	if _, err := Equivalent(context.Background(), a, c, Options{}); err == nil {
+		t.Error("mismatched input counts accepted")
+	}
+}
+
+func TestUnsupportedTypeIsError(t *testing.T) {
+	t.Parallel()
+	if _, err := Equivalent(context.Background(), 42, 43, Options{}); err == nil {
+		t.Error("unsupported representation accepted")
+	}
+}
+
+// TestSimulationRefutesWideCircuit checks that on a wide (>11 input)
+// inequivalent pair, the directed/random simulation pass refutes
+// before any exact engine is needed.
+func TestSimulationRefutesWideCircuit(t *testing.T) {
+	t.Parallel()
+	const n = 24
+	a := NewCircuit("a")
+	b := NewCircuit("b")
+	var ax, bx []int32
+	for i := 0; i < n; i++ {
+		name := "x" + string(rune('a'+i))
+		ax = append(ax, a.Input(name))
+		bx = append(bx, b.Input(name))
+	}
+	fa, fb := ax[0], bx[0]
+	for i := 1; i < n; i++ {
+		fa = a.And(fa, ax[i])
+		fb = b.And(fb, bx[i])
+	}
+	a.AddOutput("f", fa)
+	// b computes AND of all but the last input: differs only on
+	// vectors where x[n-1]=0 and all others 1 — directed sensitization
+	// from the all-ones base catches it.
+	b.AddOutput("f", b.And(fb, b.Not(bx[n-1])))
+	rep, err := Equivalent(context.Background(), a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Equivalent {
+		t.Fatalf("inequivalent wide pair reported equivalent: %s", rep)
+	}
+	if rep.Counterexample == nil {
+		t.Fatal("no counterexample")
+	}
+}
+
+// TestBDDProvesWideEquivalence checks the BDD backend proves a >20
+// input identity that neither exhaustive enumeration (too wide) nor
+// simulation (not a proof) could.
+func TestBDDProvesWideEquivalence(t *testing.T) {
+	t.Parallel()
+	const n = 24
+	a := NewCircuit("a")
+	b := NewCircuit("b")
+	fa, fb := a.Const(false), b.Const(true)
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = "v" + string(rune('a'+i))
+	}
+	for i := 0; i < n; i++ {
+		fa = a.Or(fa, a.Input(names[i]))
+	}
+	// De Morgan: OR(x...) == NOT(AND(NOT(x)...)).
+	for i := 0; i < n; i++ {
+		fb = b.And(fb, b.Not(b.Input(names[i])))
+	}
+	a.AddOutput("f", fa)
+	b.AddOutput("f", b.Not(fb))
+	rep, err := Equivalent(context.Background(), a, b, Options{MaxExhaustiveInputs: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Equivalent || !rep.Proven || rep.Method != MethodBDD {
+		t.Errorf("want proven BDD equivalence, got %s", rep)
+	}
+}
+
+// TestBDDBudgetFallsBackToExhaustive forces a tiny BDD budget on a
+// 16-input pair and checks the exhaustive engine still proves it.
+func TestBDDBudgetFallsBackToExhaustive(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(7))
+	p := randomPLA(rng, 16, 4, 40)
+	n, err := bnet.FromPLA(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Equivalent(context.Background(), p, n, Options{BDDNodeBudget: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Equivalent || !rep.Proven || rep.Method != MethodExhaustive {
+		t.Errorf("want exhaustive fallback proof, got %s", rep)
+	}
+}
+
+// TestBudgetAndWidthUnprovenIsHonest: when both exact engines are out
+// of reach the report must say unproven, not claim a proof.
+func TestBudgetAndWidthUnprovenIsHonest(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(11))
+	p := randomPLA(rng, 24, 3, 30)
+	n, err := bnet.FromPLA(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Equivalent(context.Background(), p, n, Options{BDDNodeBudget: 8, MaxExhaustiveInputs: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Equivalent || rep.Proven || rep.Method != MethodSimulation {
+		t.Errorf("want unproven simulation verdict, got %s", rep)
+	}
+	rep, err = Equivalent(context.Background(), p, n, Options{SimOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Proven {
+		t.Errorf("SimOnly reported a proof: %s", rep)
+	}
+}
+
+func TestRandomPLARoundTrips(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		ni := 2 + rng.Intn(8)
+		p := randomPLA(rng, ni, 1+rng.Intn(4), 1+rng.Intn(20))
+		n, err := bnet.FromPLA(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := subject.Decompose(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Equivalent(context.Background(), p, d, Options{Seed: int64(trial + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Equivalent || !rep.Proven {
+			t.Fatalf("trial %d: want proven equivalence, got %s", trial, rep)
+		}
+	}
+}
+
+func TestCancellationStopsChecker(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(5))
+	p := randomPLA(rng, 18, 4, 60)
+	n, err := bnet.FromPLA(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Equivalent(ctx, p, n, Options{}); err == nil {
+		t.Error("canceled context did not stop the checker")
+	}
+}
