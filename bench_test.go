@@ -27,6 +27,7 @@ import (
 	"casyn/internal/flow"
 	"casyn/internal/library"
 	"casyn/internal/mapper"
+	"casyn/internal/obs"
 	"casyn/internal/place"
 	"casyn/internal/route"
 	"casyn/internal/verify"
@@ -310,6 +311,69 @@ func BenchmarkKSweepParallel(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkObsOverhead measures what the observability layer costs: a
+// full flow iteration with a recorder on the context against the same
+// iteration with observability disabled (the nil-recorder no-op path).
+// Writes BENCH_obs.json so the overhead trajectory is tracked across
+// PRs — the layer's contract is that the ratio stays ~1.0 and the
+// event counts stay nonzero.
+func BenchmarkObsOverhead(b *testing.B) {
+	pc, cfg := benchContext(b)
+	var plain, instrumented time.Duration
+	var spans, counters int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := flow.RunOnce(context.Background(), pc, 0.001, cfg); err != nil {
+			b.Fatal(err)
+		}
+		plain += time.Since(start)
+
+		rec := obs.New()
+		ctx := obs.WithRecorder(context.Background(), rec)
+		start = time.Now()
+		it, err := flow.RunOnce(ctx, pc, 0.001, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrumented += time.Since(start)
+		if it.Metrics == nil {
+			b.Fatal("instrumented run produced no metrics")
+		}
+		snap := it.Metrics.Events
+		spans, counters = len(snap.Spans), len(snap.Counters)
+	}
+	b.StopTimer()
+	overhead := float64(instrumented) / float64(plain)
+	b.ReportMetric(plain.Seconds()/float64(b.N), "plain-s")
+	b.ReportMetric(instrumented.Seconds()/float64(b.N), "instrumented-s")
+	b.ReportMetric(overhead, "overhead-ratio")
+	artifact := struct {
+		Bench          string  `json:"bench"`
+		Scale          float64 `json:"scale"`
+		PlainNs        int64   `json:"plain_ns"`
+		InstrumentedNs int64   `json:"instrumented_ns"`
+		OverheadRatio  float64 `json:"overhead_ratio"`
+		Spans          int     `json:"spans"`
+		Counters       int     `json:"counters"`
+	}{
+		Bench:          "spla-flow-iteration",
+		Scale:          benchScale,
+		PlainNs:        plain.Nanoseconds() / int64(b.N),
+		InstrumentedNs: instrumented.Nanoseconds() / int64(b.N),
+		OverheadRatio:  overhead,
+		Spans:          spans,
+		Counters:       counters,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_obs.json", append(data, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

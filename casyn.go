@@ -126,6 +126,10 @@ type Result struct {
 	// Verify is the mapped-netlist equivalence report (only when
 	// Options.Verify was set).
 	Verify *verify.Report
+	// Metrics is the iteration's observability snapshot (stage timings,
+	// congestion histogram, hot spots, counters). Non-nil only when the
+	// caller attached an obs.Recorder to ctx (see internal/obs).
+	Metrics *flow.Metrics
 }
 
 // Report formats the result like the paper's tables.
@@ -281,6 +285,7 @@ func SynthesizeSubjectContext(ctx context.Context, dag *subject.DAG, opts Option
 	if err != nil {
 		return nil, err
 	}
+	flow.MergeMetrics(ctx, it.Metrics)
 	res := &Result{
 		BaseGates:   dag.BaseGateCount(),
 		CellArea:    it.CellArea,
@@ -298,6 +303,7 @@ func SynthesizeSubjectContext(ctx context.Context, dag *subject.DAG, opts Option
 		res.Timing = it.Timing
 	}
 	res.Verify = it.Verify
+	res.Metrics = it.Metrics
 	return res, nil
 }
 

@@ -8,6 +8,7 @@
 //	casyn -bench spla -scale 0.1 -k 0.0005
 //	casyn -bench too_large -sis
 //	casyn -bench spla -timeout 2m -stage-timeout 30s
+//	casyn -pla design.pla -metrics run.jsonl -trace -pprof cpu
 //
 // Exit codes identify the failure: 0 success, 1 generic error, 2 usage,
 // 3 map stage, 4 place stage, 5 route stage, 6 sta stage, 7 timeout or
@@ -19,7 +20,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -27,6 +28,7 @@ import (
 
 	"casyn"
 	"casyn/internal/bench"
+	"casyn/internal/cliobs"
 	"casyn/internal/partition"
 	"casyn/internal/runstage"
 )
@@ -44,32 +46,36 @@ const (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	log.SetFlags(0)
-	log.SetPrefix("casyn: ")
+func run(args []string, stdout, stderr io.Writer) int {
+	fail := func(format string, a ...any) { fmt.Fprintf(stderr, "casyn: "+format+"\n", a...) }
+	fs := flag.NewFlagSet("casyn", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		plaPath   = flag.String("pla", "", "Berkeley PLA file to synthesize")
-		benchName = flag.String("bench", "", "built-in benchmark class: spla, pdc, too_large")
-		scale     = flag.Float64("scale", 1.0, "benchmark scale factor (1.0 = full size)")
-		k         = flag.Float64("k", 0, "congestion minimization factor K (Eq. 5)")
-		dieArea   = flag.Float64("die", 0, "die area in µm² (0 = auto-size at 58% utilization)")
-		sis       = flag.Bool("sis", false, "run SIS-style technology-independent optimization first")
-		timing    = flag.Bool("timing", false, "run static timing analysis")
-		method    = flag.String("partition", "pdp", "DAG partitioning: pdp, dagon, cone")
-		seed      = flag.Int64("seed", 1, "placement seed")
-		verilog   = flag.String("verilog", "", "write the mapped netlist as structural Verilog to FILE")
-		cellRep   = flag.Bool("cells", false, "print the per-cell usage report")
-		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget for the run (0 = none)")
-		stageTO   = flag.Duration("stage-timeout", 0, "wall-clock budget per pipeline stage (0 = none)")
+		plaPath   = fs.String("pla", "", "Berkeley PLA file to synthesize")
+		benchName = fs.String("bench", "", "built-in benchmark class: spla, pdc, too_large")
+		scale     = fs.Float64("scale", 1.0, "benchmark scale factor (1.0 = full size)")
+		k         = fs.Float64("k", 0, "congestion minimization factor K (Eq. 5)")
+		dieArea   = fs.Float64("die", 0, "die area in µm² (0 = auto-size at 58% utilization)")
+		sis       = fs.Bool("sis", false, "run SIS-style technology-independent optimization first")
+		timing    = fs.Bool("timing", false, "run static timing analysis")
+		method    = fs.String("partition", "pdp", "DAG partitioning: pdp, dagon, cone")
+		seed      = fs.Int64("seed", 1, "placement seed")
+		verilog   = fs.String("verilog", "", "write the mapped netlist as structural Verilog to FILE")
+		cellRep   = fs.Bool("cells", false, "print the per-cell usage report")
+		timeout   = fs.Duration("timeout", 0, "overall wall-clock budget for the run (0 = none)")
+		stageTO   = fs.Duration("stage-timeout", 0, "wall-clock budget per pipeline stage (0 = none)")
 		// -iteration-timeout is an alias for -timeout: a casyn run is a
 		// single flow iteration, so the two budgets coincide.
-		iterTO  = flag.Duration("iteration-timeout", 0, "alias for -timeout (one run = one flow iteration)")
-		workers = flag.Int("workers", 0, "covering/routing goroutines (0 = all CPUs, 1 = serial)")
+		iterTO  = fs.Duration("iteration-timeout", 0, "alias for -timeout (one run = one flow iteration)")
+		workers = fs.Int("workers", 0, "covering/routing goroutines (0 = all CPUs, 1 = serial)")
 	)
-	flag.Parse()
+	ob := cliobs.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
 
 	opts := casyn.Options{
 		K:                       *k,
@@ -88,7 +94,7 @@ func run() int {
 	case "cone":
 		opts.Partition = partition.Cone
 	default:
-		log.Printf("unknown partition method %q", *method)
+		fail("unknown partition method %q", *method)
 		return exitUsage
 	}
 
@@ -103,6 +109,11 @@ func run() int {
 		ctx, cancel = context.WithTimeout(ctx, budget)
 		defer cancel()
 	}
+	ctx, finish, oerr := ob.Start(ctx)
+	if oerr != nil {
+		fail("%v", oerr)
+		return exitErr
+	}
 
 	var res *casyn.Result
 	var err error
@@ -111,14 +122,16 @@ func run() int {
 	case *plaPath != "":
 		p, rerr := casyn.ReadPLAFile(*plaPath)
 		if rerr != nil {
-			log.Print(rerr)
+			fail("%v", rerr)
+			finish()
 			return exitErr
 		}
 		res, err = casyn.SynthesizeContext(ctx, p, opts)
 	case *benchName != "":
 		class, ok := classByName(*benchName)
 		if !ok {
-			log.Printf("unknown benchmark %q (want spla, pdc, too_large)", *benchName)
+			fail("unknown benchmark %q (want spla, pdc, too_large)", *benchName)
+			finish()
 			return exitUsage
 		}
 		spec := class.Spec()
@@ -127,45 +140,56 @@ func run() int {
 		}
 		p, gerr := bench.Generate(spec)
 		if gerr != nil {
-			log.Print(gerr)
+			fail("%v", gerr)
+			finish()
 			return exitErr
 		}
 		res, err = casyn.SynthesizeContext(ctx, p, opts)
 	default:
-		fmt.Fprintln(os.Stderr, "casyn: need -pla FILE or -bench NAME")
-		flag.Usage()
+		fail("need -pla FILE or -bench NAME")
+		fs.Usage()
+		finish()
 		return exitUsage
 	}
 	elapsed := time.Since(start)
-	if err != nil {
-		return reportFailure(err)
+	// The trace of a failed run is often the most useful one: flush the
+	// observability outputs before mapping the failure to an exit code.
+	ferr := finish()
+	if ferr != nil {
+		fail("%v", ferr)
 	}
-	fmt.Print(res.Report())
-	fmt.Printf("wall-clock:        %.2fs (workers=%d, %d CPUs)\n",
+	if err != nil {
+		return reportFailure(fail, err)
+	}
+	if ferr != nil {
+		return exitErr
+	}
+	fmt.Fprint(stdout, res.Report())
+	fmt.Fprintf(stdout, "wall-clock:        %.2fs (workers=%d, %d CPUs)\n",
 		elapsed.Seconds(), *workers, runtime.GOMAXPROCS(0))
 	if *cellRep {
-		fmt.Println()
-		if err := res.Mapped.WriteCellReport(os.Stdout); err != nil {
-			log.Print(err)
+		fmt.Fprintln(stdout)
+		if err := res.Mapped.WriteCellReport(stdout); err != nil {
+			fail("%v", err)
 			return exitErr
 		}
 	}
 	if *verilog != "" {
 		f, err := os.Create(*verilog)
 		if err != nil {
-			log.Print(err)
+			fail("%v", err)
 			return exitErr
 		}
 		if err := res.Mapped.WriteVerilog(f, "casyn_top"); err != nil {
 			f.Close()
-			log.Print(err)
+			fail("%v", err)
 			return exitErr
 		}
 		if err := f.Close(); err != nil {
-			log.Print(err)
+			fail("%v", err)
 			return exitErr
 		}
-		fmt.Printf("wrote %s\n", *verilog)
+		fmt.Fprintf(stdout, "wrote %s\n", *verilog)
 	}
 	return exitOK
 }
@@ -174,25 +198,25 @@ func run() int {
 // when known — and maps it to the documented exit code. Timeouts and
 // cancellations take precedence over the stage code so scripts can
 // distinguish "ran out of budget" from "this stage is broken".
-func reportFailure(err error) int {
+func reportFailure(fail func(string, ...any), err error) int {
 	se := runstage.AsStage(err)
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		if se != nil {
-			log.Printf("timed out in %s stage (K=%g): %v", se.Stage, se.K, se.Err)
+			fail("timed out in %s stage (K=%g): %v", se.Stage, se.K, se.Err)
 		} else {
-			log.Printf("timed out: %v", err)
+			fail("timed out: %v", err)
 		}
 		return exitTimeout
 	case errors.Is(err, context.Canceled):
 		if se != nil {
-			log.Printf("canceled in %s stage (K=%g): %v", se.Stage, se.K, se.Err)
+			fail("canceled in %s stage (K=%g): %v", se.Stage, se.K, se.Err)
 		} else {
-			log.Printf("canceled: %v", err)
+			fail("canceled: %v", err)
 		}
 		return exitTimeout
 	case se != nil:
-		log.Printf("%s stage failed (K=%g): %v", se.Stage, se.K, se.Err)
+		fail("%s stage failed (K=%g): %v", se.Stage, se.K, se.Err)
 		switch se.Stage {
 		case runstage.StageMap:
 			return exitMap
@@ -205,7 +229,7 @@ func reportFailure(err error) int {
 		}
 		return exitErr
 	default:
-		log.Print(err)
+		fail("%v", err)
 		return exitErr
 	}
 }

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"casyn/internal/obs"
+)
+
+const add2PLA = "../../examples/circuits/add2.pla"
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestMetricsFlagEmitsJSONL is the CLI acceptance test: -metrics on an
+// example circuit must emit valid JSONL with at least one span per
+// pipeline stage and a congestion histogram.
+func TestMetricsFlagEmitsJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.jsonl")
+	code, out, errb := runCLI(t, "-pla", add2PLA, "-k", "0.001", "-metrics", path)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stdout %q, stderr %q)", code, out, errb)
+	}
+	if !strings.Contains(out, "routing violations") {
+		t.Errorf("report missing from stdout: %q", out)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("metrics file is not valid JSONL: %v", err)
+	}
+	counts := snap.SpanCounts()
+	for _, stage := range []string{"stage.prepare", "stage.map", "stage.place", "stage.route"} {
+		if counts[stage] < 1 {
+			t.Errorf("no %q span in metrics (have %v)", stage, counts)
+		}
+	}
+	if counts["flow.iteration"] < 1 {
+		t.Error("no flow.iteration span in metrics")
+	}
+	h, ok := snap.Histograms["route.congestion"]
+	if !ok {
+		t.Fatal("no congestion histogram in metrics")
+	}
+	if h.Count == 0 || len(h.Counts) != len(h.Bounds)+1 {
+		t.Errorf("degenerate congestion histogram: %+v", h)
+	}
+	if snap.Counters["route.nets"] == 0 {
+		t.Error("route.nets counter missing or zero")
+	}
+}
+
+// TestPromAndPprofFlags checks the Prometheus dump and profile capture
+// land on disk.
+func TestPromAndPprofFlags(t *testing.T) {
+	dir := t.TempDir()
+	prom := filepath.Join(dir, "metrics.prom")
+	pprof := filepath.Join(dir, "cpu.pprof")
+	code, _, errb := runCLI(t, "-pla", add2PLA, "-prom", prom, "-pprof", "cpu", "-pprof-out", pprof)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr %q)", code, errb)
+	}
+	pb, err := os.ReadFile(prom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"casyn_route_nets_total", "casyn_route_congestion_bucket", "casyn_span_seconds_sum"} {
+		if !strings.Contains(string(pb), want) {
+			t.Errorf("prom dump missing %q", want)
+		}
+	}
+	if _, err := os.Stat(pprof); err != nil {
+		t.Errorf("cpu profile not written: %v", err)
+	}
+}
+
+// TestMetricsOfFailedRunStillFlush checks the failure path: a stage
+// that times out must still leave its partial metrics on disk, with
+// the error recorded on the span.
+func TestMetricsOfFailedRunStillFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.jsonl")
+	// 1ns budget: prepare cannot finish.
+	code, _, _ := runCLI(t, "-pla", add2PLA, "-stage-timeout", "1ns", "-metrics", path)
+	if code != exitTimeout {
+		t.Fatalf("exit = %d, want %d", code, exitTimeout)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("metrics of failed run not valid JSONL: %v", err)
+	}
+	found := false
+	for _, sp := range snap.Spans {
+		if strings.HasPrefix(sp.Name, "stage.") && sp.Err != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no failed stage span recorded: %+v", snap.Spans)
+	}
+}
+
+// TestUsageErrors pins the usage exit paths.
+func TestUsageErrors(t *testing.T) {
+	cases := map[string][]string{
+		"no input":      {},
+		"bad bench":     {"-bench", "nonesuch"},
+		"bad partition": {"-pla", add2PLA, "-partition", "nonesuch"},
+		"bad flag":      {"-definitely-not-a-flag"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			if code, _, _ := runCLI(t, args...); code != exitUsage {
+				t.Errorf("exit = %d, want %d", code, exitUsage)
+			}
+		})
+	}
+	if code, _, _ := runCLI(t, "-pla", add2PLA, "-pprof", "flames"); code != exitErr {
+		t.Errorf("invalid -pprof mode: exit != %d", exitErr)
+	}
+}
+
+// TestVerilogExportUnchangedByMetrics re-checks observability inertness
+// at the CLI level: the exported Verilog is byte-identical with and
+// without -metrics.
+func TestVerilogExportUnchangedByMetrics(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain.v")
+	instr := filepath.Join(dir, "instr.v")
+	if code, _, errb := runCLI(t, "-pla", add2PLA, "-verilog", plain); code != 0 {
+		t.Fatalf("plain run failed: %s", errb)
+	}
+	if code, _, errb := runCLI(t, "-pla", add2PLA, "-verilog", instr,
+		"-metrics", filepath.Join(dir, "m.jsonl")); code != 0 {
+		t.Fatalf("instrumented run failed: %s", errb)
+	}
+	a, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(instr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("-metrics changed the exported Verilog")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"casyn/internal/bench"
+	"casyn/internal/cliobs"
 	"casyn/internal/experiments"
 )
 
@@ -32,6 +33,7 @@ func main() {
 		scale     = flag.Float64("scale", 1.0, "benchmark scale factor")
 		workers   = flag.Int("workers", 0, "K-sweep goroutines (0 = all CPUs, 1 = serial)")
 	)
+	ob := cliobs.Register(nil)
 	flag.Parse()
 
 	var class bench.Class
@@ -45,9 +47,16 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	ctx, finish, oerr := ob.Start(ctx)
+	if oerr != nil {
+		log.Fatal(oerr)
+	}
 	start := time.Now()
 	res, err := experiments.KSweep(ctx, class, *scale, *workers)
 	elapsed := time.Since(start)
+	if ferr := finish(); ferr != nil {
+		log.Print(ferr)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

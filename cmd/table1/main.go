@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 
+	"casyn/internal/cliobs"
 	"casyn/internal/experiments"
 )
 
@@ -22,9 +23,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("table1: ")
 	scale := flag.Float64("scale", 1.0, "benchmark scale factor")
+	ob := cliobs.Register(nil)
 	flag.Parse()
 
-	rows, layout, err := experiments.Table1(context.Background(), *scale)
+	ctx, finish, oerr := ob.Start(context.Background())
+	if oerr != nil {
+		log.Fatal(oerr)
+	}
+	rows, layout, err := experiments.Table1(ctx, *scale)
+	if ferr := finish(); ferr != nil {
+		log.Print(ferr)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

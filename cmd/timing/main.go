@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"casyn/internal/bench"
+	"casyn/internal/cliobs"
 	"casyn/internal/experiments"
 )
 
@@ -32,6 +33,7 @@ func main() {
 		midK      = flag.Float64("midk", 0.001, "mid-ladder K for the congestion-aware row")
 		workers   = flag.Int("workers", 0, "covering/routing goroutines (0 = all CPUs, 1 = serial)")
 	)
+	ob := cliobs.Register(nil)
 	flag.Parse()
 
 	var class bench.Class
@@ -45,9 +47,16 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	ctx, finish, oerr := ob.Start(ctx)
+	if oerr != nil {
+		log.Fatal(oerr)
+	}
 	start := time.Now()
 	rows, err := experiments.STATable(ctx, class, *scale, *midK, *workers)
 	elapsed := time.Since(start)
+	if ferr := finish(); ferr != nil {
+		log.Print(ferr)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -42,10 +42,25 @@ import (
 	"casyn/internal/geom"
 	"casyn/internal/library"
 	"casyn/internal/match"
+	"casyn/internal/obs"
 	"casyn/internal/par"
 	"casyn/internal/partition"
 	"casyn/internal/subject"
 )
+
+// matchesPerGateBounds buckets how many library patterns matched at
+// each DP vertex — the solution-space width the covering explores.
+var matchesPerGateBounds = []float64{1, 2, 4, 8, 16, 32, 64}
+
+// instruments carries the shared observability handles of one Cover
+// call. Counter and histogram handles are safe to share across the
+// tree fan-out (atomic / mutex-guarded), and the zero value (nil
+// handles, from a context without a recorder) is a complete no-op.
+type instruments struct {
+	solutions *obs.Counter   // DP vertices solved ("cover.solutions")
+	matches   *obs.Counter   // candidate matches evaluated ("cover.matches")
+	perGate   *obs.Histogram // matches per vertex ("cover.matches_per_gate")
+}
 
 // Objective selects the covering optimization target.
 type Objective int
@@ -149,8 +164,15 @@ func Cover(ctx context.Context, dag *subject.DAG, forest *partition.Forest, lib 
 	base := append([]geom.Point(nil), pos...)
 	trees := forest.Trees(dag)
 	dag.PrecomputeFanouts() // no lazy rebuild race under the fan-out
+	rec := obs.From(ctx)
+	rec.Add("cover.trees", int64(len(trees)))
+	ins := instruments{
+		solutions: rec.Counter("cover.solutions"),
+		matches:   rec.Counter("cover.matches"),
+		perGate:   rec.Histogram("cover.matches_per_gate", matchesPerGateBounds),
+	}
 	err := par.ForEach(ctx, opts.Workers, len(trees), func(ti int) error {
-		return coverTree(dag, forest, lib, &trees[ti], base, res, opts)
+		return coverTree(dag, forest, lib, &trees[ti], base, res, opts, ins)
 	})
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
@@ -170,7 +192,7 @@ func Cover(ctx context.Context, dag *subject.DAG, forest *partition.Forest, lib 
 // cover's placement updates. base is the read-only pre-cover placement
 // snapshot shared by all trees; the only writes are to this tree's own
 // res.Best and res.Pos entries, which no other tree touches.
-func coverTree(dag *subject.DAG, forest *partition.Forest, lib *library.Library, t *partition.Tree, base []geom.Point, res *Result, opts Options) error {
+func coverTree(dag *subject.DAG, forest *partition.Forest, lib *library.Library, t *partition.Tree, base []geom.Point, res *Result, opts Options, ins instruments) error {
 	inTree := t.InTree()
 	m := match.NewMatcher(dag, lib, forest.Father, inTree)
 	covered := map[int]bool{} // scratch per match
@@ -179,6 +201,9 @@ func coverTree(dag *subject.DAG, forest *partition.Forest, lib *library.Library,
 		if len(matches) == 0 {
 			return fmt.Errorf("cover: no match at gate %d (%s)", v, dag.Gate(v).Type)
 		}
+		ins.solutions.Add(1)
+		ins.matches.Add(int64(len(matches)))
+		ins.perGate.Observe(float64(len(matches)))
 		var best *Solution
 		bestCost := math.Inf(1)
 		bestTie := math.Inf(1)

@@ -128,6 +128,7 @@ func minAreaCellArea(ctx context.Context, d *subject.DAG) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	flow.MergeMetrics(ctx, it.Metrics)
 	return it.CellArea, nil
 }
 
@@ -295,6 +296,7 @@ func Table1(ctx context.Context, scale float64) ([]Table1Row, place.Layout, erro
 		if err != nil {
 			return nil, layout, err
 		}
+		flow.MergeMetrics(ctx, it.Metrics)
 		rows = append(rows, Table1Row{
 			Label:       tc.label,
 			CellArea:    it.CellArea,
@@ -409,6 +411,7 @@ func staAtMinimalDie(ctx context.Context, d *subject.DAG, k float64, base place.
 		if err != nil {
 			return row, err
 		}
+		flow.MergeMetrics(ctx, it.Metrics)
 		routable := it.FailedConnections == 0
 		if routable || extra == maxExtraRows {
 			row.CriticalPI = it.Timing.CriticalPI

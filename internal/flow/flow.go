@@ -32,6 +32,7 @@ import (
 	"casyn/internal/library"
 	"casyn/internal/mapper"
 	"casyn/internal/netlist"
+	"casyn/internal/obs"
 	"casyn/internal/par"
 	"casyn/internal/partition"
 	"casyn/internal/place"
@@ -113,6 +114,11 @@ func (c *Config) defaults() {
 	}
 }
 
+// maxHotSpots bounds the per-iteration overflow hot-spot list carried
+// in Metrics: enough to localize the congested region, small enough to
+// keep iteration snapshots light.
+const maxHotSpots = 10
+
 // DefaultKSchedule returns the K ladder of the paper's Tables 2 and 4.
 func DefaultKSchedule() []float64 {
 	return []float64{0, 0.0001, 0.00025, 0.0005, 0.00075, 0.001,
@@ -178,6 +184,12 @@ type Iteration struct {
 	// Config.Verify is set; always Equivalent when non-nil, because an
 	// inequivalent netlist fails the iteration instead).
 	Verify *verify.Report
+	// Metrics is the iteration's observability snapshot — stage
+	// timings, congestion histogram, overflow hot spots, pipeline
+	// counters — populated whenever the context carries an
+	// *obs.Recorder (nil otherwise). Failed iterations keep the
+	// metrics of the stages that ran.
+	Metrics *Metrics
 	// Err is non-nil when this iteration failed (stage error, panic,
 	// or per-iteration timeout); typically a *runstage.StageError.
 	Err error
@@ -248,6 +260,9 @@ func Run(ctx context.Context, pc *Context, cfg Config) (*Result, error) {
 		}
 		it, err := RunOnce(itCtx, pc, k, cfg)
 		cancel()
+		// Iteration events surface in the run-level recorder in ladder
+		// order — the same order the parallel sweep merges in.
+		MergeMetrics(ctx, it.Metrics)
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				// Parent canceled: stop the whole ladder, keep the
@@ -371,6 +386,10 @@ func runParallel(ctx context.Context, pc *Context, cfg Config) (*Result, error) 
 			}
 			break
 		}
+		// Ladder-order merge keeps the run-level event stream identical
+		// to the serial sweep's; slots past the routable cutoff are
+		// never examined, so discarded speculative work leaves no trace.
+		MergeMetrics(ctx, s.it.Metrics)
 		if s.err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return res, fmt.Errorf("flow: canceled at K=%g: %w", k, cerr)
@@ -407,9 +426,29 @@ func runParallel(ctx context.Context, pc *Context, cfg Config) (*Result, error) 
 // identifies the failing stage and K. The partially-filled Iteration
 // is returned even on error (metrics up to the failing stage are
 // valid).
-func RunOnce(ctx context.Context, pc *Context, k float64, cfg Config) (Iteration, error) {
+//
+// When ctx carries an *obs.Recorder, the iteration runs against its
+// own child recorder under a "flow.iteration" span; the snapshot lands
+// in Iteration.Metrics on every exit path, so even a stage failure or
+// budget timeout reports the stage timings measured up to that point.
+// The child's events are not merged into the parent recorder here —
+// Run does that in ladder order (and direct callers use MergeMetrics)
+// so the parent stream is deterministic for any worker count.
+func RunOnce(ctx context.Context, pc *Context, k float64, cfg Config) (it Iteration, err error) {
 	cfg.defaults()
-	it := Iteration{K: k}
+	it = Iteration{K: k}
+	var hotspots []route.HotSpot
+	rec := obs.From(ctx).Child()
+	if rec != nil {
+		ctx = obs.WithRecorder(ctx, rec)
+		var span *obs.Span
+		ctx, span = rec.StartSpan(ctx, "flow.iteration")
+		span.SetK(k)
+		defer func() {
+			span.End(err)
+			it.Metrics = buildMetrics(rec, hotspots)
+		}()
+	}
 
 	mres, err := runstage.Run(ctx, runstage.StageMap, k, cfg.StageTimeout, cfg.Hooks,
 		func(ctx context.Context) (*mapper.Result, error) {
@@ -479,6 +518,9 @@ func RunOnce(ctx context.Context, pc *Context, k float64, cfg Config) (Iteration
 	it.MaxCongestion = rres.MaxCongestion
 	it.WireLength = rres.WireLength
 	it.Routable = rres.Routable()
+	if rec != nil {
+		hotspots = rres.Grid.HotSpots(maxHotSpots)
+	}
 
 	if cfg.RunSTA {
 		timing, err := runstage.Run(ctx, runstage.StageSTA, k, cfg.StageTimeout, cfg.Hooks,

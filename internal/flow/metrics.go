@@ -1,0 +1,119 @@
+package flow
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"casyn/internal/obs"
+	"casyn/internal/route"
+	"casyn/internal/runstage"
+)
+
+// Metrics is the observability snapshot of one K iteration, populated
+// whenever the context given to RunOnce (or Run) carries an
+// *obs.Recorder. It is built from the iteration's own child recorder,
+// so concurrent iterations of a parallel sweep never interleave, and a
+// speculative iteration that is discarded leaves no trace.
+//
+// The deterministic fields — counters, histogram bucket counts, span
+// multiset, hot spots — are byte-identical for every Config.Workers
+// value (see Fingerprint); only durations vary run to run.
+type Metrics struct {
+	// Stages lists the pipeline stages that actually ran, in execution
+	// order, with the wall/CPU time measured inside runstage.Run — the
+	// single measurement point, surfaced rather than re-measured. A
+	// failed or budget-blown iteration still carries the stages that
+	// completed plus the failing stage with its partial elapsed time
+	// and error.
+	Stages []StageTiming
+	// HotSpots are the worst over-capacity routing edges of the
+	// iteration's congestion map (empty when routing never ran or
+	// nothing overflowed).
+	HotSpots []route.HotSpot
+	// Events is the full event stream: every span, counter, and
+	// histogram the pipeline recorded during this iteration, including
+	// the congestion and net-HPWL histograms from the router and the
+	// match/DP counters from the coverer.
+	Events obs.Snapshot
+}
+
+// StageTiming is one executed stage's measured cost.
+type StageTiming struct {
+	Stage runstage.Stage
+	Wall  time.Duration
+	CPU   time.Duration
+	// Err is the failure the stage ended with ("" on success).
+	Err string
+}
+
+// StageWall returns the measured wall time of a stage and whether the
+// stage ran at all.
+func (m *Metrics) StageWall(stage runstage.Stage) (time.Duration, bool) {
+	if m == nil {
+		return 0, false
+	}
+	for _, st := range m.Stages {
+		if st.Stage == stage {
+			return st.Wall, true
+		}
+	}
+	return 0, false
+}
+
+// Fingerprint renders the deterministic subset of the metrics as a
+// stable string: the event-stream fingerprint (counters, histogram
+// buckets, span counts), the hot-spot list, and the stage sequence
+// without its durations. Two iterations that did the same work — for
+// any worker count — produce identical fingerprints.
+func (m *Metrics) Fingerprint() string {
+	if m == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(m.Events.Fingerprint())
+	for _, st := range m.Stages {
+		fmt.Fprintf(&b, "stage %s err=%q\n", st.Stage, st.Err)
+	}
+	for _, h := range m.HotSpots {
+		fmt.Fprintf(&b, "hotspot (%d,%d) horizontal=%v overflow=%g congestion=%g\n",
+			h.X, h.Y, h.Horizontal, h.Overflow, h.Congestion)
+	}
+	return b.String()
+}
+
+// MergeMetrics folds an iteration's event stream into the recorder
+// carried by ctx (no-op when either is absent). Run does this
+// automatically in ladder order; callers driving RunOnce directly
+// (casyn, experiments) use it to surface iteration events in their
+// run-level recorder.
+func MergeMetrics(ctx context.Context, m *Metrics) {
+	if m == nil {
+		return
+	}
+	obs.From(ctx).Merge(m.Events)
+}
+
+// buildMetrics assembles the Metrics snapshot from an iteration's
+// child recorder. Stage timings come from the "stage.*" spans recorded
+// inside runstage.Run — end order is execution order, because the
+// stages of one iteration run sequentially.
+func buildMetrics(rec *obs.Recorder, hotspots []route.HotSpot) *Metrics {
+	if rec == nil {
+		return nil
+	}
+	snap := rec.Snapshot()
+	m := &Metrics{Events: snap, HotSpots: hotspots}
+	for _, sp := range snap.Spans {
+		if name, ok := strings.CutPrefix(sp.Name, "stage."); ok {
+			m.Stages = append(m.Stages, StageTiming{
+				Stage: runstage.Stage(name),
+				Wall:  sp.Wall,
+				CPU:   sp.CPU,
+				Err:   sp.Err,
+			})
+		}
+	}
+	return m
+}

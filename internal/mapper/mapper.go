@@ -25,6 +25,7 @@ import (
 	"casyn/internal/geom"
 	"casyn/internal/library"
 	"casyn/internal/netlist"
+	"casyn/internal/obs"
 	"casyn/internal/partition"
 	"casyn/internal/place"
 	"casyn/internal/subject"
@@ -97,16 +98,20 @@ type Result struct {
 func Map(ctx context.Context, d *subject.DAG, in Input, opts Options) (*Result, error) {
 	opts.defaults()
 	method := opts.Method
+	rec := obs.From(ctx)
+	_, pSpan := rec.StartSpan(ctx, "map.partition")
 	forest, err := partition.Partition(partition.Input{
 		DAG:    d,
 		Pos:    in.Pos,
 		POPads: in.POPads,
 		Metric: opts.Metric,
 	}, method)
+	pSpan.End(err)
 	if err != nil {
 		return nil, err
 	}
-	cov, err := cover.Cover(ctx, d, forest, opts.Lib, in.Pos, cover.Options{
+	cctx, cSpan := rec.StartSpan(ctx, "map.cover")
+	cov, err := cover.Cover(cctx, d, forest, opts.Lib, in.Pos, cover.Options{
 		K:              opts.K,
 		Metric:         opts.Metric,
 		WireUnit:       opts.WireUnit,
@@ -115,10 +120,19 @@ func Map(ctx context.Context, d *subject.DAG, in Input, opts Options) (*Result, 
 		NoWire2:        opts.NoWire2,
 		Workers:        opts.Workers,
 	})
+	cSpan.End(err)
 	if err != nil {
 		return nil, err
 	}
-	return reconstruct(d, forest, cov)
+	_, rSpan := rec.StartSpan(ctx, "map.reconstruct")
+	res, err := reconstruct(d, forest, cov)
+	rSpan.End(err)
+	if err != nil {
+		return nil, err
+	}
+	rec.Add("map.cells", int64(res.NumCells))
+	rec.Add("map.duplicated_cells", int64(res.DuplicatedCells))
+	return res, nil
 }
 
 // reconstruct builds the mapped netlist from the covering solutions,

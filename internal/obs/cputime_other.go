@@ -1,0 +1,9 @@
+//go:build !unix
+
+package obs
+
+import "time"
+
+// processCPUTime is unavailable on this platform; spans report zero
+// CPU time and rely on wall-clock only.
+func processCPUTime() time.Duration { return 0 }

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Event is one JSONL line of a serialized snapshot. Ev discriminates
+// the payload: "span" carries the span fields, "counter" a single
+// total, "hist" a histogram state.
+type Event struct {
+	Ev   string `json:"ev"`
+	Name string `json:"name"`
+
+	// Span fields.
+	ID      int64    `json:"id,omitempty"`
+	Parent  int64    `json:"parent,omitempty"`
+	K       *float64 `json:"k,omitempty"`
+	StartUS int64    `json:"start_us,omitempty"` // unix microseconds
+	WallUS  int64    `json:"wall_us,omitempty"`
+	CPUUS   int64    `json:"cpu_us,omitempty"`
+	Err     string   `json:"err,omitempty"`
+
+	// Counter field.
+	Value int64 `json:"value,omitempty"`
+
+	// Histogram fields.
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []int64   `json:"counts,omitempty"`
+	Count  int64     `json:"count,omitempty"`
+	Sum    *float64  `json:"sum,omitempty"`
+	Min    *float64  `json:"min,omitempty"`
+	Max    *float64  `json:"max,omitempty"`
+}
+
+// WriteJSONL serializes the snapshot as one JSON event per line: spans
+// first (in end order — execution order for sequential stages), then
+// counters and histograms sorted by name. The stream round-trips
+// through ReadJSONL.
+func WriteJSONL(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, sp := range s.Spans {
+		ev := Event{
+			Ev:      "span",
+			Name:    sp.Name,
+			ID:      sp.ID,
+			Parent:  sp.Parent,
+			StartUS: sp.Start.UnixMicro(),
+			WallUS:  sp.Wall.Microseconds(),
+			CPUUS:   sp.CPU.Microseconds(),
+			Err:     sp.Err,
+		}
+		if sp.KSet {
+			k := sp.K
+			ev.K = &k
+		}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		if err := enc.Encode(Event{Ev: "counter", Name: name, Value: s.Counters[name]}); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		ev := Event{
+			Ev:     "hist",
+			Name:   name,
+			Bounds: h.Bounds,
+			Counts: h.Counts,
+			Count:  h.Count,
+		}
+		if h.Count > 0 {
+			sum, mn, mx := h.Sum, h.Min, h.Max
+			ev.Sum, ev.Min, ev.Max = &sum, &mn, &mx
+		}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a WriteJSONL stream back into a Snapshot. Unknown
+// event kinds are an error — the schema is versioned by construction
+// (the golden suite and the CLI tests both parse what they emit).
+func ReadJSONL(r io.Reader) (Snapshot, error) {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	dec := json.NewDecoder(r)
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			return s, fmt.Errorf("obs: bad JSONL event: %w", err)
+		}
+		switch ev.Ev {
+		case "span":
+			sp := SpanRecord{
+				ID:     ev.ID,
+				Parent: ev.Parent,
+				Name:   ev.Name,
+				Start:  time.UnixMicro(ev.StartUS),
+				Wall:   time.Duration(ev.WallUS) * time.Microsecond,
+				CPU:    time.Duration(ev.CPUUS) * time.Microsecond,
+				Err:    ev.Err,
+			}
+			if ev.K != nil {
+				sp.K, sp.KSet = *ev.K, true
+			}
+			s.Spans = append(s.Spans, sp)
+		case "counter":
+			s.Counters[ev.Name] = ev.Value
+		case "hist":
+			h := HistogramSnapshot{
+				Bounds: ev.Bounds,
+				Counts: ev.Counts,
+				Count:  ev.Count,
+			}
+			if ev.Sum != nil {
+				h.Sum = *ev.Sum
+			}
+			if ev.Min != nil {
+				h.Min = *ev.Min
+			}
+			if ev.Max != nil {
+				h.Max = *ev.Max
+			}
+			s.Histograms[ev.Name] = h
+		default:
+			return s, fmt.Errorf("obs: unknown event kind %q", ev.Ev)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,147 @@
+// Package obs is the observability substrate of the synthesis
+// pipeline: monotonic counters, bucketed histograms, and stage-scoped
+// spans with wall- and CPU-time, recorded into a *Recorder carried on
+// the context.
+//
+// The paper's methodology (Figure 3) is judged by inspecting the
+// post-mapping congestion map per K iteration; a production flow needs
+// that signal — and where the wall-clock goes — as first-class data
+// rather than println archaeology. Every pipeline layer (runstage,
+// flow, mapper, cover, place, route) therefore records into the
+// Recorder it finds on its context:
+//
+//	rec := obs.New()
+//	ctx = obs.WithRecorder(ctx, rec)
+//	res, err := casyn.SynthesizeContext(ctx, pla, opts)
+//	obs.WriteJSONL(os.Stdout, rec.Snapshot())
+//
+// # Design rules
+//
+//   - Zero dependencies: standard library only.
+//   - Nil-safe no-op: every method works on a nil *Recorder, nil
+//     *Counter, nil *Histogram, and nil *Span, so instrumented code
+//     carries no "is observability on?" branches. obs.From on a
+//     context without a recorder returns nil, and the whole
+//     instrumentation collapses to a few nil checks.
+//   - Safe under internal/par concurrency: counters are atomic,
+//     histograms and the span list are mutex-protected, and handles
+//     (Counter, Histogram) may be shared freely across goroutines.
+//   - Deterministic where it matters: counter totals, histogram bucket
+//     counts, and span-name multisets are identical for every worker
+//     count; only wall/CPU durations and float sums vary run to run.
+//     Snapshot.Fingerprint covers exactly the deterministic subset.
+//
+// # Span naming convention
+//
+// Spans are dot-separated, lowercase, prefixed by the layer that opens
+// them: "stage.<name>" for runstage-managed pipeline stages (prepare,
+// map, verify, place, route, sta), "flow.iteration" for one K
+// iteration, and "<pkg>.<phase>" for intra-stage phases
+// ("map.partition", "map.cover", "map.reconstruct",
+// "route.first_pass", "route.ripup", "place.bisect", "place.refine").
+// Counter and histogram names follow the same "<pkg>.<metric>" shape.
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Recorder accumulates counters, histograms, and completed spans for
+// one observed scope (a whole run, or one flow iteration). A nil
+// *Recorder is a valid no-op recorder: every method returns promptly
+// and records nothing.
+type Recorder struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	spans    []SpanRecord
+	nextID   atomic.Int64
+}
+
+// New returns an empty, enabled recorder.
+func New() *Recorder {
+	return &Recorder{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Child returns a fresh recorder scoped under r — an independent
+// accumulator whose snapshot is merged back with r.Merge — or nil when
+// r is nil. The flow engine gives each K iteration its own child so
+// concurrent iterations never interleave events, and discarded
+// speculative iterations never pollute the parent.
+func (r *Recorder) Child() *Recorder {
+	if r == nil {
+		return nil
+	}
+	return New()
+}
+
+// Counter returns the named monotonic counter, creating it on first
+// use. Returns nil (a valid no-op handle) when r is nil.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Add increments the named counter by delta (no-op on nil r).
+func (r *Recorder) Add(name string, delta int64) { r.Counter(name).Add(delta) }
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use; later calls reuse the existing
+// bounds. Returns nil (a valid no-op handle) when r is nil.
+func (r *Recorder) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Observe records v into the named histogram (no-op on nil r).
+func (r *Recorder) Observe(name string, bounds []float64, v float64) {
+	r.Histogram(name, bounds).Observe(v)
+}
+
+// ctxKey keys the recorder and the current span on a context.
+type ctxKey int
+
+const (
+	recorderKey ctxKey = iota
+	spanKey
+)
+
+// WithRecorder returns a context carrying r. A nil r returns ctx
+// unchanged, so callers can thread an optional recorder without
+// branching.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, recorderKey, r)
+}
+
+// From returns the recorder carried by ctx, or nil. The nil result is
+// itself usable: every *Recorder method is a no-op on nil.
+func From(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(recorderKey).(*Recorder)
+	return r
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfile begins flag-gated profile capture for the CLIs. mode is
+// "cpu", "heap", or "mutex"; the returned stop function finishes the
+// capture and writes the profile to path. "" disables profiling and
+// returns a no-op stop.
+func StartProfile(mode, path string) (stop func() error, err error) {
+	switch mode {
+	case "":
+		return func() error { return nil }, nil
+	case "cpu":
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		}, nil
+	case "heap":
+		return func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live data
+			return pprof.WriteHeapProfile(f)
+		}, nil
+	case "mutex":
+		runtime.SetMutexProfileFraction(5)
+		return func() error {
+			defer runtime.SetMutexProfileFraction(0)
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return pprof.Lookup("mutex").WriteTo(f, 0)
+		}, nil
+	default:
+		return nil, fmt.Errorf("obs: unknown profile mode %q (want cpu, heap, or mutex)", mode)
+	}
+}

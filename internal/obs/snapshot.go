@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Snapshot is an immutable copy of a recorder's state: counter totals,
+// histogram states, and completed spans in end order.
+type Snapshot struct {
+	Counters   map[string]int64
+	Histograms map[string]HistogramSnapshot
+	Spans      []SpanRecord
+}
+
+// Snapshot copies the recorder's current state. Safe to call while
+// other goroutines are still recording; returns the zero Snapshot on a
+// nil recorder.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	hists := make([]struct {
+		name string
+		h    *Histogram
+	}, 0, len(r.hists))
+	for name, h := range r.hists {
+		hists = append(hists, struct {
+			name string
+			h    *Histogram
+		}{name, h})
+	}
+	spans := append([]SpanRecord(nil), r.spans...)
+	r.mu.Unlock()
+
+	// Histogram snapshots take each histogram's own lock; do it outside
+	// the recorder lock to keep the lock order flat.
+	hsnaps := make(map[string]HistogramSnapshot, len(hists))
+	for _, nh := range hists {
+		hsnaps[nh.name] = nh.h.snapshot()
+	}
+	return Snapshot{Counters: counters, Histograms: hsnaps, Spans: spans}
+}
+
+// Merge folds a snapshot (typically a child recorder's) into r:
+// counters add, histograms merge bucket-wise, and spans are appended
+// with their IDs remapped into r's ID space (parent links inside the
+// batch are preserved; parents outside it become roots). Merging
+// children in a fixed order — the flow merges iterations in ladder
+// order — keeps the combined event stream deterministic regardless of
+// how many workers produced it. No-op on a nil recorder.
+func (r *Recorder) Merge(s Snapshot) {
+	if r == nil {
+		return
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		r.Counter(name).Add(s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		hs := s.Histograms[name]
+		r.Histogram(name, hs.Bounds).merge(hs)
+	}
+	if len(s.Spans) == 0 {
+		return
+	}
+	idMap := make(map[int64]int64, len(s.Spans))
+	for _, sp := range s.Spans {
+		idMap[sp.ID] = r.nextID.Add(1)
+	}
+	r.mu.Lock()
+	for _, sp := range s.Spans {
+		sp.ID = idMap[sp.ID]
+		if p, ok := idMap[sp.Parent]; ok {
+			sp.Parent = p
+		} else {
+			sp.Parent = 0
+		}
+		r.spans = append(r.spans, sp)
+	}
+	r.mu.Unlock()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SpanCounts returns how many spans completed per name — the "stage
+// event counts" of the golden fingerprints.
+func (s Snapshot) SpanCounts() map[string]int64 {
+	out := make(map[string]int64, 8)
+	for _, sp := range s.Spans {
+		out[sp.Name]++
+	}
+	return out
+}
+
+// Fingerprint renders the deterministic subset of the snapshot as a
+// stable string: counter totals, histogram bounds/bucket counts/
+// count/min/max, and the span-name multiset — everything the pipeline
+// promises is byte-identical for any worker count. Wall/CPU durations,
+// timestamps, span IDs, and histogram float sums (whose accumulation
+// order varies across workers) are excluded.
+func (s Snapshot) Fingerprint() string {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "counter %s=%d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "hist %s bounds=%v counts=%v count=%d", name, h.Bounds, h.Counts, h.Count)
+		if h.Count > 0 {
+			fmt.Fprintf(&b, " min=%g max=%g", h.Min, h.Max)
+		}
+		b.WriteByte('\n')
+	}
+	counts := s.SpanCounts()
+	for _, name := range sortedKeys(counts) {
+		fmt.Fprintf(&b, "span %s×%d\n", name, counts[name])
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// SpanRecord is one completed span: a named scope with wall-clock and
+// process-CPU durations, linked to its parent by ID. Records are
+// appended when the span ends, so within one goroutine's sequential
+// stages the record order is execution order.
+type SpanRecord struct {
+	ID     int64
+	Parent int64 // 0 = root (no parent in this recorder)
+	Name   string
+	// K is the congestion factor the span is tagged with (flow
+	// iterations and pipeline stages); KSet distinguishes K=0 from
+	// "no K".
+	K    float64
+	KSet bool
+	// Start is the span's wall-clock start time.
+	Start time.Time
+	// Wall is the elapsed wall-clock time. CPU is the process CPU time
+	// (user+system) consumed while the span was open; concurrent spans
+	// each see the whole process's burn, so CPU is an attribution hint,
+	// not an exact per-span cost. Zero on platforms without rusage.
+	Wall time.Duration
+	CPU  time.Duration
+	// Err is the failure the span ended with ("" on success). Stage
+	// spans carry the stage error, including panics and timeouts.
+	Err string
+}
+
+// Span is an open span. End completes it into the recorder. A nil
+// *Span (from a nil recorder) is a valid no-op.
+type Span struct {
+	r        *Recorder
+	rec      SpanRecord
+	startCPU time.Duration
+}
+
+// StartSpan opens a span named name under the span currently on ctx
+// and returns a derived context carrying the new span as parent for
+// its callees. On a nil recorder it returns ctx unchanged and a nil
+// span.
+func (r *Recorder) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if r == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		r: r,
+		rec: SpanRecord{
+			ID:    r.nextID.Add(1),
+			Name:  name,
+			Start: time.Now(),
+		},
+		startCPU: processCPUTime(),
+	}
+	if parent, ok := ctx.Value(spanKey).(*Span); ok && parent != nil {
+		s.rec.Parent = parent.rec.ID
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// SetK tags the span with a congestion factor.
+func (s *Span) SetK(k float64) {
+	if s == nil {
+		return
+	}
+	s.rec.K, s.rec.KSet = k, true
+}
+
+// End completes the span, recording its wall and CPU durations and the
+// error it finished with (nil for success). End is idempotent-unsafe
+// by design — call it exactly once, typically via defer.
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	s.rec.Wall = time.Since(s.rec.Start)
+	if cpu := processCPUTime(); cpu > 0 && s.startCPU > 0 {
+		s.rec.CPU = cpu - s.startCPU
+	}
+	if err != nil {
+		s.rec.Err = err.Error()
+	}
+	s.r.mu.Lock()
+	s.r.spans = append(s.r.spans, s.rec)
+	s.r.mu.Unlock()
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteProm renders the snapshot in the Prometheus text exposition
+// format: counters as <name>_total, histograms with cumulative
+// le-labeled buckets, and spans aggregated per name into
+// casyn_span_seconds_sum/_count. Metric names are sanitized
+// ('.' and '-' become '_') and prefixed with "casyn_".
+func WriteProm(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range sortedKeys(s.Counters) {
+		m := promName(name) + "_total"
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", m, m, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		m := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", m)
+		cum := int64(0)
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(bw, "%s_bucket{le=\"%g\"} %d\n", m, b, cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", m, h.Count)
+		fmt.Fprintf(bw, "%s_sum %g\n%s_count %d\n", m, h.Sum, m, h.Count)
+	}
+	type agg struct {
+		wall, cpu time.Duration
+		count     int64
+	}
+	byName := map[string]*agg{}
+	for _, sp := range s.Spans {
+		a := byName[sp.Name]
+		if a == nil {
+			a = &agg{}
+			byName[sp.Name] = a
+		}
+		a.wall += sp.Wall
+		a.cpu += sp.CPU
+		a.count++
+	}
+	if len(byName) > 0 {
+		fmt.Fprintf(bw, "# TYPE casyn_span_seconds summary\n")
+		for _, name := range sortedKeys(byName) {
+			a := byName[name]
+			fmt.Fprintf(bw, "casyn_span_seconds_sum{name=%q} %g\n", name, a.wall.Seconds())
+			fmt.Fprintf(bw, "casyn_span_cpu_seconds_sum{name=%q} %g\n", name, a.cpu.Seconds())
+			fmt.Fprintf(bw, "casyn_span_count{name=%q} %d\n", name, a.count)
+		}
+	}
+	return bw.Flush()
+}
+
+func promName(name string) string {
+	r := strings.NewReplacer(".", "_", "-", "_", " ", "_")
+	return "casyn_" + r.Replace(name)
+}
+
+// WriteSpanTree prints the snapshot's spans as an indented tree
+// (children under their parent, siblings in start order), one line per
+// span with wall/CPU durations — the -trace output of the CLIs.
+func WriteSpanTree(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+	children := map[int64][]SpanRecord{}
+	ids := map[int64]bool{}
+	for _, sp := range s.Spans {
+		ids[sp.ID] = true
+	}
+	for _, sp := range s.Spans {
+		parent := sp.Parent
+		if !ids[parent] {
+			parent = 0 // orphan (parent merged away): promote to root
+		}
+		children[parent] = append(children[parent], sp)
+	}
+	for _, sibs := range children {
+		sort.SliceStable(sibs, func(i, j int) bool {
+			if !sibs[i].Start.Equal(sibs[j].Start) {
+				return sibs[i].Start.Before(sibs[j].Start)
+			}
+			return sibs[i].ID < sibs[j].ID
+		})
+	}
+	var walk func(id int64, depth int)
+	walk = func(id int64, depth int) {
+		for _, sp := range children[id] {
+			fmt.Fprintf(bw, "%s%s", strings.Repeat("  ", depth), sp.Name)
+			if sp.KSet {
+				fmt.Fprintf(bw, " k=%g", sp.K)
+			}
+			fmt.Fprintf(bw, " wall=%s cpu=%s", sp.Wall.Round(time.Microsecond), sp.CPU.Round(time.Microsecond))
+			if sp.Err != "" {
+				fmt.Fprintf(bw, " err=%q", sp.Err)
+			}
+			fmt.Fprintln(bw)
+			walk(sp.ID, depth+1)
+		}
+	}
+	walk(0, 0)
+	return bw.Flush()
+}

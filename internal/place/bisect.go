@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"casyn/internal/geom"
+	"casyn/internal/obs"
 )
 
 // Options tunes the placer.
@@ -109,7 +110,9 @@ func PlaceNetlist(ctx context.Context, nl *Netlist, layout Layout, opts Options)
 	for i := range p.Pos {
 		p.Pos[i] = c
 	}
+	_, span := obs.From(ctx).StartSpan(ctx, "place.bisect")
 	b.run(all, layout.Die)
+	span.End(b.err)
 	if b.err != nil {
 		return nil, b.err
 	}

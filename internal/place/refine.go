@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"casyn/internal/geom"
+	"casyn/internal/obs"
 )
 
 // refine greedily reduces HPWL after legalization with two move
@@ -26,11 +27,14 @@ import (
 // Refinement checks ctx between passes and periodically inside each
 // pass; on cancellation it returns a wrapped ctx error (the placement
 // stays legal — every accepted move preserves legality).
-func refine(ctx context.Context, nl *Netlist, layout Layout, p *Placement, passes int, rng *rand.Rand) error {
+func refine(ctx context.Context, nl *Netlist, layout Layout, p *Placement, passes int, rng *rand.Rand) (err error) {
 	n := nl.NumCells()
 	if n < 2 || passes <= 0 {
 		return nil
 	}
+	rec := obs.From(ctx)
+	_, span := rec.StartSpan(ctx, "place.refine")
+	defer func() { span.End(err) }()
 	// checkEvery bounds the work between cancellation checks.
 	const checkEvery = 1024
 	cellNets := nl.cellNets()
@@ -113,10 +117,13 @@ func refine(ctx context.Context, nl *Netlist, layout Layout, p *Placement, passe
 		return geom.Pt(xs[len(xs)/2], ys[len(ys)/2]), true
 	}
 
+	passesC := rec.Counter("place.refine_passes")
+	movesC := rec.Counter("place.refine_moves")
 	for pass := 0; pass < passes; pass++ {
 		if cerr := ctx.Err(); cerr != nil {
 			return fmt.Errorf("place: refinement canceled: %w", cerr)
 		}
+		passesC.Add(1)
 		improved := 0
 		// Equal-width swaps toward targets.
 		order := rng.Perm(n)
@@ -207,6 +214,7 @@ func refine(ctx context.Context, nl *Netlist, layout Layout, p *Placement, passe
 				}
 			}
 		}
+		movesC.Add(int64(improved))
 		if improved == 0 {
 			break
 		}

@@ -14,6 +14,7 @@ package route
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"casyn/internal/geom"
 	"casyn/internal/place"
@@ -246,6 +247,51 @@ func (g *Grid) CongestionMap() [][]float64 {
 		}
 	}
 	return m
+}
+
+// HotSpot is one over-capacity grid edge: the (x, y) gcell the edge
+// leaves, its direction, and how badly it overflowed. The flow's
+// per-iteration Metrics carry the worst few as the machine-readable
+// answer to "where did routability fail".
+type HotSpot struct {
+	X, Y int
+	// Horizontal marks the edge (x,y)-(x+1,y); otherwise (x,y)-(x,y+1).
+	Horizontal bool
+	// Overflow is usage minus capacity in tracks (> 0).
+	Overflow float64
+	// Congestion is the usage/capacity ratio (2 when capacity is 0).
+	Congestion float64
+}
+
+// HotSpots returns the n worst over-capacity edges, ordered by
+// overflow descending with (y, x, horizontal-first) tie-breaks so the
+// list is deterministic. Empty when nothing overflowed.
+func (g *Grid) HotSpots(n int) []HotSpot {
+	var out []HotSpot
+	add := func(x, y int, horizontal bool, usage, cap2 float64) {
+		ov := usage - cap2
+		if ov <= 0 {
+			return
+		}
+		h := HotSpot{X: x, Y: y, Horizontal: horizontal, Overflow: ov, Congestion: 2}
+		if cap2 > 0 {
+			h.Congestion = usage / cap2
+		}
+		out = append(out, h)
+	}
+	for y := 0; y < g.NY; y++ {
+		for x := 0; x < g.NX; x++ {
+			add(x, y, true, g.usageH[y][x], g.capH[y][x])
+			add(x, y, false, g.usageV[y][x], g.capV[y][x])
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Overflow > out[j].Overflow
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
 }
 
 // MaxCongestion returns the worst usage/capacity ratio on any edge.

@@ -8,8 +8,17 @@ import (
 	"sort"
 
 	"casyn/internal/geom"
+	"casyn/internal/obs"
 	"casyn/internal/par"
 	"casyn/internal/place"
+)
+
+// Histogram bucket bounds for the router's observability metrics. The
+// congestion bounds bracket the interesting region around capacity
+// (1.0); the HPWL bounds are logarithmic in µm.
+var (
+	congestionBounds = []float64{0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1, 1.25, 1.5, 2}
+	hpwlBounds       = []float64{5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
 )
 
 // Result is a completed global routing.
@@ -90,6 +99,11 @@ func RouteNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, l
 		return nil
 	}
 
+	rec := obs.From(ctx)
+	rec.Add("route.nets", int64(len(nl.Nets)))
+	rec.Add("route.segments", int64(len(segs)))
+	_, fpSpan := rec.StartSpan(ctx, "route.first_pass")
+
 	// Initial pattern routing, in fixed batches. Within a batch every
 	// segment is routed against the immutable congestion state frozen
 	// at the batch boundary, so the segments are independent and fan
@@ -101,6 +115,7 @@ func RouteNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, l
 	const firstPassBatch = 256
 	for start := 0; start < len(segs); start += firstPassBatch {
 		if err := canceled(); err != nil {
+			fpSpan.End(err)
 			return nil, err
 		}
 		end := start + firstPassBatch
@@ -112,7 +127,9 @@ func RouteNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, l
 			batch[j].path = r.patternRoute(batch[j].a, batch[j].b)
 			return nil
 		}); err != nil {
-			return nil, fmt.Errorf("route: canceled: %w", err)
+			err = fmt.Errorf("route: canceled: %w", err)
+			fpSpan.End(err)
+			return nil, err
 		}
 		for j := range batch {
 			for _, e := range batch[j].path {
@@ -120,17 +137,23 @@ func RouteNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, l
 			}
 		}
 	}
+	fpSpan.End(nil)
 	// Rip-up and reroute segments crossing overflowed edges. This loop
 	// stays serial: negotiated congestion is inherently sequential
 	// (every reroute must see the previous one's usage), and it touches
 	// only the minority of segments crossing hot spots.
+	ripupIters := rec.Counter("route.ripup_iterations")
+	reroutes := rec.Counter("route.reroutes")
+	_, ripSpan := rec.StartSpan(ctx, "route.ripup")
 	for iter := 0; iter < opts.RipupIterations; iter++ {
 		if err := canceled(); err != nil {
+			ripSpan.End(err)
 			return nil, err
 		}
 		if g.TotalOverflow() == 0 {
 			break
 		}
+		ripupIters.Add(1)
 		r.bumpHistory()
 		rerouted := 0
 		for i := range segs {
@@ -146,6 +169,7 @@ func RouteNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, l
 			}
 			if rerouted%64 == 63 {
 				if err := canceled(); err != nil {
+					ripSpan.End(err)
 					return nil, err
 				}
 			}
@@ -158,10 +182,12 @@ func RouteNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, l
 			}
 			rerouted++
 		}
+		reroutes.Add(int64(rerouted))
 		if rerouted == 0 {
 			break
 		}
 	}
+	ripSpan.End(nil)
 
 	// Collect results.
 	res := &Result{Grid: g, NetLength: make([]float64, len(nl.Nets))}
@@ -196,7 +222,52 @@ func RouteNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, l
 			}
 		}
 	}
+	if rec != nil {
+		recordRouteMetrics(rec, nl, pl, g, res)
+	}
 	return res, nil
+}
+
+// recordRouteMetrics fills the router's observability signals: the
+// per-gcell congestion histogram (the paper's Figure 3 decision
+// input), the net half-perimeter wirelength distribution, and the
+// outcome counters. Runs serially after the collect pass, so every
+// observation order — and therefore every histogram min/max — is
+// deterministic regardless of the first pass's worker count.
+func recordRouteMetrics(rec *obs.Recorder, nl *place.Netlist, pl *place.Placement, g *Grid, res *Result) {
+	ch := rec.Histogram("route.congestion", congestionBounds)
+	for _, row := range g.CongestionMap() {
+		for _, v := range row {
+			ch.Observe(v)
+		}
+	}
+	hh := rec.Histogram("route.net_hpwl_um", hpwlBounds)
+	for ni := range nl.Nets {
+		n := &nl.Nets[ni]
+		if n.Degree() < 2 {
+			continue
+		}
+		first := true
+		var box geom.Rect
+		grow := func(p geom.Point) {
+			if first {
+				box = geom.Rect{Min: p, Max: p}
+				first = false
+				return
+			}
+			box = box.Union(geom.Rect{Min: p, Max: p})
+		}
+		for _, c := range n.Cells {
+			grow(pl.Pos[c])
+		}
+		for _, p := range n.Pads {
+			grow(p)
+		}
+		hh.Observe(box.HalfPerimeter())
+	}
+	rec.Add("route.overflow_tracks", int64(res.Violations))
+	rec.Add("route.overflow_edges", int64(res.OverflowEdges))
+	rec.Add("route.failed_connections", int64(res.FailedConnections))
 }
 
 // cellDensity bins cell area into gcells, normalized by gcell area.

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"runtime/debug"
 	"time"
+
+	"casyn/internal/obs"
 )
 
 // Stage names one phase of the synthesis pipeline.
@@ -137,17 +139,34 @@ func (h *Hooks) fire(ctx context.Context, stage Stage, k float64) error {
 	return nil
 }
 
+// SpanName is the observability span a stage records under
+// ("stage.<name>"); flow.Metrics and the golden fingerprints key stage
+// timings by it.
+func SpanName(stage Stage) string { return "stage." + string(stage) }
+
 // Run executes one pipeline stage with fault isolation: an optional
 // wall-clock budget (0 means none) is applied as a context deadline, a
 // panic inside fn is recovered into a typed *StageError, and any error
 // out of fn is tagged with the stage and K. The context passed to fn
 // carries the budget; fn is expected to check it cooperatively.
+//
+// Run is also where stage wall time is measured, exactly once: when
+// the context carries an *obs.Recorder, the stage runs inside a span
+// named SpanName(stage) tagged with K. The span ends even when fn
+// fails, times out, or panics, so a budget-blown iteration still
+// reports how long each stage actually ran — consumers (flow.Metrics)
+// read these spans instead of re-measuring around Run.
 func Run[T any](ctx context.Context, stage Stage, k float64, budget time.Duration, hooks *Hooks, fn func(context.Context) (T, error)) (out T, err error) {
 	if budget > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, budget)
 		defer cancel()
 	}
+	ctx, span := obs.From(ctx).StartSpan(ctx, SpanName(stage))
+	span.SetK(k)
+	// Registered before the recover defer so it runs after it (LIFO)
+	// and sees the final err, panics included.
+	defer func() { span.End(err) }()
 	defer func() {
 		if r := recover(); r != nil {
 			err = &StageError{
