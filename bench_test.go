@@ -315,6 +315,71 @@ func BenchmarkKSweepParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkKSweepPrepared measures the shared K-sweep prefix: mapping
+// the full 14-rung ladder with a fresh mapper.Map per K against one
+// mapper.Prepare plus a MapPrepared per K. Both sides run serially so
+// the ratio isolates the algorithmic win (hoisted partitioning and
+// match enumeration), not goroutine scheduling. Writes
+// BENCH_prepared.json so the speedup is tracked across PRs.
+func BenchmarkKSweepPrepared(b *testing.B) {
+	pc, _ := benchContext(b)
+	ks := experiments.KSchedule()
+	in := mapper.Input{Pos: pc.Pos, POPads: pc.POPads}
+	opts := mapper.Options{Workers: 1}
+	var serial, prepared time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		for _, k := range ks {
+			o := opts
+			o.K = k
+			if _, err := mapper.Map(context.Background(), pc.DAG, in, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+		serial += time.Since(start)
+
+		start = time.Now()
+		prep, err := mapper.Prepare(context.Background(), pc.DAG, in, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, k := range ks {
+			if _, err := mapper.MapPrepared(context.Background(), prep, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+		prepared += time.Since(start)
+	}
+	b.StopTimer()
+	speedup := float64(serial) / float64(prepared)
+	b.ReportMetric(serial.Seconds()/float64(b.N), "serial-s")
+	b.ReportMetric(prepared.Seconds()/float64(b.N), "prepared-s")
+	b.ReportMetric(speedup, "speedup")
+	artifact := struct {
+		Bench      string  `json:"bench"`
+		Scale      float64 `json:"scale"`
+		KValues    int     `json:"k_values"`
+		SerialNs   int64   `json:"serial_ns"`
+		PreparedNs int64   `json:"prepared_ns"`
+		Speedup    float64 `json:"speedup"`
+	}{
+		Bench:      "spla-ksweep-mapping",
+		Scale:      benchScale,
+		KValues:    len(ks),
+		SerialNs:   serial.Nanoseconds() / int64(b.N),
+		PreparedNs: prepared.Nanoseconds() / int64(b.N),
+		Speedup:    speedup,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_prepared.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkObsOverhead measures what the observability layer costs: a
 // full flow iteration with a recorder on the context against the same
 // iteration with observability disabled (the nil-recorder no-op path).

@@ -7,44 +7,73 @@
 //
 //	table1
 //	table1 -scale 0.2
+//
+// Exit codes: 0 success, 1 error (including a failed -metrics/-trace
+// flush after an otherwise clean run), 2 usage.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
+	"os/signal"
 
 	"casyn/internal/cliobs"
 	"casyn/internal/experiments"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("table1: ")
-	scale := flag.Float64("scale", 1.0, "benchmark scale factor")
-	ob := cliobs.Register(nil)
-	flag.Parse()
+const (
+	exitOK    = 0
+	exitErr   = 1
+	exitUsage = 2
+)
 
-	ctx, finish, oerr := ob.Start(context.Background())
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fail := func(format string, a ...any) { fmt.Fprintf(stderr, "table1: "+format+"\n", a...) }
+	fs := flag.NewFlagSet("table1", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Float64("scale", 1.0, "benchmark scale factor")
+	ob := cliobs.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ctx, finish, oerr := ob.Start(ctx)
 	if oerr != nil {
-		log.Fatal(oerr)
+		fail("%v", oerr)
+		return exitErr
 	}
 	rows, layout, err := experiments.Table1(ctx, *scale)
-	if ferr := finish(); ferr != nil {
-		log.Print(ferr)
+	// Flush the observability outputs first, but let the pipeline's own
+	// failure decide the exit code; a flush failure alone exits 1.
+	ferr := finish()
+	if ferr != nil {
+		fail("%v", ferr)
 	}
 	if err != nil {
-		log.Fatal(err)
+		fail("%v", err)
+		return exitErr
 	}
-	fmt.Println("Table 1: TOO_LARGE routing results")
-	fmt.Printf("die %.0f µm², %d rows, 3 metal layers\n\n", layout.Area(), layout.NumRows)
-	fmt.Printf("%-7s %-12s %-8s %-14s %-10s\n", "", "Cell Area", "No. of", "Area", "Routing")
-	fmt.Printf("%-7s %-12s %-8s %-14s %-10s\n", "", "(µm²)", "Rows", "Utilization%", "violations")
+	fmt.Fprintln(stdout, "Table 1: TOO_LARGE routing results")
+	fmt.Fprintf(stdout, "die %.0f µm², %d rows, 3 metal layers\n\n", layout.Area(), layout.NumRows)
+	fmt.Fprintf(stdout, "%-7s %-12s %-8s %-14s %-10s\n", "", "Cell Area", "No. of", "Area", "Routing")
+	fmt.Fprintf(stdout, "%-7s %-12s %-8s %-14s %-10s\n", "", "(µm²)", "Rows", "Utilization%", "violations")
 	for _, r := range rows {
-		fmt.Printf("%-7s %-12.0f %-8d %-14.2f %-10d\n",
+		fmt.Fprintf(stdout, "%-7s %-12.0f %-8d %-14.2f %-10d\n",
 			r.Label, r.CellArea, r.NumRows, r.Utilization*100, r.Violations)
 	}
-	fmt.Println("\nNote: the cell-area relation (SIS < DAGON) reproduces the paper;")
-	fmt.Println("the routability inversion does not in this substrate — see EXPERIMENTS.md.")
+	fmt.Fprintln(stdout, "\nNote: the cell-area relation (SIS < DAGON) reproduces the paper;")
+	fmt.Fprintln(stdout, "the routability inversion does not in this substrate — see EXPERIMENTS.md.")
+	if ferr != nil {
+		return exitErr
+	}
+	return exitOK
 }

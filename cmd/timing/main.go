@@ -7,13 +7,16 @@
 //
 //	timing -bench spla           # full-size Table 3 (a few minutes)
 //	timing -bench pdc -midk 0.001
+//
+// Exit codes: 0 success, 1 error (including a failed -metrics/-trace
+// flush after an otherwise clean run), 2 usage.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -24,17 +27,30 @@ import (
 	"casyn/internal/experiments"
 )
 
+const (
+	exitOK    = 0
+	exitErr   = 1
+	exitUsage = 2
+)
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("timing: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fail := func(format string, a ...any) { fmt.Fprintf(stderr, "timing: "+format+"\n", a...) }
+	fs := flag.NewFlagSet("timing", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		benchName = flag.String("bench", "spla", "benchmark class: spla or pdc")
-		scale     = flag.Float64("scale", 1.0, "benchmark scale factor")
-		midK      = flag.Float64("midk", 0.001, "mid-ladder K for the congestion-aware row")
-		workers   = flag.Int("workers", 0, "covering/routing goroutines (0 = all CPUs, 1 = serial)")
+		benchName = fs.String("bench", "spla", "benchmark class: spla or pdc")
+		scale     = fs.Float64("scale", 1.0, "benchmark scale factor")
+		midK      = fs.Float64("midk", 0.001, "mid-ladder K for the congestion-aware row")
+		workers   = fs.Int("workers", 0, "covering/routing goroutines (0 = all CPUs, 1 = serial)")
 	)
-	ob := cliobs.Register(nil)
-	flag.Parse()
+	ob := cliobs.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
 
 	var class bench.Class
 	switch *benchName {
@@ -43,33 +59,43 @@ func main() {
 	case "pdc":
 		class = bench.PDC
 	default:
-		log.Fatalf("unknown benchmark %q (want spla or pdc)", *benchName)
+		fail("unknown benchmark %q (want spla or pdc)", *benchName)
+		return exitUsage
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	ctx, finish, oerr := ob.Start(ctx)
 	if oerr != nil {
-		log.Fatal(oerr)
+		fail("%v", oerr)
+		return exitErr
 	}
 	start := time.Now()
 	rows, err := experiments.STATable(ctx, class, *scale, *midK, *workers)
 	elapsed := time.Since(start)
-	if ferr := finish(); ferr != nil {
-		log.Print(ferr)
+	// Flush the observability outputs first, but let the pipeline's own
+	// failure decide the exit code; a flush failure alone exits 1.
+	ferr := finish()
+	if ferr != nil {
+		fail("%v", ferr)
 	}
 	if err != nil {
-		log.Fatal(err)
+		fail("%v", err)
+		return exitErr
 	}
 	table := "Table 3"
 	if class == bench.PDC {
 		table = "Table 5"
 	}
-	fmt.Printf("%s: %s static timing analysis results\n\n", table, class)
-	fmt.Printf("%-9s %-34s %-22s %-18s\n", "K", "Critical Path Arrival Time", "Same path as K=0", "Chip Area / rows")
+	fmt.Fprintf(stdout, "%s: %s static timing analysis results\n\n", table, class)
+	fmt.Fprintf(stdout, "%-9s %-34s %-22s %-18s\n", "K", "Critical Path Arrival Time", "Same path as K=0", "Chip Area / rows")
 	for _, r := range rows {
-		fmt.Printf("%-9s %s(in) %s(out)  %6.2f ns   %14.2f ns   %10.0f µm² / %d\n",
+		fmt.Fprintf(stdout, "%-9s %s(in) %s(out)  %6.2f ns   %14.2f ns   %10.0f µm² / %d\n",
 			r.Label, r.CriticalPI, r.CriticalPO, r.Arrival, r.SameK0PathArrival, r.ChipArea, r.NumRows)
 	}
-	fmt.Printf("\ntable wall-clock: %.2fs (workers=%d, %d CPUs)\n",
+	fmt.Fprintf(stdout, "\ntable wall-clock: %.2fs (workers=%d, %d CPUs)\n",
 		elapsed.Seconds(), *workers, runtime.GOMAXPROCS(0))
+	if ferr != nil {
+		return exitErr
+	}
+	return exitOK
 }

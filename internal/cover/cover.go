@@ -149,34 +149,52 @@ type Result struct {
 // cancellation point: a canceled ctx stops the DP promptly with a
 // wrapped ctx error.
 func Cover(ctx context.Context, dag *subject.DAG, forest *partition.Forest, lib *library.Library, pos []geom.Point, opts Options) (*Result, error) {
-	if len(pos) < dag.NumGates() {
-		return nil, fmt.Errorf("cover: %d positions for %d gates", len(pos), dag.NumGates())
+	prefix, err := BuildPrefix(ctx, dag, forest, lib, pos, opts.Metric, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return CoverWithPrefix(ctx, dag, forest, prefix, opts)
+}
+
+// CoverWithPrefix runs the K-dependent covering DP against a prefix
+// built by BuildPrefix for the same (dag, forest). The prefix is read
+// only, so one prefix can serve any number of concurrent
+// CoverWithPrefix calls at different K values. opts.Metric and
+// opts.WireUnit must match the geometry the prefix was built with
+// (only the K-weighting of cached distances differs between calls).
+// Trees fan out across opts.Workers goroutines — they share only
+// read-only state, each tree writes its own disjoint Best/Pos entries,
+// and the root reduction runs in ascending root order, so the result
+// is deterministic and identical to the serial pass. Each tree is a
+// cooperative cancellation point: a canceled ctx stops the DP promptly
+// with a wrapped ctx error.
+func CoverWithPrefix(ctx context.Context, dag *subject.DAG, forest *partition.Forest, prefix *Prefix, opts Options) (*Result, error) {
+	if prefix == nil || prefix.dag != dag {
+		return nil, fmt.Errorf("cover: prefix built for a different DAG")
 	}
 	if opts.WireUnit == 0 {
 		opts.WireUnit = 0.5
 	}
 	res := &Result{
 		Best: make([]*Solution, dag.NumGates()),
-		Pos:  append([]geom.Point(nil), pos...),
+		// The prefix's frozen pre-cover snapshot seeds the companion
+		// placement; res.Pos receives the committed center-of-mass
+		// updates.
+		Pos: append([]geom.Point(nil), prefix.pos...),
 	}
-	// The frozen pre-cover snapshot every tree reads its distances
-	// from; res.Pos receives the committed center-of-mass updates.
-	base := append([]geom.Point(nil), pos...)
-	trees := forest.Trees(dag)
-	dag.PrecomputeFanouts() // no lazy rebuild race under the fan-out
 	rec := obs.From(ctx)
-	rec.Add("cover.trees", int64(len(trees)))
+	rec.Add("cover.trees", int64(len(prefix.trees)))
 	ins := instruments{
 		solutions: rec.Counter("cover.solutions"),
 		matches:   rec.Counter("cover.matches"),
 		perGate:   rec.Histogram("cover.matches_per_gate", matchesPerGateBounds),
 	}
-	err := par.ForEach(ctx, opts.Workers, len(trees), func(ti int) error {
-		return coverTree(dag, forest, lib, &trees[ti], base, res, opts, ins)
+	err := par.ForEach(ctx, opts.Workers, len(prefix.trees), func(ti int) error {
+		return coverTree(dag, forest, prefix, &prefix.trees[ti], res, opts, ins)
 	})
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
-			return nil, fmt.Errorf("cover: canceled with %d trees pending: %w", len(trees), cerr)
+			return nil, fmt.Errorf("cover: canceled with %d trees pending: %w", len(prefix.trees), cerr)
 		}
 		return nil, err
 	}
@@ -188,16 +206,17 @@ func Cover(ctx context.Context, dag *subject.DAG, forest *partition.Forest, lib 
 	return res, nil
 }
 
-// coverTree runs the bottom-up DP on one tree and commits the chosen
-// cover's placement updates. base is the read-only pre-cover placement
-// snapshot shared by all trees; the only writes are to this tree's own
-// res.Best and res.Pos entries, which no other tree touches.
-func coverTree(dag *subject.DAG, forest *partition.Forest, lib *library.Library, t *partition.Tree, base []geom.Point, res *Result, opts Options, ins instruments) error {
-	inTree := t.InTree()
-	m := match.NewMatcher(dag, lib, forest.Father, inTree)
-	covered := map[int]bool{} // scratch per match
+// coverTree runs the bottom-up DP on one tree over the prefix's cached
+// matches and commits the chosen cover's placement updates. Every
+// K-invariant term (match sets, centers of mass, leaf classification,
+// cross-leaf distances) comes from the prefix; only Eq. 5's K-weighted
+// combination and the child-solution terms are evaluated here. The
+// only writes are to this tree's own res.Best and res.Pos entries,
+// which no other tree touches.
+func coverTree(dag *subject.DAG, forest *partition.Forest, prefix *Prefix, t *partition.Tree, res *Result, opts Options, ins instruments) error {
+	inTree := prefix.inTreeFunc(t.Root)
 	for _, v := range t.Gates {
-		matches := m.MatchesAt(v)
+		matches := prefix.matches[v]
 		if len(matches) == 0 {
 			return fmt.Errorf("cover: no match at gate %d (%s)", v, dag.Gate(v).Type)
 		}
@@ -208,43 +227,29 @@ func coverTree(dag *subject.DAG, forest *partition.Forest, lib *library.Library,
 		bestCost := math.Inf(1)
 		bestTie := math.Inf(1)
 		for i := range matches {
-			mt := &matches[i]
-			for k := range covered {
-				delete(covered, k)
-			}
-			for _, c := range mt.Covered {
-				covered[c] = true
-			}
-			// Center of mass of the covered base gates, from the
-			// pre-cover placement snapshot.
-			var com geom.Point
-			for _, c := range mt.Covered {
-				com = com.Add(base[c])
-			}
-			com = com.Scale(1 / float64(len(mt.Covered)))
-
-			area := mt.Cell.Area
+			pm := &matches[i]
+			area := pm.m.Cell.Area
 			wire1 := 0.0
 			wire2 := 0.0
 			arrival := 0.0
-			for _, l := range mt.Leaves {
-				if inTree(l) && covered[forest.Father[l]] {
+			for li, l := range pm.m.Leaves {
+				if pm.subLeaf[li] {
 					// The leaf heads an input subtree of this match:
 					// accumulate its DP solution (Eqs. 1 and 3).
 					sub := res.Best[l]
 					area += sub.AreaCost
 					wire2 += sub.WireCost
-					wire1 += opts.Metric.Distance(com, sub.Pos) / opts.WireUnit
+					wire1 += opts.Metric.Distance(pm.com, sub.Pos) / opts.WireUnit
 					if sub.Arrival > arrival {
 						arrival = sub.Arrival
 					}
 				} else {
 					// Cross reference (PI, another tree, or a side
 					// branch): its area and wire are paid elsewhere.
-					// The distance reads the frozen snapshot, keeping
-					// this tree independent of every other tree's
-					// committed updates.
-					wire1 += opts.Metric.Distance(com, base[l]) / opts.WireUnit
+					// The cached distance reads the frozen snapshot,
+					// keeping this tree independent of every other
+					// tree's committed updates.
+					wire1 += pm.crossDist[li] / opts.WireUnit
 				}
 			}
 			wire := wire1
@@ -256,7 +261,7 @@ func coverTree(dag *subject.DAG, forest *partition.Forest, lib *library.Library,
 				// Load-aware stage delay with a nominal fanout-of-one
 				// load; cross-tree arrival is handled by the final STA,
 				// so the DP ranks matches by their in-tree depth cost.
-				arrival += mt.Cell.Intrinsic + mt.Cell.Drive*mt.Cell.InputCap
+				arrival += pm.m.Cell.Intrinsic + pm.m.Cell.Drive*pm.m.Cell.InputCap
 				cost = arrival + opts.K*wire
 				tie = area
 			} else {
@@ -269,12 +274,12 @@ func coverTree(dag *subject.DAG, forest *partition.Forest, lib *library.Library,
 					stored = wire // accumulates transitively via children
 				}
 				best = &Solution{
-					Match:    *mt,
+					Match:    pm.m,
 					AreaCost: area,
 					WireCost: stored,
 					Wire:     wire,
 					Arrival:  arrival,
-					Pos:      com,
+					Pos:      pm.com,
 				}
 				bestCost = cost
 				bestTie = tie

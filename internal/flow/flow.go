@@ -134,6 +134,13 @@ type Context struct {
 	POPads map[int][]geom.Point
 	PIPads []geom.Point
 	POList []geom.Point
+	// Prep is the shared K-invariant mapping prefix (partition forest +
+	// complete match enumeration), set by PrepareMapping. When present
+	// and compatible with the run's Method/Lib, every iteration maps
+	// via mapper.MapPrepared instead of re-partitioning and re-matching
+	// per K; results are byte-identical either way. Nil is always valid
+	// (the classic per-K path).
+	Prep *mapper.Prepared
 }
 
 // Prepare places the subject DAG on the layout image. Cancellation of
@@ -156,6 +163,37 @@ func Prepare(ctx context.Context, d *subject.DAG, cfg Config) (*Context, error) 
 		return nil, err
 	}
 	return &Context{DAG: d, Pos: p.pos, POPads: p.poPads, PIPads: p.piPads, POList: p.poList}, nil
+}
+
+// PrepareMapping computes the shared K-invariant mapping prefix
+// (partition forest + complete match enumeration with cached covering
+// geometry) and stores it in pc.Prep, where Run and RunOnce pick it up
+// for every K of the sweep. The prefix is immutable and safe to share
+// across the concurrent ladder. Callers threading one prefix across
+// multiple Run calls must pass the same cfg.Lib pointer each time
+// (library.Default() allocates per call); a Prep that does not match
+// the run's Method/Lib is ignored, never misused.
+//
+// Run calls this automatically for multi-K schedules, so explicit use
+// is only needed to share the prefix across several Run/RunOnce calls
+// (e.g. repeated sweeps over one placed design). Failures (including
+// panics) surface as a *runstage.StageError with Stage
+// runstage.StageMapPrepare.
+func PrepareMapping(ctx context.Context, pc *Context, cfg Config) error {
+	cfg.defaults()
+	prep, err := runstage.Run(ctx, runstage.StageMapPrepare, 0, cfg.StageTimeout, cfg.Hooks,
+		func(ctx context.Context) (*mapper.Prepared, error) {
+			return mapper.Prepare(ctx, pc.DAG, mapper.Input{Pos: pc.Pos, POPads: pc.POPads}, mapper.Options{
+				Method:  cfg.Method,
+				Lib:     cfg.Lib,
+				Workers: cfg.Workers,
+			})
+		})
+	if err != nil {
+		return err
+	}
+	pc.Prep = prep
+	return nil
 }
 
 // Iteration is the outcome of one K value: the columns of the paper's
@@ -248,6 +286,21 @@ func (r *Result) FailedIterations() []Iteration {
 // discarded, exactly as if never run) once it does.
 func Run(ctx context.Context, pc *Context, cfg Config) (*Result, error) {
 	cfg.defaults()
+	// Multi-K sweeps share one K-invariant mapping prefix; it is built
+	// here — before the ladder, on the run-level recorder — so serial
+	// and concurrent sweeps observe identical event streams. The prefix
+	// lands on a private copy of pc (explicit cross-Run reuse is opt-in
+	// via PrepareMapping). A non-cancellation prep failure degrades to
+	// the classic per-K path, whose iterations surface the same error
+	// under the sweep's usual degrade rules.
+	if len(cfg.KSchedule) > 1 && !pc.Prep.Compatible(cfg.Method, cfg.Lib) {
+		run := *pc
+		if err := PrepareMapping(ctx, &run, cfg); err == nil {
+			pc = &run
+		} else if cerr := ctx.Err(); cerr != nil {
+			return &Result{BestIndex: -1}, fmt.Errorf("flow: canceled at K=%g: %w", cfg.KSchedule[0], cerr)
+		}
+	}
 	if par.Workers(cfg.Workers) > 1 && len(cfg.KSchedule) > 1 {
 		return runParallel(ctx, pc, cfg)
 	}
@@ -452,6 +505,12 @@ func RunOnce(ctx context.Context, pc *Context, k float64, cfg Config) (it Iterat
 
 	mres, err := runstage.Run(ctx, runstage.StageMap, k, cfg.StageTimeout, cfg.Hooks,
 		func(ctx context.Context) (*mapper.Result, error) {
+			// A compatible shared prefix skips re-partitioning and
+			// re-matching; the covering result is byte-identical to the
+			// classic path (the prepared determinism suite proves it).
+			if pc.Prep.Compatible(cfg.Method, cfg.Lib) {
+				return mapper.MapPrepared(ctx, pc.Prep, k)
+			}
 			return mapper.Map(ctx, pc.DAG, mapper.Input{Pos: pc.Pos, POPads: pc.POPads}, mapper.Options{
 				K:       k,
 				Method:  cfg.Method,

@@ -145,23 +145,9 @@ func reconstruct(d *subject.DAG, forest *partition.Forest, cov *cover.Result) (*
 	res := &Result{Netlist: nl, Forest: forest, WireEstimate: cov.RootWire}
 
 	// rootOf[g] is the root of the tree g belongs to (-1 for PIs and
-	// constants). The father of a tree vertex always has a larger ID
-	// (gates are created fanins-first), so one descending pass
-	// resolves every chain.
-	rootOf := make([]int, d.NumGates())
-	for g := range rootOf {
-		rootOf[g] = -1
-	}
-	for _, r := range forest.Roots {
-		rootOf[r] = r
-	}
-	for g := d.NumGates() - 1; g >= 0; g-- {
-		if fa := forest.Father[g]; fa >= 0 {
-			rootOf[g] = rootOf[fa]
-		}
-	}
-	// sameTree(g) tests membership in g's tree, the shape
+	// constants); sameTree(g) tests membership in g's tree, the shape
 	// cover.SelectedLeafSubtrees expects.
+	rootOf := forest.RootOf(d)
 	sameTree := func(g int) func(int) bool {
 		tr := rootOf[g]
 		return func(x int) bool { return tr >= 0 && rootOf[x] == tr }

@@ -1,0 +1,129 @@
+package mapper
+
+// This file implements the shared K-sweep prefix: only the covering
+// DP's cost (Eqs. 1–5) depends on the congestion factor K — the
+// partition forest, the per-tree topological orders, and the complete
+// per-vertex match enumeration with pattern/leaf bindings and cached
+// geometry are all functions of (DAG, placement, partition method,
+// library) alone. Prepared computes that prefix once; MapPrepared
+// replays only the K-dependent covering and reconstruction against
+// it, which is what makes a K ladder sweep cheap.
+
+import (
+	"context"
+	"fmt"
+
+	"casyn/internal/cover"
+	"casyn/internal/library"
+	"casyn/internal/obs"
+	"casyn/internal/partition"
+	"casyn/internal/subject"
+)
+
+// Prepared is the K-invariant prefix of mapping one placed subject
+// DAG: the partition forest plus the covering prefix (trees, match
+// enumeration, cached centers of mass and cross-leaf distances). It is
+// immutable after Prepare and safe to share across goroutines — a
+// concurrent K ladder maps every rung against one Prepared.
+//
+// A Prepared is valid for exactly the (DAG, placement, Method, Lib,
+// Metric, WireUnit) it was built from; remapping after any of those
+// change requires a fresh Prepare. Compatible guards the method and
+// library identity for callers that thread a Prepared alongside a
+// config.
+type Prepared struct {
+	dag    *subject.DAG
+	forest *partition.Forest
+	prefix *cover.Prefix
+	opts   Options
+}
+
+// Forest exposes the partition the prefix was built on.
+func (p *Prepared) Forest() *partition.Forest { return p.forest }
+
+// NumMatches returns the total cached match count (reporting only).
+func (p *Prepared) NumMatches() int { return p.prefix.NumMatches() }
+
+// Compatible reports whether the Prepared can serve a mapping request
+// with the given partition method and library. Library compatibility
+// is pointer identity — library.Default() allocates per call, so
+// callers sharing a Prepared must thread the same *Library they
+// prepared with.
+func (p *Prepared) Compatible(method partition.Method, lib *library.Library) bool {
+	return p != nil && p.opts.Method == method && p.opts.Lib == lib
+}
+
+// Prepare runs the K-invariant mapping prefix: partitioning and the
+// complete match enumeration. opts.K is ignored — K enters only at
+// MapPrepared time. The work is recorded under a "map.prepare" span
+// with nested "map.partition"; the cached match total lands on the
+// "map.prepare.matches" counter.
+func Prepare(ctx context.Context, d *subject.DAG, in Input, opts Options) (*Prepared, error) {
+	opts.defaults()
+	rec := obs.From(ctx)
+	pctx, span := rec.StartSpan(ctx, "map.prepare")
+	prep, err := prepare(pctx, d, in, opts)
+	span.End(err)
+	if err != nil {
+		return nil, err
+	}
+	rec.Add("map.prepare.matches", int64(prep.prefix.NumMatches()))
+	return prep, nil
+}
+
+func prepare(ctx context.Context, d *subject.DAG, in Input, opts Options) (*Prepared, error) {
+	rec := obs.From(ctx)
+	_, pSpan := rec.StartSpan(ctx, "map.partition")
+	forest, err := partition.Partition(partition.Input{
+		DAG:    d,
+		Pos:    in.Pos,
+		POPads: in.POPads,
+		Metric: opts.Metric,
+	}, opts.Method)
+	pSpan.End(err)
+	if err != nil {
+		return nil, err
+	}
+	prefix, err := cover.BuildPrefix(ctx, d, forest, opts.Lib, in.Pos, opts.Metric, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{dag: d, forest: forest, prefix: prefix, opts: opts}, nil
+}
+
+// MapPrepared maps the prepared DAG at one congestion factor K. The
+// covering DP consumes the cached matches and re-evaluates only the
+// K-weighted cost combination, recorded under a "map.cover_only" span;
+// reconstruction is identical to Map's. The result is byte-identical
+// to mapper.Map with the Prepared's options at the same K.
+func MapPrepared(ctx context.Context, prep *Prepared, k float64) (*Result, error) {
+	if prep == nil {
+		return nil, fmt.Errorf("mapper: nil Prepared")
+	}
+	opts := prep.opts
+	opts.K = k
+	rec := obs.From(ctx)
+	cctx, cSpan := rec.StartSpan(ctx, "map.cover_only")
+	cov, err := cover.CoverWithPrefix(cctx, prep.dag, prep.forest, prep.prefix, cover.Options{
+		K:              opts.K,
+		Metric:         opts.Metric,
+		WireUnit:       opts.WireUnit,
+		Objective:      opts.Objective,
+		TransitiveWire: opts.TransitiveWire,
+		NoWire2:        opts.NoWire2,
+		Workers:        opts.Workers,
+	})
+	cSpan.End(err)
+	if err != nil {
+		return nil, err
+	}
+	_, rSpan := rec.StartSpan(ctx, "map.reconstruct")
+	res, err := reconstruct(prep.dag, prep.forest, cov)
+	rSpan.End(err)
+	if err != nil {
+		return nil, err
+	}
+	rec.Add("map.cells", int64(res.NumCells))
+	rec.Add("map.duplicated_cells", int64(res.DuplicatedCells))
+	return res, nil
+}

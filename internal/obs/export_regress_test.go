@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestEmptyHistogramExport is the Inf-poisoning regression: a
+// histogram that is registered but never observed must round-trip
+// through every export format. The internal ±Inf min/max seed
+// sentinels must not reach JSONL (encoding/json rejects Inf), Prom
+// text, the fingerprint, or the snapshot itself.
+func TestEmptyHistogramExport(t *testing.T) {
+	t.Parallel()
+	rec := New()
+	rec.Histogram("never.observed", []float64{1, 2, 4})
+	rec.Add("some.counter", 3) // exports must carry unrelated data through
+	snap := rec.Snapshot()
+
+	h, ok := snap.Histograms["never.observed"]
+	if !ok {
+		t.Fatal("registered histogram missing from snapshot")
+	}
+	if h.Count != 0 || h.Min != 0 || h.Max != 0 || h.Sum != 0 {
+		t.Fatalf("empty histogram snapshot leaked aggregates: %+v", h)
+	}
+
+	var jl bytes.Buffer
+	if err := WriteJSONL(&jl, snap); err != nil {
+		t.Fatalf("WriteJSONL with empty histogram: %v", err)
+	}
+	back, err := ReadJSONL(&jl)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	rh, ok := back.Histograms["never.observed"]
+	if !ok {
+		t.Fatal("empty histogram dropped by JSONL round-trip")
+	}
+	if rh.Count != 0 || rh.Min != 0 || rh.Max != 0 || rh.Sum != 0 {
+		t.Fatalf("JSONL round-trip resurrected aggregates: %+v", rh)
+	}
+	if back.Counters["some.counter"] != 3 {
+		t.Errorf("counter lost in round-trip: %v", back.Counters)
+	}
+
+	var prom bytes.Buffer
+	if err := WriteProm(&prom, snap); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	if s := prom.String(); strings.Contains(s, "Inf") && !strings.Contains(s, `le="+Inf"`) {
+		// The only legitimate Inf in the exposition is the +Inf bucket
+		// label; scrub it and anything left is a leaked sentinel.
+		t.Errorf("Prom export leaked an Inf sentinel:\n%s", s)
+	}
+	if !strings.Contains(prom.String(), "casyn_never_observed_count 0") {
+		t.Errorf("Prom export missing the empty histogram:\n%s", prom.String())
+	}
+
+	if fp := snap.Fingerprint(); strings.Contains(fp, "Inf") {
+		t.Errorf("fingerprint leaked an Inf sentinel:\n%s", fp)
+	}
+	var tree bytes.Buffer
+	if err := WriteSpanTree(&tree, snap); err != nil {
+		t.Fatalf("WriteSpanTree: %v", err)
+	}
+}
+
+// TestPoisonedHistogramExport covers the other Inf path: an actually
+// observed non-finite value. The JSONL export must survive (dropping
+// only the unencodable aggregates, keeping the bucket counts), because
+// one bad observation must not cost the whole -metrics artifact.
+func TestPoisonedHistogramExport(t *testing.T) {
+	t.Parallel()
+	rec := New()
+	rec.Observe("poisoned", []float64{1, 2}, math.Inf(1))
+	rec.Observe("poisoned", []float64{1, 2}, 1.5)
+	snap := rec.Snapshot()
+
+	var jl bytes.Buffer
+	if err := WriteJSONL(&jl, snap); err != nil {
+		t.Fatalf("WriteJSONL with a +Inf observation: %v", err)
+	}
+	back, err := ReadJSONL(&jl)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	h := back.Histograms["poisoned"]
+	if h.Count != 2 {
+		t.Fatalf("count = %d, want 2", h.Count)
+	}
+	if got := h.Counts[len(h.Counts)-1]; got != 1 {
+		t.Errorf("overflow bucket = %d, want the +Inf observation", got)
+	}
+	// Sum and Max were +Inf and must have been omitted, not emitted.
+	if !isFinite(h.Sum) || !isFinite(h.Max) {
+		t.Errorf("non-finite aggregates crossed the JSONL boundary: %+v", h)
+	}
+	// Min was the finite 1.5 and must have survived.
+	if h.Min != 1.5 {
+		t.Errorf("finite min lost: %+v", h)
+	}
+
+	var prom bytes.Buffer
+	if err := WriteProm(&prom, snap); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+}
+
+// TestHistogramMergeMismatchCounter checks that folding a snapshot
+// whose histogram bounds disagree with the registered ones is counted
+// on histogram.merge_mismatch instead of passing silently, and that
+// agreeing bounds never bump it.
+func TestHistogramMergeMismatchCounter(t *testing.T) {
+	t.Parallel()
+	rec := New()
+	rec.Observe("h", []float64{1, 2}, 1)
+
+	good := New()
+	good.Observe("h", []float64{1, 2}, 2)
+	rec.Merge(good.Snapshot())
+	if got := rec.Snapshot().Counters["histogram.merge_mismatch"]; got != 0 {
+		t.Fatalf("matching-bounds merge bumped the mismatch counter: %d", got)
+	}
+
+	bad := New()
+	bad.Observe("h", []float64{1, 2, 4}, 3)
+	bad.Observe("h", []float64{1, 2, 4}, 0.5)
+	rec.Merge(bad.Snapshot())
+	snap := rec.Snapshot()
+	if got := snap.Counters["histogram.merge_mismatch"]; got != 1 {
+		t.Fatalf("histogram.merge_mismatch = %d, want 1", got)
+	}
+	h := snap.Histograms["h"]
+	if h.Count != 4 {
+		t.Errorf("merged count = %d, want 4", h.Count)
+	}
+	if got := h.Counts[len(h.Counts)-1]; got != 2 {
+		t.Errorf("overflow bucket = %d, want both foreign observations", got)
+	}
+	// An empty foreign histogram has nothing to fold, mismatched bounds
+	// or not — no count, no counter.
+	empty := New()
+	empty.Histogram("h", []float64{9})
+	rec.Merge(empty.Snapshot())
+	if got := rec.Snapshot().Counters["histogram.merge_mismatch"]; got != 1 {
+		t.Errorf("empty mismatched merge bumped the counter: %d", got)
+	}
+	// The counter name renders to the documented Prometheus metric.
+	var prom bytes.Buffer
+	if err := WriteProm(&prom, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "casyn_histogram_merge_mismatch_total 1") {
+		t.Errorf("Prom export missing casyn_histogram_merge_mismatch_total:\n%s", prom.String())
+	}
+}

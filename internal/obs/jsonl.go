@@ -5,8 +5,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"time"
 )
+
+// isFinite reports whether v is a value encoding/json can marshal
+// (it rejects ±Inf and NaN with an UnsupportedValueError).
+func isFinite(v float64) bool {
+	return !math.IsInf(v, 0) && !math.IsNaN(v)
+}
 
 // Event is one JSONL line of a serialized snapshot. Ev discriminates
 // the payload: "span" carries the span fields, "counter" a single
@@ -76,9 +83,21 @@ func WriteJSONL(w io.Writer, s Snapshot) error {
 			Counts: h.Counts,
 			Count:  h.Count,
 		}
+		// Sum/Min/Max are emitted only for observed histograms AND only
+		// when finite: a registered-but-unobserved histogram has no
+		// aggregates to report, and a poisoned one (Observe(±Inf/NaN))
+		// must not take the whole export down with json's
+		// "unsupported value" error — its bucket counts still survive.
 		if h.Count > 0 {
-			sum, mn, mx := h.Sum, h.Min, h.Max
-			ev.Sum, ev.Min, ev.Max = &sum, &mn, &mx
+			if sum := h.Sum; isFinite(sum) {
+				ev.Sum = &sum
+			}
+			if mn := h.Min; isFinite(mn) {
+				ev.Min = &mn
+			}
+			if mx := h.Max; isFinite(mx) {
+				ev.Max = &mx
+			}
 		}
 		if err := enc.Encode(ev); err != nil {
 			return err

@@ -90,6 +90,10 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		Sum:    h.sum,
 	}
 	if h.count > 0 {
+		// The ±Inf seed sentinels must never escape the histogram: a
+		// registered-but-unobserved histogram snapshots Min=Max=0, so
+		// JSON marshaling (which rejects ±Inf) stays safe. Non-finite
+		// *observed* values are handled at the WriteJSONL boundary.
 		s.Min, s.Max = h.min, h.max
 	}
 	return s
@@ -99,10 +103,12 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 // when the bounds agree (the normal case: every instrumentation site
 // registers fixed bounds); otherwise only the scalar aggregates are
 // folded in, with the foreign observations landing in the overflow
-// bucket so no count is silently dropped.
-func (h *Histogram) merge(s HistogramSnapshot) {
+// bucket so no count is silently dropped — that fidelity loss is
+// reported via the returned mismatch flag, which Recorder.Merge
+// surfaces on the "histogram.merge_mismatch" counter.
+func (h *Histogram) merge(s HistogramSnapshot) (mismatch bool) {
 	if h == nil || s.Count == 0 {
-		return
+		return false
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -112,6 +118,7 @@ func (h *Histogram) merge(s HistogramSnapshot) {
 		}
 	} else {
 		h.counts[len(h.counts)-1] += s.Count
+		mismatch = true
 	}
 	h.count += s.Count
 	h.sum += s.Sum
@@ -121,6 +128,7 @@ func (h *Histogram) merge(s HistogramSnapshot) {
 	if s.Max > h.max {
 		h.max = s.Max
 	}
+	return mismatch
 }
 
 // HistogramSnapshot is an immutable copy of a histogram's state.

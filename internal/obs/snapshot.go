@@ -64,7 +64,12 @@ func (r *Recorder) Merge(s Snapshot) {
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		hs := s.Histograms[name]
-		r.Histogram(name, hs.Bounds).merge(hs)
+		if r.Histogram(name, hs.Bounds).merge(hs) {
+			// Foreign bounds folded into the overflow bucket: count the
+			// fidelity loss instead of hiding it (exported as
+			// casyn_histogram_merge_mismatch_total).
+			r.Add("histogram.merge_mismatch", 1)
+		}
 	}
 	if len(s.Spans) == 0 {
 		return

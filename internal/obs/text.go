@@ -30,6 +30,10 @@ func WriteProm(w io.Writer, s Snapshot) error {
 			fmt.Fprintf(bw, "%s_bucket{le=\"%g\"} %d\n", m, b, cum)
 		}
 		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", m, h.Count)
+		// Unlike JSON, the Prometheus text format accepts +Inf/-Inf/NaN
+		// sample values (rendered by %g), so an unobserved or poisoned
+		// histogram cannot break this export; snapshot() already zeroes
+		// Min/Max when Count==0, and Sum of no observations is 0.
 		fmt.Fprintf(bw, "%s_sum %g\n%s_count %d\n", m, h.Sum, m, h.Count)
 	}
 	type agg struct {

@@ -297,6 +297,26 @@ func (f *Forest) Trees(d *subject.DAG) []Tree {
 	return trees
 }
 
+// RootOf returns, per gate ID, the root of the tree the gate belongs
+// to (-1 for PIs, constants, and dead gates). The father of a tree
+// vertex always has a larger ID (gates are created fanins-first), so
+// one descending pass resolves every father chain.
+func (f *Forest) RootOf(d *subject.DAG) []int {
+	rootOf := make([]int, d.NumGates())
+	for g := range rootOf {
+		rootOf[g] = -1
+	}
+	for _, r := range f.Roots {
+		rootOf[r] = r
+	}
+	for g := d.NumGates() - 1; g >= 0; g-- {
+		if fa := f.Father[g]; fa >= 0 {
+			rootOf[g] = rootOf[fa]
+		}
+	}
+	return rootOf
+}
+
 // InTree returns a membership test for the tree.
 func (t *Tree) InTree() func(gate int) bool {
 	set := make(map[int]bool, len(t.Gates))

@@ -28,11 +28,15 @@ type Stage string
 // The pipeline stages, in flow order.
 const (
 	StagePrepare Stage = "prepare"
-	StageMap     Stage = "map"
-	StageVerify  Stage = "verify"
-	StagePlace   Stage = "place"
-	StageRoute   Stage = "route"
-	StageSTA     Stage = "sta"
+	// StageMapPrepare is the once-per-sweep K-invariant mapping prefix
+	// (partition + match enumeration, flow.PrepareMapping); it runs
+	// before the K ladder, not inside an iteration.
+	StageMapPrepare Stage = "map_prepare"
+	StageMap        Stage = "map"
+	StageVerify     Stage = "verify"
+	StagePlace      Stage = "place"
+	StageRoute      Stage = "route"
+	StageSTA        Stage = "sta"
 )
 
 // StageError tags a stage failure with the pipeline stage and the
