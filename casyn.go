@@ -178,12 +178,19 @@ func Synthesize(p *logic.PLA, opts Options) (*Result, error) {
 // error wrapped in a *runstage.StageError identifying the stage that
 // was interrupted.
 func SynthesizeContext(ctx context.Context, p *logic.PLA, opts Options) (*Result, error) {
-	if opts.AspectRatio == 0 {
-		opts.AspectRatio = 1
+	dag, err := SubjectFor(ctx, p, opts)
+	if err != nil {
+		return nil, err
 	}
-	if opts.Seed == 0 {
-		opts.Seed = 1
-	}
+	return SynthesizeSubjectContext(ctx, dag, opts)
+}
+
+// SubjectFor runs the technology-independent front end on a PLA:
+// Boolean network construction (optionally SIS-style optimized) and
+// NAND2/INV decomposition, with the front-end equivalence check when
+// opts.Verify is set. It is the front half of Synthesize, exported so
+// other entry points (the casynd service) share the exact same path.
+func SubjectFor(ctx context.Context, p *logic.PLA, opts Options) (*subject.DAG, error) {
 	style := bench.Direct
 	if opts.OptimizeTechIndependent {
 		style = bench.SISOptimized
@@ -203,7 +210,7 @@ func SynthesizeContext(ctx context.Context, p *logic.PLA, opts Options) (*Result
 			return nil, fmt.Errorf("casyn: technology-independent synthesis changed the function: %s", rep)
 		}
 	}
-	return SynthesizeSubjectContext(ctx, dag, opts)
+	return dag, nil
 }
 
 // SynthesizeNetwork runs the flow on an already-built Boolean network.
@@ -243,35 +250,11 @@ func SynthesizeSubject(dag *subject.DAG, opts Options) (*Result, error) {
 // SynthesizeSubjectContext is SynthesizeSubject with cooperative
 // cancellation (see SynthesizeContext).
 func SynthesizeSubjectContext(ctx context.Context, dag *subject.DAG, opts Options) (*Result, error) {
-	if opts.AspectRatio == 0 {
-		opts.AspectRatio = 1
-	}
-	if opts.Seed == 0 {
-		opts.Seed = 1
-	}
-	dieArea := opts.DieArea
-	if dieArea == 0 {
-		// Size from the base-gate estimate at the calibrated fraction.
-		dieArea = float64(dag.BaseGateCount()) * 4.6 / 0.58
-	}
-	layout, err := place.NewLayout(dieArea, opts.AspectRatio, library.RowHeight)
+	layout, err := LayoutFor(dag, opts)
 	if err != nil {
 		return nil, err
 	}
-	cfg := flow.Config{
-		Layout:         layout,
-		Method:         opts.Partition,
-		PlaceOpts:      place.Options{Seed: opts.Seed, RefinePasses: 8},
-		RouteOpts:      route.Options{GCellSize: 26.6, RipupIterations: 6, CapacityScale: 1.98},
-		FreshPlacement: true,
-		RunSTA:         opts.RunTiming,
-		STAOpts:        sta.Options{},
-		KSchedule:      []float64{opts.K},
-		StageTimeout:   opts.StageTimeout,
-		Workers:        opts.Workers,
-		Verify:         opts.Verify,
-		VerifyOpts:     opts.VerifyOpts,
-	}
+	cfg := FlowConfig(layout, opts)
 	if opts.IterationTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.IterationTimeout)
@@ -286,6 +269,53 @@ func SynthesizeSubjectContext(ctx context.Context, dag *subject.DAG, opts Option
 		return nil, err
 	}
 	flow.MergeMetrics(ctx, it.Metrics)
+	return ResultFrom(dag, layout, &it), nil
+}
+
+// LayoutFor sizes the floorplan for a decomposed subject DAG under
+// opts: the explicit DieArea when given, else a die holding the
+// base-gate estimate at the calibrated 58% utilization.
+func LayoutFor(dag *subject.DAG, opts Options) (place.Layout, error) {
+	if opts.AspectRatio == 0 {
+		opts.AspectRatio = 1
+	}
+	dieArea := opts.DieArea
+	if dieArea == 0 {
+		// Size from the base-gate estimate at the calibrated fraction.
+		dieArea = float64(dag.BaseGateCount()) * 4.6 / 0.58
+	}
+	return place.NewLayout(dieArea, opts.AspectRatio, library.RowHeight)
+}
+
+// FlowConfig builds the calibrated flow operating point for opts on a
+// fixed layout — the exact configuration Synthesize runs, exported so
+// other front ends (the casynd service) produce byte-identical
+// results. The schedule is the single rung opts.K; callers sweeping K
+// replace cfg.KSchedule.
+func FlowConfig(layout place.Layout, opts Options) flow.Config {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return flow.Config{
+		Layout:         layout,
+		Method:         opts.Partition,
+		PlaceOpts:      place.Options{Seed: seed, RefinePasses: 8},
+		RouteOpts:      route.Options{GCellSize: 26.6, RipupIterations: 6, CapacityScale: 1.98},
+		FreshPlacement: true,
+		RunSTA:         opts.RunTiming,
+		STAOpts:        sta.Options{},
+		KSchedule:      []float64{opts.K},
+		StageTimeout:   opts.StageTimeout,
+		Workers:        opts.Workers,
+		Verify:         opts.Verify,
+		VerifyOpts:     opts.VerifyOpts,
+	}
+}
+
+// ResultFrom condenses a completed flow iteration into the public
+// Result shape (the assembly step of Synthesize, shared with casynd).
+func ResultFrom(dag *subject.DAG, layout place.Layout, it *flow.Iteration) *Result {
 	res := &Result{
 		BaseGates:   dag.BaseGateCount(),
 		CellArea:    it.CellArea,
@@ -304,7 +334,7 @@ func SynthesizeSubjectContext(ctx context.Context, dag *subject.DAG, opts Option
 	}
 	res.Verify = it.Verify
 	res.Metrics = it.Metrics
-	return res, nil
+	return res
 }
 
 // bnetFromPLA is a convenience re-export of bnet.FromPLA for callers

@@ -5,27 +5,51 @@
 //
 //	benchgen -out ./benchmarks
 //	benchgen -bench spla -scale 0.1 -out .
+//
+// Exit codes: 0 success, 1 generation or I/O error, 2 usage.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"casyn/internal/bench"
 )
 
+const (
+	exitOK    = 0
+	exitErr   = 1
+	exitUsage = 2
+)
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("benchgen: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fail := func(format string, a ...any) { fmt.Fprintf(stderr, "benchgen: "+format+"\n", a...) }
+	fs := flag.NewFlagSet("benchgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		outDir    = flag.String("out", ".", "output directory")
-		benchName = flag.String("bench", "", "single class to emit (spla, pdc); default: all PLA classes")
-		scale     = flag.Float64("scale", 1.0, "benchmark scale factor")
+		outDir    = fs.String("out", ".", "output directory")
+		benchName = fs.String("bench", "", "single class to emit (spla, pdc); default: all PLA classes")
+		scale     = fs.Float64("scale", 1.0, "benchmark scale factor")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() > 0 {
+		fail("unexpected arguments: %v", fs.Args())
+		fs.Usage()
+		return exitUsage
+	}
 
 	classes := []bench.Class{bench.SPLA, bench.PDC}
 	if *benchName != "" {
@@ -35,35 +59,46 @@ func main() {
 		case "pdc":
 			classes = []bench.Class{bench.PDC}
 		default:
-			log.Fatalf("unknown benchmark %q (want spla or pdc; too_large is a layered netlist, not a PLA)", *benchName)
+			fail("unknown benchmark %q (want spla or pdc; too_large is a layered netlist, not a PLA)", *benchName)
+			return exitUsage
 		}
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		log.Fatal(err)
+		fail("%v", err)
+		return exitErr
 	}
 	for _, class := range classes {
+		if err := ctx.Err(); err != nil {
+			fail("canceled: %v", err)
+			return exitErr
+		}
 		spec := class.Spec()
 		if *scale != 1.0 {
 			spec = class.ScaledSpec(*scale)
 		}
 		p, err := bench.Generate(spec)
 		if err != nil {
-			log.Fatal(err)
+			fail("%v", err)
+			return exitErr
 		}
 		path := filepath.Join(*outDir, spec.Name+".pla")
 		f, err := os.Create(path)
 		if err != nil {
-			log.Fatal(err)
+			fail("%v", err)
+			return exitErr
 		}
 		if err := p.Write(f); err != nil {
 			f.Close()
-			log.Fatal(err)
+			fail("%v", err)
+			return exitErr
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			fail("%v", err)
+			return exitErr
 		}
 		s := p.Stats()
-		fmt.Printf("%s: %d inputs, %d outputs, %d terms, %d literals\n",
+		fmt.Fprintf(stdout, "%s: %d inputs, %d outputs, %d terms, %d literals\n",
 			path, s.Inputs, s.Outputs, s.Terms, s.Literals)
 	}
+	return exitOK
 }

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"casyn/internal/logic"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(context.Background(), args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-bench", "nope"},
+		{"positional"},
+	}
+	for _, args := range cases {
+		code, _, stderr := runCLI(t, args...)
+		if code != exitUsage {
+			t.Errorf("args %v: exit %d, want %d (stderr %q)", args, code, exitUsage, stderr)
+		}
+	}
+}
+
+func TestUnwritableOutDir(t *testing.T) {
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "file")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// MkdirAll over an existing regular file must fail.
+	code, _, stderr := runCLI(t, "-out", filepath.Join(blocker, "sub"))
+	if code != exitErr {
+		t.Fatalf("exit %d, want %d (stderr %q)", code, exitErr, stderr)
+	}
+	if stderr == "" {
+		t.Fatal("expected an error message on stderr")
+	}
+}
+
+func TestEmitSingleBench(t *testing.T) {
+	dir := t.TempDir()
+	code, stdout, stderr := runCLI(t, "-bench", "spla", "-scale", "0.02", "-out", dir)
+	if code != exitOK {
+		t.Fatalf("exit %d, want 0 (stderr %q)", code, stderr)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("emitted %d files, want 1", len(entries))
+	}
+	path := filepath.Join(dir, entries[0].Name())
+	if !strings.Contains(stdout, path) {
+		t.Errorf("stdout %q does not mention %s", stdout, path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p, err := logic.ReadPLA(f)
+	if err != nil {
+		t.Fatalf("emitted PLA does not parse: %v", err)
+	}
+	if s := p.Stats(); s.Terms == 0 {
+		t.Error("emitted PLA has no terms")
+	}
+}
+
+func TestEmitAllClasses(t *testing.T) {
+	dir := t.TempDir()
+	code, stdout, stderr := runCLI(t, "-scale", "0.02", "-out", dir)
+	if code != exitOK {
+		t.Fatalf("exit %d, want 0 (stderr %q)", code, stderr)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("emitted %d files, want 2 (spla + pdc)", len(entries))
+	}
+	if lines := strings.Count(stdout, "\n"); lines != 2 {
+		t.Errorf("stdout has %d lines, want 2:\n%s", lines, stdout)
+	}
+}
+
+func TestCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb strings.Builder
+	code := run(ctx, []string{"-out", t.TempDir()}, &out, &errb)
+	if code != exitErr {
+		t.Fatalf("exit %d, want %d", code, exitErr)
+	}
+	if !strings.Contains(errb.String(), "canceled") {
+		t.Errorf("stderr %q does not mention cancellation", errb.String())
+	}
+}

@@ -1,0 +1,162 @@
+// Command casynd is the synthesis-as-a-service daemon: the
+// congestion-aware flow behind an HTTP/JSON API with a bounded job
+// queue, admission control, per-job deadlines and panic isolation,
+// cross-request caching of the K-invariant mapping prefix, and
+// graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	casynd -addr :8080
+//	casynd -addr :8080 -workers 4 -queue 128 -job-timeout 5m -retries 2
+//	casynd -addr 127.0.0.1:0 -metrics drain.jsonl
+//
+// Submit a job and fetch its result:
+//
+//	curl -s -X POST localhost:8080/jobs -d '{"bench":"spla","scale":0.05,"k":0.5}'
+//	curl -s localhost:8080/jobs/j000001/result
+//
+// The daemon prints "listening on ADDR" to stdout once the socket is
+// bound (with the resolved port when -addr asked for :0), then serves
+// until SIGINT/SIGTERM, at which point it stops admitting jobs,
+// finishes the ones in flight (bounded by -drain-timeout), flushes the
+// metrics snapshot, and exits.
+//
+// Exit codes: 0 clean shutdown, 1 runtime error, 2 usage.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"casyn/internal/serve"
+)
+
+const (
+	exitOK    = 0
+	exitErr   = 1
+	exitUsage = 2
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fail := func(format string, a ...any) { fmt.Fprintf(stderr, "casynd: "+format+"\n", a...) }
+	fs := flag.NewFlagSet("casynd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks a free port)")
+		queue   = fs.Int("queue", 64, "job queue capacity (admission control bound)")
+		workers = fs.Int("workers", 2, "concurrent job executors")
+		jobW    = fs.Int("job-workers", 1, "default per-job pipeline fan-out (spec 'workers' overrides)")
+		jobTO   = fs.Duration("job-timeout", 0, "default per-job wall-clock budget (0 = none)")
+		stageTO = fs.Duration("stage-timeout", 0, "default per-stage budget (0 = none)")
+		drainTO = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain window on shutdown")
+		retries = fs.Int("retries", 0, "retry budget for transiently-failed jobs")
+		prepC   = fs.Int("prepared-cache", 32, "prepared-prefix cache entries (-1 disables)")
+		resC    = fs.Int("result-cache", 256, "result cache entries (-1 disables)")
+		maxJobs = fs.Int("max-jobs", 4096, "in-memory job table bound (oldest finished jobs evicted)")
+		metrics = fs.String("metrics", "", "write the final metrics snapshot as JSONL to FILE at shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() > 0 {
+		fail("unexpected arguments: %v", fs.Args())
+		fs.Usage()
+		return exitUsage
+	}
+	if *queue <= 0 || *workers <= 0 {
+		fail("-queue and -workers must be positive")
+		return exitUsage
+	}
+
+	cfg := serve.Config{
+		QueueCap:          *queue,
+		Workers:           *workers,
+		JobWorkers:        *jobW,
+		JobTimeout:        *jobTO,
+		StageTimeout:      *stageTO,
+		DrainTimeout:      *drainTO,
+		Retries:           *retries,
+		PreparedCacheSize: *prepC,
+		ResultCacheSize:   *resC,
+		MaxJobs:           *maxJobs,
+	}
+	var metricsFile *os.File
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fail("%v", err)
+			return exitErr
+		}
+		metricsFile = f
+		cfg.MetricsSink = f
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("%v", err)
+		if metricsFile != nil {
+			metricsFile.Close()
+		}
+		return exitErr
+	}
+
+	srv := serve.New(cfg)
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	code := exitOK
+	select {
+	case err := <-serveErr:
+		// The listener died under us; drain what we have and report.
+		fail("%v", err)
+		code = exitErr
+	case <-ctx.Done():
+		fmt.Fprintf(stdout, "draining (window %s)\n", *drainTO)
+	}
+
+	// Stop admitting first (Drain flips the flag synchronously), then
+	// close the listener so in-flight HTTP requests finish cleanly.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- srv.Drain(drainCtx) }()
+
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), *drainTO+5*time.Second)
+	defer shutCancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fail("http shutdown: %v", err)
+		code = exitErr
+	}
+	if err := <-drainDone; err != nil {
+		fail("drain: %v", err)
+		code = exitErr
+	}
+	if metricsFile != nil {
+		if err := metricsFile.Close(); err != nil {
+			fail("%v", err)
+			code = exitErr
+		} else if code == exitOK {
+			fmt.Fprintf(stdout, "wrote %s\n", *metrics)
+		}
+	}
+	fmt.Fprintln(stdout, "shutdown complete")
+	return code
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"positional"},
+		{"-queue", "0"},
+		{"-workers", "-1"},
+	}
+	for _, args := range cases {
+		var out, errb strings.Builder
+		code := run(context.Background(), args, &out, &errb)
+		if code != exitUsage {
+			t.Errorf("args %v: exit %d, want %d (stderr %q)", args, code, exitUsage, errb.String())
+		}
+	}
+}
+
+func TestBadListenAddr(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{"-addr", "256.256.256.256:99999"}, &out, &errb)
+	if code != exitErr {
+		t.Fatalf("exit %d, want %d", code, exitErr)
+	}
+	if errb.Len() == 0 {
+		t.Fatal("expected an error message on stderr")
+	}
+}
+
+// lineWatcher is an io.Writer that signals when a "listening on ADDR"
+// line arrives, exposing the resolved address.
+type lineWatcher struct {
+	mu    sync.Mutex
+	buf   strings.Builder
+	addr  string
+	ready chan struct{}
+}
+
+func newLineWatcher() *lineWatcher { return &lineWatcher{ready: make(chan struct{})} }
+
+func (w *lineWatcher) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if w.addr == "" {
+		for _, line := range strings.Split(w.buf.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "listening on "); ok {
+				w.addr = strings.TrimSpace(rest)
+				close(w.ready)
+				break
+			}
+		}
+	}
+	return len(p), nil
+}
+
+func (w *lineWatcher) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestServeSubmitDrain boots the daemon on a free port, submits a tiny
+// job over HTTP, fetches its result, then drains via context
+// cancellation (the SIGINT path) and checks the metrics file.
+func TestServeSubmitDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots the daemon and runs a synthesis job")
+	}
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "drain.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	out := newLineWatcher()
+	var errb strings.Builder
+	codeCh := make(chan int, 1)
+	go func() {
+		codeCh <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-workers", "1",
+			"-drain-timeout", "30s",
+			"-metrics", metricsPath,
+		}, out, &errb)
+	}()
+
+	select {
+	case <-out.ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never announced its address; stderr %q", errb.String())
+	}
+	base := "http://" + out.addr
+
+	resp, err := http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"bench":"spla","scale":0.02,"k":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		t.Fatalf("submit: status %d id %q", resp.StatusCode, sub.ID)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%s/result", base, sub.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			var body struct {
+				Status string `json:"status"`
+				Result *struct {
+					Report string `json:"report"`
+				} `json:"result"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if body.Status != "done" || body.Result == nil || body.Result.Report == "" {
+				t.Fatalf("unexpected terminal body: %+v", body)
+			}
+			break
+		}
+		resp.Body.Close()
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	cancel() // the SIGINT path
+	select {
+	case code := <-codeCh:
+		if code != exitOK {
+			t.Fatalf("exit %d, want 0; stderr %q", code, errb.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon never exited after cancellation")
+	}
+	if !strings.Contains(out.String(), "shutdown complete") {
+		t.Errorf("stdout missing shutdown message:\n%s", out.String())
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("metrics file: %v", err)
+	}
+	if !strings.Contains(string(data), "serve.jobs_completed") {
+		t.Errorf("metrics file missing job counters:\n%s", data)
+	}
+}

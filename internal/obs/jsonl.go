@@ -17,7 +17,7 @@ func isFinite(v float64) bool {
 
 // Event is one JSONL line of a serialized snapshot. Ev discriminates
 // the payload: "span" carries the span fields, "counter" a single
-// total, "hist" a histogram state.
+// total, "gauge" an instantaneous value, "hist" a histogram state.
 type Event struct {
 	Ev   string `json:"ev"`
 	Name string `json:"name"`
@@ -74,6 +74,11 @@ func WriteJSONL(w io.Writer, s Snapshot) error {
 			return err
 		}
 	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if err := enc.Encode(Event{Ev: "gauge", Name: name, Value: s.Gauges[name]}); err != nil {
+			return err
+		}
+	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
 		ev := Event{
@@ -112,6 +117,7 @@ func WriteJSONL(w io.Writer, s Snapshot) error {
 func ReadJSONL(r io.Reader) (Snapshot, error) {
 	s := Snapshot{
 		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
 		Histograms: map[string]HistogramSnapshot{},
 	}
 	dec := json.NewDecoder(r)
@@ -139,6 +145,8 @@ func ReadJSONL(r io.Reader) (Snapshot, error) {
 			s.Spans = append(s.Spans, sp)
 		case "counter":
 			s.Counters[ev.Name] = ev.Value
+		case "gauge":
+			s.Gauges[ev.Name] = ev.Value
 		case "hist":
 			h := HistogramSnapshot{
 				Bounds: ev.Bounds,

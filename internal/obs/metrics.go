@@ -30,6 +30,38 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
+// Gauge is a last-write-wins instantaneous value handle (queue depth,
+// running jobs, cache occupancy). The zero value is ready to use; a
+// nil *Gauge is a valid no-op handle. Set/Add are atomic, so one
+// handle may be shared across goroutines.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
 // Histogram is a fixed-bucket histogram handle: bounds are bucket
 // upper limits (values land in the first bucket whose bound is >= v;
 // larger values land in the implicit +Inf overflow bucket). A nil

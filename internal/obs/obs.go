@@ -55,6 +55,7 @@ import (
 type Recorder struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	spans    []SpanRecord
 	nextID   atomic.Int64
@@ -64,6 +65,7 @@ type Recorder struct {
 func New() *Recorder {
 	return &Recorder{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -98,6 +100,25 @@ func (r *Recorder) Counter(name string) *Counter {
 
 // Add increments the named counter by delta (no-op on nil r).
 func (r *Recorder) Add(name string, delta int64) { r.Counter(name).Add(delta) }
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// (a valid no-op handle) when r is nil.
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// SetGauge sets the named gauge to v (no-op on nil r).
+func (r *Recorder) SetGauge(name string, v int64) { r.Gauge(name).Set(v) }
 
 // Histogram returns the named histogram, creating it with the given
 // bucket upper bounds on first use; later calls reuse the existing

@@ -359,7 +359,7 @@ func TestJSONLRoundTrip(t *testing.T) {
 // TestReadJSONLRejectsUnknown pins the versioning rule: unknown event
 // kinds are an error, not silently dropped.
 func TestReadJSONLRejectsUnknown(t *testing.T) {
-	_, err := ReadJSONL(strings.NewReader(`{"ev":"gauge","name":"x"}` + "\n"))
+	_, err := ReadJSONL(strings.NewReader(`{"ev":"summary","name":"x"}` + "\n"))
 	if err == nil {
 		t.Fatal("unknown event kind accepted")
 	}
@@ -450,5 +450,58 @@ func TestStartProfile(t *testing.T) {
 				t.Errorf("%s profile is empty", mode)
 			}
 		})
+	}
+}
+
+func TestGauges(t *testing.T) {
+	rec := New()
+	rec.SetGauge("serve.queue_depth", 7)
+	rec.Gauge("serve.queue_depth").Add(-2)
+	rec.Gauge("serve.running").Set(3)
+
+	// Nil safety mirrors counters/histograms.
+	var nilRec *Recorder
+	nilRec.SetGauge("x", 1)
+	nilRec.Gauge("x").Add(1)
+	if nilRec.Gauge("x").Value() != 0 {
+		t.Error("nil recorder gauge not a no-op")
+	}
+
+	snap := rec.Snapshot()
+	if snap.Gauges["serve.queue_depth"] != 5 || snap.Gauges["serve.running"] != 3 {
+		t.Fatalf("gauges = %v", snap.Gauges)
+	}
+
+	// JSONL round trip.
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Gauges["serve.queue_depth"] != 5 || back.Gauges["serve.running"] != 3 {
+		t.Errorf("round-tripped gauges = %v", back.Gauges)
+	}
+
+	// Prometheus export renders a gauge type with the casyn_ prefix.
+	var prom strings.Builder
+	if err := WriteProm(&prom, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "# TYPE casyn_serve_queue_depth gauge\ncasyn_serve_queue_depth 5\n") {
+		t.Errorf("prom output missing gauge:\n%s", prom.String())
+	}
+
+	// Fingerprint covers gauges; merge folds them additively.
+	if !strings.Contains(snap.Fingerprint(), "gauge serve.queue_depth=5\n") {
+		t.Errorf("fingerprint missing gauge:\n%s", snap.Fingerprint())
+	}
+	parent := New()
+	parent.SetGauge("serve.queue_depth", 1)
+	parent.Merge(snap)
+	if got := parent.Gauge("serve.queue_depth").Value(); got != 6 {
+		t.Errorf("merged gauge = %d, want 6", got)
 	}
 }

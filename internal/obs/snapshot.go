@@ -7,9 +7,10 @@ import (
 )
 
 // Snapshot is an immutable copy of a recorder's state: counter totals,
-// histogram states, and completed spans in end order.
+// gauge values, histogram states, and completed spans in end order.
 type Snapshot struct {
 	Counters   map[string]int64
+	Gauges     map[string]int64
 	Histograms map[string]HistogramSnapshot
 	Spans      []SpanRecord
 }
@@ -25,6 +26,10 @@ func (r *Recorder) Snapshot() Snapshot {
 	counters := make(map[string]int64, len(r.counters))
 	for name, c := range r.counters {
 		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
 	}
 	hists := make([]struct {
 		name string
@@ -45,7 +50,7 @@ func (r *Recorder) Snapshot() Snapshot {
 	for _, nh := range hists {
 		hsnaps[nh.name] = nh.h.snapshot()
 	}
-	return Snapshot{Counters: counters, Histograms: hsnaps, Spans: spans}
+	return Snapshot{Counters: counters, Gauges: gauges, Histograms: hsnaps, Spans: spans}
 }
 
 // Merge folds a snapshot (typically a child recorder's) into r:
@@ -61,6 +66,13 @@ func (r *Recorder) Merge(s Snapshot) {
 	}
 	for _, name := range sortedKeys(s.Counters) {
 		r.Counter(name).Add(s.Counters[name])
+	}
+	// Gauges are instantaneous values, not totals: merging a child's
+	// gauge folds it in additively (a parent aggregating per-worker
+	// depths sums them); scopes that want last-write-wins set the
+	// parent gauge directly instead of merging.
+	for _, name := range sortedKeys(s.Gauges) {
+		r.Gauge(name).Add(s.Gauges[name])
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		hs := s.Histograms[name]
@@ -120,6 +132,9 @@ func (s Snapshot) Fingerprint() string {
 	var b strings.Builder
 	for _, name := range sortedKeys(s.Counters) {
 		fmt.Fprintf(&b, "counter %s=%d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "gauge %s=%d\n", name, s.Gauges[name])
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]

@@ -20,6 +20,10 @@ func WriteProm(w io.Writer, s Snapshot) error {
 		m := promName(name) + "_total"
 		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", m, m, s.Counters[name])
 	}
+	for _, name := range sortedKeys(s.Gauges) {
+		m := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", m, m, s.Gauges[name])
+	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
 		m := promName(name)

@@ -16,7 +16,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime/debug"
+	"sync"
 	"time"
 
 	"casyn/internal/obs"
@@ -104,13 +106,47 @@ type Fault struct {
 	// Delay stalls the stage before it starts, honoring context
 	// cancellation (exercising budget enforcement).
 	Delay time.Duration
+	// Rate, when in (0,1), makes the fault probabilistic: each matching
+	// stage execution draws from the hooks' seeded RNG and the fault
+	// applies only when the draw lands below Rate — a transient failure
+	// a retrying caller should eventually get past. The draw sequence
+	// is deterministic per Hooks.Seed (under concurrency the draws are
+	// serialized but their assignment to stages follows scheduling
+	// order, so per-seed determinism is exact only for serial
+	// execution). Zero or ≥1 means the fault always applies.
+	Rate float64
 }
 
 // Hooks carries the fault injection points threaded through the flow
 // configuration. A nil *Hooks injects nothing.
 type Hooks struct {
 	Faults []Fault
+	// Seed seeds the RNG behind probabilistic (Rate) faults; 0 means 1.
+	Seed int64
+
+	mu  sync.Mutex
+	rng *rand.Rand
 }
+
+// roll draws one uniform [0,1) variate from the hooks' seeded RNG,
+// initializing it from Seed on first use.
+func (h *Hooks) roll() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.rng == nil {
+		seed := h.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		h.rng = rand.New(rand.NewSource(seed))
+	}
+	return h.rng.Float64()
+}
+
+// InjectedCounter is the obs counter bumped every time a fault
+// actually applies (Prometheus: casyn_faults_injected_total) — the
+// chaos suite's ground truth for how much failure it really injected.
+const InjectedCounter = "faults.injected"
 
 // fire applies the first matching fault. It may sleep, panic, or
 // return an error to be treated as the stage's failure.
@@ -123,6 +159,12 @@ func (h *Hooks) fire(ctx context.Context, stage Stage, k float64) error {
 		if f.Stage != stage || (!f.AllK && f.K != k) {
 			continue
 		}
+		if f.Rate > 0 && f.Rate < 1 && h.roll() >= f.Rate {
+			// The transient fault spared this execution; later faults in
+			// the list still get their chance.
+			continue
+		}
+		obs.From(ctx).Add(InjectedCounter, 1)
 		if f.Delay > 0 {
 			t := time.NewTimer(f.Delay)
 			select {

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"casyn/internal/obs"
 )
 
 func TestRunPassesThroughResult(t *testing.T) {
@@ -126,6 +128,111 @@ func TestHooksDelayHonorsCancellation(t *testing.T) {
 	}
 	if se := AsStage(err); se == nil || !se.Timeout() {
 		t.Fatalf("expected timeout, got %v", err)
+	}
+}
+
+func TestRateFaultIsProbabilisticAndSeeded(t *testing.T) {
+	injected := errors.New("transient blip")
+	count := func(seed int64) (failures int, pattern []bool) {
+		h := &Hooks{
+			Seed:   seed,
+			Faults: []Fault{{Stage: StageRoute, AllK: true, Err: injected, Rate: 0.4}},
+		}
+		for i := 0; i < 200; i++ {
+			_, err := Run(context.Background(), StageRoute, 0.5, 0, h, func(context.Context) (int, error) { return 1, nil })
+			if err != nil {
+				if !errors.Is(err, injected) {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				failures++
+			}
+			pattern = append(pattern, err != nil)
+		}
+		return failures, pattern
+	}
+	n1, p1 := count(7)
+	if n1 == 0 || n1 == 200 {
+		t.Fatalf("Rate=0.4 fired %d/200 times — not probabilistic", n1)
+	}
+	// Loose statistical sanity: 200 draws at 0.4 land in [40, 120]
+	// except with negligible probability.
+	if n1 < 40 || n1 > 120 {
+		t.Errorf("Rate=0.4 fired %d/200 times — far off the rate", n1)
+	}
+	// Same seed → identical fire pattern; different seed → (almost
+	// surely) a different one.
+	_, p1again := count(7)
+	for i := range p1 {
+		if p1[i] != p1again[i] {
+			t.Fatalf("seed 7 not deterministic at draw %d", i)
+		}
+	}
+	_, p2 := count(8)
+	same := true
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical fire patterns")
+	}
+}
+
+func TestRateZeroAlwaysFires(t *testing.T) {
+	injected := errors.New("hard fault")
+	h := &Hooks{Faults: []Fault{{Stage: StageMap, AllK: true, Err: injected}}}
+	for i := 0; i < 10; i++ {
+		if _, err := Run(context.Background(), StageMap, 0, 0, h, func(context.Context) (int, error) { return 1, nil }); !errors.Is(err, injected) {
+			t.Fatalf("always-on fault skipped on run %d: %v", i, err)
+		}
+	}
+}
+
+func TestSparedRateFaultFallsThroughToLaterFaults(t *testing.T) {
+	// When the transient fault spares an execution, a later always-on
+	// fault for the same stage must still apply.
+	transient := errors.New("transient")
+	hard := errors.New("hard")
+	h := &Hooks{
+		Seed: 3,
+		Faults: []Fault{
+			{Stage: StageMap, AllK: true, Err: transient, Rate: 0.5},
+			{Stage: StageMap, AllK: true, Err: hard},
+		},
+	}
+	sawHard := false
+	for i := 0; i < 100 && !sawHard; i++ {
+		_, err := Run(context.Background(), StageMap, 0, 0, h, func(context.Context) (int, error) { return 1, nil })
+		if err == nil {
+			t.Fatal("both faults skipped")
+		}
+		if errors.Is(err, hard) {
+			sawHard = true
+		}
+	}
+	if !sawHard {
+		t.Error("spared Rate fault never fell through to the hard fault")
+	}
+}
+
+func TestFaultsInjectedCounter(t *testing.T) {
+	injected := errors.New("counted")
+	h := &Hooks{Faults: []Fault{{Stage: StageRoute, AllK: true, Err: injected}}}
+	rec := obs.New()
+	ctx := obs.WithRecorder(context.Background(), rec)
+	for i := 0; i < 3; i++ {
+		if _, err := Run(ctx, StageRoute, 0, 0, h, func(context.Context) (int, error) { return 1, nil }); !errors.Is(err, injected) {
+			t.Fatal(err)
+		}
+	}
+	// A run with no matching fault must not count.
+	if _, err := Run(ctx, StageMap, 0, 0, h, func(context.Context) (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Snapshot().Counters[InjectedCounter]; got != 3 {
+		t.Errorf("%s = %d, want 3", InjectedCounter, got)
 	}
 }
 

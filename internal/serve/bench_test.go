@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+	"time"
+)
+
+// benchJobs is the per-phase job count of the load harness — enough
+// for stable p50, small enough for the CI smoke run.
+const benchJobs = 12
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+type loadPhase struct {
+	P50Ms   float64 `json:"p50_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	JobsSec float64 `json:"jobs_per_sec"`
+	Jobs    int     `json:"jobs"`
+}
+
+func runPhase(b *testing.B, s *Server, specs []JobSpec, wantCache string) loadPhase {
+	b.Helper()
+	lats := make([]time.Duration, 0, len(specs))
+	start := time.Now()
+	for _, spec := range specs {
+		t0 := time.Now()
+		job, err := s.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case <-job.Done():
+		case <-time.After(120 * time.Second):
+			b.Fatalf("job %s stuck", job.ID)
+		}
+		res, jerr := job.Result()
+		if res == nil {
+			b.Fatalf("job %s failed: %+v", job.ID, jerr)
+		}
+		if wantCache != "" && res.Cache != wantCache {
+			b.Fatalf("job %s served from %q, want %q", job.ID, res.Cache, wantCache)
+		}
+		lats = append(lats, time.Since(t0))
+	}
+	total := time.Since(start)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return loadPhase{
+		P50Ms:   float64(percentile(lats, 0.50)) / float64(time.Millisecond),
+		P99Ms:   float64(percentile(lats, 0.99)) / float64(time.Millisecond),
+		JobsSec: float64(len(specs)) / total.Seconds(),
+		Jobs:    len(specs),
+	}
+}
+
+// BenchmarkServe is the daemon load harness: three phases of benchJobs
+// jobs each against one server — cold (every job a distinct circuit
+// configuration, full compute), prepared (same circuit, new K each
+// time: the cached mapping prefix is reused), and warm (exact repeats
+// served from the result cache). Writes BENCH_serve.json at the repo
+// root with p50/p99 latency and jobs/sec per phase; the acceptance bar
+// is warm p50 at least 3x faster than cold p50.
+func BenchmarkServe(b *testing.B) {
+	var artifact struct {
+		Bench       string    `json:"bench"`
+		Scale       float64   `json:"scale"`
+		Workers     int       `json:"workers"`
+		Cold        loadPhase `json:"cold"`
+		Prepared    loadPhase `json:"prepared"`
+		Warm        loadPhase `json:"warm"`
+		WarmSpeedup float64   `json:"warm_speedup_p50"`
+		PrepSpeedup float64   `json:"prepared_speedup_p50"`
+	}
+	artifact.Bench = "spla-daemon-load"
+	artifact.Scale = 0.05
+	artifact.Workers = 2
+
+	for i := 0; i < b.N; i++ {
+		s := New(Config{Workers: 2, QueueCap: benchJobs * 3})
+
+		// Cold: a distinct placement seed per job gives a distinct
+		// PrepKey, so every job pays the full pipeline.
+		cold := make([]JobSpec, benchJobs)
+		for j := range cold {
+			cold[j] = JobSpec{Bench: "spla", Scale: 0.05, K: 0.3, Seed: int64(j + 1)}
+		}
+		artifact.Cold = runPhase(b, s, cold, "")
+
+		// Prepared: one circuit (seed 1 is already cached from the cold
+		// phase), a fresh K per job — only the K-dependent suffix runs.
+		prepared := make([]JobSpec, benchJobs)
+		for j := range prepared {
+			prepared[j] = JobSpec{Bench: "spla", Scale: 0.05, K: 0.01 * float64(j+1), Seed: 1}
+		}
+		artifact.Prepared = runPhase(b, s, prepared, "prepared")
+
+		// Warm: exact repeats of the prepared specs — result-cache hits,
+		// no compute.
+		artifact.Warm = runPhase(b, s, prepared, "result")
+
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	artifact.WarmSpeedup = artifact.Cold.P50Ms / artifact.Warm.P50Ms
+	artifact.PrepSpeedup = artifact.Cold.P50Ms / artifact.Prepared.P50Ms
+	b.ReportMetric(artifact.Cold.P50Ms, "cold-p50-ms")
+	b.ReportMetric(artifact.Prepared.P50Ms, "prep-p50-ms")
+	b.ReportMetric(artifact.Warm.P50Ms, "warm-p50-ms")
+	b.ReportMetric(artifact.WarmSpeedup, "warm-speedup")
+
+	if artifact.WarmSpeedup < 3 {
+		b.Fatalf("warm p50 %.3fms is not >=3x faster than cold p50 %.3fms",
+			artifact.Warm.P50Ms, artifact.Cold.P50Ms)
+	}
+
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(fmt.Sprintf("..%c..%cBENCH_serve.json", os.PathSeparator, os.PathSeparator),
+		append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a size-bounded, mutex-guarded LRU map. The daemon keeps two:
+// prepared mapping prefixes keyed by PrepKey (the expensive K-invariant
+// work shared by near-repeat jobs) and complete results keyed by
+// ResultKey (exact repeats — the whole flow is deterministic, so a
+// cached result is byte-identical to a recomputation).
+type lru[V any] struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	l   *list.List // front = most recently used
+}
+
+type lruEntry[V any] struct {
+	key string
+	v   V
+}
+
+// newLRU builds a cache holding at most capacity entries; capacity <= 0
+// disables the cache (every get misses, every add drops).
+func newLRU[V any](capacity int) *lru[V] {
+	return &lru[V]{
+		cap: capacity,
+		m:   make(map[string]*list.Element),
+		l:   list.New(),
+	}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lru[V]) get(key string) (V, bool) {
+	var zero V
+	if c.cap <= 0 {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return zero, false
+	}
+	c.l.MoveToFront(el)
+	return el.Value.(*lruEntry[V]).v, true
+}
+
+// add inserts (or refreshes) a value, evicting the least recently used
+// entry beyond capacity. It reports how many entries were evicted.
+func (c *lru[V]) add(key string, v V) (evicted int) {
+	if c.cap <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*lruEntry[V]).v = v
+		c.l.MoveToFront(el)
+		return 0
+	}
+	c.m[key] = c.l.PushFront(&lruEntry[V]{key: key, v: v})
+	for c.l.Len() > c.cap {
+		back := c.l.Back()
+		c.l.Remove(back)
+		delete(c.m, back.Value.(*lruEntry[V]).key)
+		evicted++
+	}
+	return evicted
+}
+
+// len returns the current entry count.
+func (c *lru[V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.l.Len()
+}

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"casyn/internal/runstage"
+)
+
+// chaosStages are every pipeline stage the daemon can lose a job in.
+var chaosStages = []runstage.Stage{
+	StageFrontend,
+	runstage.StagePrepare,
+	runstage.StageMapPrepare,
+	runstage.StageMap,
+	runstage.StagePlace,
+	runstage.StageRoute,
+	runstage.StageSTA,
+}
+
+// TestChaosEveryStageEveryMode injects an error, then a panic, then a
+// budget-blowing delay into every pipeline stage, across K values, and
+// requires: the daemon never crashes or hangs, every job reaches a
+// terminal state with a structured error naming the failed stage, and
+// the health endpoint keeps answering throughout.
+func TestChaosEveryStageEveryMode(t *testing.T) {
+	for _, stage := range chaosStages {
+		stage := stage
+		t.Run(string(stage), func(t *testing.T) {
+			modes := []struct {
+				name  string
+				fault runstage.Fault
+				check func(t *testing.T, jerr *JobError)
+			}{
+				{
+					name:  "error",
+					fault: runstage.Fault{Stage: stage, AllK: true, Err: errors.New("chaos: injected failure")},
+					check: func(t *testing.T, jerr *JobError) {
+						if jerr.Panicked || jerr.Timeout {
+							t.Errorf("error fault misclassified: %+v", jerr)
+						}
+					},
+				},
+				{
+					name:  "panic",
+					fault: runstage.Fault{Stage: stage, AllK: true, Panic: "chaos: injected panic"},
+					check: func(t *testing.T, jerr *JobError) {
+						if !jerr.Panicked {
+							t.Errorf("panic fault not flagged: %+v", jerr)
+						}
+					},
+				},
+				{
+					name:  "stall",
+					fault: runstage.Fault{Stage: stage, AllK: true, Delay: time.Hour},
+					check: func(t *testing.T, jerr *JobError) {
+						if !jerr.Timeout && !jerr.Canceled {
+							t.Errorf("stalled fault not budget-killed: %+v", jerr)
+						}
+					},
+				},
+			}
+			for _, mode := range modes {
+				mode := mode
+				t.Run(mode.name, func(t *testing.T) {
+					hooks := &runstage.Hooks{Faults: []runstage.Fault{mode.fault}}
+					s, ts := testServer(t, Config{Workers: 2, Hooks: hooks, StageTimeout: 200 * time.Millisecond})
+					// STA only runs when timing is on; keep it on so the
+					// sta stage actually executes. Two K values.
+					for _, k := range []float64{0, 1} {
+						body := fmt.Sprintf(`{"pla":%s,"k":%g,"timing":true}`, strconv.Quote(tinyPLA), k)
+						resp, m := postJob(t, ts, body)
+						if resp.StatusCode != http.StatusAccepted {
+							t.Fatalf("submit: %d (%v)", resp.StatusCode, m)
+						}
+						job := waitTerminal(t, s, m["id"].(string))
+						if job.Status() != StatusFailed && job.Status() != StatusCanceled {
+							t.Fatalf("K=%g: status %s, want failed/canceled", k, job.Status())
+						}
+						res, jerr := job.Result()
+						if res != nil || jerr == nil {
+							t.Fatalf("K=%g: result %v err %v, want structured error only", k, res, jerr)
+						}
+						if jerr.Message == "" {
+							t.Errorf("K=%g: empty error message", k)
+						}
+						// The structured error names the failed stage (the
+						// front-end fault for prepare-adjacent stages may
+						// surface under the injected stage itself).
+						if jerr.Stage != string(stage) && !jerr.Timeout && !jerr.Canceled {
+							t.Errorf("K=%g: failed in %q, injected into %q", k, jerr.Stage, stage)
+						}
+						mode.check(t, jerr)
+
+						// The daemon is still alive and healthy.
+						hr, err := http.Get(ts.URL + "/healthz")
+						if err != nil {
+							t.Fatalf("healthz after chaos: %v", err)
+						}
+						hr.Body.Close()
+						if hr.StatusCode != http.StatusOK {
+							t.Fatalf("healthz after chaos: %d", hr.StatusCode)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestChaosTransientFaultRetriedToSuccess injects a seeded
+// probabilistic fault and gives the daemon a retry budget: the job
+// must eventually succeed, the retries must be visible in the result,
+// and the injection counter must account for every applied fault.
+func TestChaosTransientFaultRetriedToSuccess(t *testing.T) {
+	hooks := &runstage.Hooks{
+		Seed: 11,
+		Faults: []runstage.Fault{
+			// Rate 0.6 with seed 11: the first draws apply the fault, a
+			// later one spares it — enough retries always get through.
+			{Stage: runstage.StageMap, AllK: true, Rate: 0.6, Err: errors.New("chaos: transient")},
+		},
+	}
+	s, ts := testServer(t, Config{
+		Workers:      1,
+		Hooks:        hooks,
+		Retries:      10,
+		RetryBackoff: time.Millisecond,
+	})
+	resp, m := postJob(t, ts, `{"pla":`+strconv.Quote(tinyPLA)+`,"k":0}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	job := waitTerminal(t, s, m["id"].(string))
+	if job.Status() != StatusDone {
+		_, jerr := job.Result()
+		t.Fatalf("status %s (%+v), want done within the retry budget", job.Status(), jerr)
+	}
+	res, _ := job.Result()
+	if res.Retries == 0 {
+		t.Error("job reports zero retries though the fault fired")
+	}
+	snap := s.Metrics()
+	if got := snap.Counters[runstage.InjectedCounter]; got < int64(res.Retries) {
+		t.Errorf("faults.injected = %d, want >= %d retries", got, res.Retries)
+	}
+	if got := snap.Counters["serve.jobs_retried"]; got != int64(res.Retries) {
+		t.Errorf("serve.jobs_retried = %d, want %d", got, res.Retries)
+	}
+}
+
+// TestChaosPanicNeverKillsNeighbors runs a poisoned job concurrently
+// with healthy ones: the healthy jobs complete normally.
+func TestChaosPanicNeverKillsNeighbors(t *testing.T) {
+	hooks := &runstage.Hooks{Faults: []runstage.Fault{
+		// Only K=3 is poisoned.
+		{Stage: runstage.StageRoute, K: 3, Panic: "chaos: poison"},
+	}}
+	s, ts := testServer(t, Config{Workers: 2, Hooks: hooks})
+	var ids []string
+	for _, k := range []float64{0, 3, 1} {
+		resp, m := postJob(t, ts, fmt.Sprintf(`{"pla":%s,"k":%g}`, strconv.Quote(tinyPLA), k))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit K=%g: %d", k, resp.StatusCode)
+		}
+		ids = append(ids, m["id"].(string))
+	}
+	poisoned := waitTerminal(t, s, ids[1])
+	if poisoned.Status() != StatusFailed {
+		t.Errorf("poisoned job: %s, want failed", poisoned.Status())
+	}
+	_, jerr := poisoned.Result()
+	if jerr == nil || !jerr.Panicked || jerr.Stage != string(runstage.StageRoute) {
+		t.Errorf("poisoned job error: %+v", jerr)
+	}
+	for _, i := range []int{0, 2} {
+		job := waitTerminal(t, s, ids[i])
+		if job.Status() != StatusDone {
+			_, jerr := job.Result()
+			t.Errorf("healthy job %s: %s (%+v), want done", job.ID, job.Status(), jerr)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"casyn/internal/obs"
+	"casyn/internal/runstage"
+)
+
+// countingSink records everything flushed into it; the tests count
+// snapshot flushes by counting serve.metrics_flushes lines, which
+// appear exactly once per WriteJSONL call.
+type countingSink struct {
+	mu      sync.Mutex
+	content strings.Builder
+}
+
+func (c *countingSink) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.content.Write(p)
+	return len(p), nil
+}
+
+// TestDrainFinishesInFlightJobs: a drain must let running and queued
+// jobs finish — nothing admitted is lost — while refusing new work,
+// and flush the metrics snapshot exactly once even when Drain and
+// Close race.
+func TestDrainFinishesInFlightJobs(t *testing.T) {
+	sink := &countingSink{}
+	hooks := &runstage.Hooks{Faults: []runstage.Fault{
+		// Slow every job down enough that the drain demonstrably
+		// overlaps them, without making the test slow.
+		{Stage: runstage.StageMap, AllK: true, Delay: 150 * time.Millisecond},
+	}}
+	s := New(Config{Workers: 1, QueueCap: 8, Hooks: hooks, MetricsSink: sink})
+
+	spec := JobSpec{PLA: tinyPLA, K: 0}
+	running, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queuedSpec := spec
+	queuedSpec.K = 1
+	queued, err := s.Submit(queuedSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, s, running.ID)
+
+	// Drain concurrently with a second Drain and a Close: the flush
+	// must still happen exactly once, and all three must return.
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			errs[i] = s.Drain(ctx)
+		}(i)
+	}
+
+	// New work is refused as soon as draining begins.
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("draining flag never rose")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Submit(spec); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit during drain: %v, want ErrDraining", err)
+	}
+
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("drain %d: %v", i, err)
+		}
+	}
+
+	// Both in-flight jobs completed — neither was lost or canceled.
+	for _, job := range []*Job{running, queued} {
+		if job.Status() != StatusDone {
+			_, jerr := job.Result()
+			t.Errorf("job %s: %s (%+v), want done", job.ID, job.Status(), jerr)
+		}
+	}
+
+	// The snapshot flushed exactly once, and records both completions
+	// plus its own flush counter.
+	text := func() string {
+		sink.mu.Lock()
+		defer sink.mu.Unlock()
+		return sink.content.String()
+	}()
+	if n := strings.Count(text, `"serve.metrics_flushes"`); n != 1 {
+		t.Errorf("metrics flushed %d times, want exactly once:\n%s", n, text)
+	}
+	snap, err := obs.ReadJSONL(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("flushed metrics do not parse: %v", err)
+	}
+	if got := snap.Counters["serve.jobs_completed"]; got != 2 {
+		t.Errorf("flushed jobs_completed = %d, want 2", got)
+	}
+	if got := snap.Counters["serve.metrics_flushes"]; got != 1 {
+		t.Errorf("flushed metrics_flushes = %d, want 1", got)
+	}
+}
+
+// TestDrainDeadlineCancelsStragglers: when the drain window expires, a
+// stuck job is canceled — recorded as canceled, never silently lost —
+// and Drain reports the deadline.
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	sink := &countingSink{}
+	hooks := &runstage.Hooks{Faults: []runstage.Fault{
+		{Stage: runstage.StageMap, AllK: true, Delay: time.Hour},
+	}}
+	s := New(Config{Workers: 1, QueueCap: 8, Hooks: hooks, MetricsSink: sink})
+
+	stuck, err := s.Submit(JobSpec{PLA: tinyPLA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := JobSpec{PLA: tinyPLA, K: 2}
+	waiting, err := s.Submit(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, s, stuck.ID)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("drain returned nil, want deadline error")
+	}
+
+	for _, job := range []*Job{stuck, waiting} {
+		st := job.Status()
+		if !st.Terminal() {
+			t.Fatalf("job %s still %s after drain", job.ID, st)
+		}
+		if st != StatusCanceled {
+			t.Errorf("job %s: %s, want canceled", job.ID, st)
+		}
+		_, jerr := job.Result()
+		if jerr == nil {
+			t.Errorf("job %s has no structured error", job.ID)
+		}
+	}
+	if n := strings.Count(sink.content.String(), `"serve.metrics_flushes"`); n != 1 {
+		t.Errorf("metrics flushed %d times, want exactly once", n)
+	}
+}
+
+// TestDrainViaHTTP covers the 503 contract.
+func TestDrainViaHTTP(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, m := postJob(t, ts, `{"pla":`+strconv.Quote(tinyPLA)+`}`)
+	if resp.StatusCode != 503 {
+		t.Fatalf("submit after drain: %d (%v)", resp.StatusCode, m)
+	}
+	hres, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbody, err := io.ReadAll(hres.Body)
+	hres.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hres.StatusCode != 503 || !strings.Contains(string(hbody), "draining") {
+		t.Fatalf("healthz after drain: %d %s", hres.StatusCode, hbody)
+	}
+}

@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"casyn/internal/obs"
+)
+
+// jobView is the JSON shape of a job's status.
+type jobView struct {
+	ID       string    `json:"id"`
+	Status   Status    `json:"status"`
+	Error    *JobError `json:"error,omitempty"`
+	Retries  int       `json:"retries,omitempty"`
+	Submit   string    `json:"submitted_at"`
+	WallMS   float64   `json:"wall_ms,omitempty"`
+	Terminal bool      `json:"terminal"`
+}
+
+func viewOf(j *Job) jobView {
+	j.mu.Lock()
+	v := jobView{
+		ID:       j.ID,
+		Status:   j.status,
+		Error:    j.jerr,
+		Retries:  j.retries,
+		Submit:   j.submitAt.UTC().Format(time.RFC3339Nano),
+		Terminal: j.status.Terminal(),
+	}
+	if !j.startAt.IsZero() && !j.finishAt.IsZero() {
+		v.WallMS = float64(j.finishAt.Sub(j.startAt)) / float64(time.Millisecond)
+	}
+	j.mu.Unlock()
+	return v
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /jobs             submit a JobSpec       → 202 {id,status} | 400 | 429 (+Retry-After) | 503 draining
+//	GET    /jobs/{id}        job status             → 200 | 404
+//	GET    /jobs/{id}/result terminal outcome       → 200 result | 200 error body | 202 still running | 404
+//	DELETE /jobs/{id}        cancel                 → 200 | 404
+//	GET    /healthz          liveness + queue pressure (503 while draining)
+//	GET    /metrics          Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to do on error
+}
+
+type errBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := ParseJobSpec(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody{Error: err.Error()})
+		return
+	}
+	job, err := s.Submit(*spec)
+	var full *ErrQueueFull
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errBody{Error: err.Error()})
+	case errors.As(err, &full):
+		secs := int(full.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, errBody{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusAccepted, viewOf(job))
+	}
+}
+
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	job, ok := s.Job(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errBody{Error: fmt.Sprintf("no job %q", id)})
+		return nil, false
+	}
+	return job, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(job))
+}
+
+// resultBody is the terminal-outcome response: exactly one of Result
+// and Error is set.
+type resultBody struct {
+	ID     string     `json:"id"`
+	Status Status     `json:"status"`
+	Result *JobResult `json:"result,omitempty"`
+	Error  *JobError  `json:"error,omitempty"`
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	if !job.Status().Terminal() {
+		writeJSON(w, http.StatusAccepted, viewOf(job))
+		return
+	}
+	res, jerr := job.Result()
+	if res != nil && !job.Spec.Verilog {
+		// The cache carries the netlist either way; this client did not
+		// ask for it.
+		res = res.clone()
+		res.Verilog = ""
+	}
+	writeJSON(w, http.StatusOK, resultBody{ID: job.ID, Status: job.Status(), Result: res, Error: jerr})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, viewOf(job))
+}
+
+// healthBody reports liveness and queue pressure.
+type healthBody struct {
+	Status   string  `json:"status"` // "ok" | "draining"
+	Queue    int     `json:"queue_depth"`
+	QueueCap int     `json:"queue_capacity"`
+	Running  int64   `json:"jobs_running"`
+	Pressure float64 `json:"pressure"` // depth / capacity
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := healthBody{
+		Status:   "ok",
+		Queue:    len(s.queue),
+		QueueCap: s.cfg.QueueCap,
+		Running:  s.runningCount(),
+	}
+	if body.QueueCap > 0 {
+		body.Pressure = float64(body.Queue) / float64(body.QueueCap)
+	}
+	code := http.StatusOK
+	if s.Draining() {
+		body.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	// WriteProm writes to an http.ResponseWriter; a late error means a
+	// broken connection, which there is no one left to tell.
+	_ = obs.WriteProm(w, s.Metrics())
+}
