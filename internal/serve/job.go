@@ -111,8 +111,11 @@ func (r *JobResult) clone() *JobResult {
 
 // Job is one tracked submission.
 type Job struct {
-	ID        string  `json:"id"`
-	Spec      JobSpec `json:"-"`
+	ID   string  `json:"id"`
+	Spec JobSpec `json:"-"`
+	// prepKey and resultKey are the spec's cache keys, computed once at
+	// Submit (hashing an inline PLA is not free) and reused on every
+	// attempt by runJob/prepared.
 	prepKey   string
 	resultKey string
 

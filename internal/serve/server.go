@@ -384,7 +384,7 @@ func (s *Server) execute(job *Job) {
 	var err error
 	retries := 0
 	for attempt := 0; ; attempt++ {
-		res, err = s.runJobIsolated(jctx, &job.Spec)
+		res, err = s.runJobIsolated(jctx, job)
 		if err == nil || attempt >= s.cfg.Retries || !retryable(ctx, err) {
 			break
 		}
@@ -417,7 +417,13 @@ func (s *Server) execute(job *Job) {
 	}
 
 	s.foldJobMetrics(rec, res, wall)
-	s.observeCompletion(wall)
+	// Result-cache hits cost microseconds; folding them into the EWMA
+	// would collapse the Retry-After estimate under a warm-cache
+	// workload even when cold jobs take minutes. Only jobs that
+	// actually computed (including failures) inform admission.
+	if res == nil || res.Cache != "result" {
+		s.observeCompletion(wall)
+	}
 }
 
 // retryable decides whether a failure is worth another attempt: the
@@ -478,7 +484,7 @@ func cutStagePrefix(name string) (string, bool) {
 // serve glue (outside the runstage-guarded stages) still comes back as
 // a structured StageError instead of unwinding the worker goroutine —
 // which would kill the whole process.
-func (s *Server) runJobIsolated(ctx context.Context, spec *JobSpec) (res *JobResult, err error) {
+func (s *Server) runJobIsolated(ctx context.Context, job *Job) (res *JobResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &runstage.StageError{
@@ -490,18 +496,16 @@ func (s *Server) runJobIsolated(ctx context.Context, spec *JobSpec) (res *JobRes
 			}
 		}
 	}()
-	return s.runJob(ctx, spec)
+	return s.runJob(ctx, job)
 }
 
 // runJob executes one job: result cache, prepared-prefix cache, then
-// the flow.
-func (s *Server) runJob(ctx context.Context, spec *JobSpec) (*JobResult, error) {
-	resultKey, err := spec.ResultKey()
-	if err != nil {
-		return nil, &runstage.StageError{Stage: StageFrontend, Err: err}
-	}
+// the flow. Cache keys were computed once at Submit (hashing an inline
+// PLA is not free) and ride on the job.
+func (s *Server) runJob(ctx context.Context, job *Job) (*JobResult, error) {
+	spec := &job.Spec
 	if !spec.NoResultCache {
-		if cached, ok := s.resCache.get(resultKey); ok {
+		if cached, ok := s.resCache.get(job.resultKey); ok {
 			s.rec.Add("serve.cache.result_hits", 1)
 			res := cached.clone()
 			res.Cache = "result"
@@ -511,7 +515,7 @@ func (s *Server) runJob(ctx context.Context, spec *JobSpec) (*JobResult, error) 
 		s.rec.Add("serve.cache.result_misses", 1)
 	}
 
-	entry, cacheTag, err := s.prepared(ctx, spec)
+	entry, cacheTag, err := s.prepared(ctx, spec, job.prepKey)
 	if err != nil {
 		return nil, err
 	}
@@ -537,7 +541,11 @@ func (s *Server) runJob(ctx context.Context, spec *JobSpec) (*JobResult, error) 
 		return nil, err
 	}
 	res.Cache = cacheTag
-	s.resCache.add(resultKey, res)
+	// Cache a private copy: execute annotates the returned result
+	// (Retries) after it is published here, and concurrent cache
+	// readers clone whatever pointer the LRU holds — sharing one
+	// struct would be a write/read race under -race and in fact.
+	s.resCache.add(job.resultKey, res.clone())
 	return res, nil
 }
 
@@ -546,11 +554,7 @@ func (s *Server) runJob(ctx context.Context, spec *JobSpec) (*JobResult, error) 
 // front end (PLA parse / benchmark generation / decomposition) runs
 // under StageFrontend so its panics and budget blowups are isolated
 // like any pipeline stage.
-func (s *Server) prepared(ctx context.Context, spec *JobSpec) (*prepEntry, string, error) {
-	prepKey, err := spec.PrepKey()
-	if err != nil {
-		return nil, "", &runstage.StageError{Stage: StageFrontend, Err: err}
-	}
+func (s *Server) prepared(ctx context.Context, spec *JobSpec, prepKey string) (*prepEntry, string, error) {
 	if entry, ok := s.prepCache.get(prepKey); ok {
 		s.rec.Add("serve.cache.prepared_hits", 1)
 		return entry, "prepared", nil
@@ -621,7 +625,12 @@ func (s *Server) runSweep(ctx context.Context, entry *prepEntry, cfg flow.Config
 		cfg.IterationTimeout = s.cfg.JobTimeout / time.Duration(len(cfg.KSchedule))
 	}
 	res, err := flow.Run(ctx, entry.pc, cfg)
-	if err != nil && res.Best() == nil {
+	if err != nil {
+		// flow.Run errors only when the sweep was canceled (possibly
+		// with a partial best) or every K failed. A cancellation-
+		// truncated ladder must surface as canceled — and must never
+		// reach the result cache, which promises byte-identical-to-
+		// recompute answers.
 		return nil, err
 	}
 	sums := make([]IterationSummary, 0, len(res.Iterations))

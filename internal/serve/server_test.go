@@ -267,6 +267,35 @@ func TestJobTimeout(t *testing.T) {
 	}
 }
 
+// TestCanceledSweepNotCached is a regression test: a sweep whose job
+// deadline (or cancellation) truncates the K ladder after a completed
+// rung must be recorded as canceled — not done with a truncated
+// Iterations list — and must never reach the result cache, where it
+// would be served to future identical submissions as an exact repeat.
+func TestCanceledSweepNotCached(t *testing.T) {
+	hooks := &runstage.Hooks{Faults: []runstage.Fault{
+		{Stage: runstage.StageMap, K: 1, Delay: 30 * time.Second},
+	}}
+	s, ts := testServer(t, Config{Workers: 1, Hooks: hooks})
+	// Rung K=0 finishes in milliseconds; rung K=1 stalls on the fault
+	// until the job deadline expires with a partial best in hand.
+	_, m := postJob(t, ts, `{"pla":`+strconv.Quote(tinyPLA)+`,"k_schedule":[0,1],"timeout_ms":2000}`)
+	job := waitTerminal(t, s, m["id"].(string))
+	if job.Status() != StatusCanceled {
+		t.Fatalf("status %s, want canceled (deadline mid-sweep)", job.Status())
+	}
+	res, jerr := job.Result()
+	if res != nil {
+		t.Fatalf("truncated sweep reported a result: %+v", res)
+	}
+	if jerr == nil || !jerr.Timeout {
+		t.Fatalf("error %+v, want timeout flag", jerr)
+	}
+	if n := s.resCache.len(); n != 0 {
+		t.Fatalf("result cache holds %d entries; a canceled sweep must never be cached", n)
+	}
+}
+
 func TestMetricsEndpoint(t *testing.T) {
 	s, ts := testServer(t, Config{})
 	_, m := postJob(t, ts, `{"pla":`+strconv.Quote(tinyPLA)+`,"k":0}`)
