@@ -17,6 +17,7 @@ package casyn
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 	"testing"
@@ -439,6 +440,132 @@ func BenchmarkObsOverhead(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_obs.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRouteParallel measures the region-partitioned parallel
+// rip-up/reroute at paper scale: synthetic placed netlists
+// (internal/bench RouteSpec, 100k+ gates with congestion hotspots)
+// routed with Workers: 1 against the full pool (Workers: 0). It
+// reports the rip-up span's wall time on both sides, the speedup, the
+// negotiation round count, and the final overflow — and fails if the
+// parallel overflow differs from the serial baseline, since the
+// negotiation is byte-identical at any worker count. Writes
+// BENCH_route.json so the routing perf trajectory is tracked across
+// PRs; on a single-CPU machine the speedup is honestly ~1.0 — the
+// determinism tests, not this number, guard correctness there. Set
+// CASYN_ROUTE_BENCH_FULL=1 to include the 1M-gate point.
+func BenchmarkRouteParallel(b *testing.B) {
+	gates := []int{100_000, 250_000}
+	if os.Getenv("CASYN_ROUTE_BENCH_FULL") != "" {
+		gates = append(gates, 1_000_000)
+	}
+	type row struct {
+		Gates           int     `json:"gates"`
+		Nets            int     `json:"nets"`
+		Segments        int64   `json:"segments"`
+		SerialRipupNs   int64   `json:"serial_ripup_ns"`
+		ParallelRipupNs int64   `json:"parallel_ripup_ns"`
+		Speedup         float64 `json:"speedup"`
+		Rounds          int     `json:"rounds"`
+		Regions         int64   `json:"regions"`
+		BoundaryNets    int64   `json:"boundary_nets"`
+		InitialOverflow int     `json:"initial_overflow"`
+		FinalOverflow   int     `json:"final_overflow"`
+	}
+	// The testing package may invoke a sub-benchmark several times
+	// (N=1 probe, then the measured run); keep only the last — largest
+	// N — measurement per scale.
+	rowBy := map[int]row{}
+	for _, g := range gates {
+		g := g
+		b.Run(fmt.Sprintf("gates=%d", g), func(b *testing.B) {
+			nl, pl, layout, err := bench.RouteSpecAt(g).Generate()
+			if err != nil {
+				b.Fatal(err)
+			}
+			// The flow's calibrated capacity model, with a longer
+			// negotiation budget: congestion here is real but clearable,
+			// so the rounds do productive work.
+			opts := experiments.RouteOpts()
+			opts.RipupIterations = 6
+			type outcome struct {
+				ripup time.Duration
+				res   *route.Result
+				snap  obs.Snapshot
+			}
+			run := func(workers int) outcome {
+				o := opts
+				o.Workers = workers
+				rec := obs.New()
+				ctx := obs.WithRecorder(context.Background(), rec)
+				res, err := route.RouteNetlist(ctx, nl, pl, layout, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				out := outcome{res: res, snap: rec.Snapshot()}
+				for _, s := range out.snap.Spans {
+					if s.Name == "route.ripup" {
+						out.ripup = s.Wall
+					}
+				}
+				return out
+			}
+			run(0) // warm the allocator so run order doesn't bias the ratio
+			var serial, parallel time.Duration
+			var so, po outcome
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				so = run(1)
+				serial += so.ripup
+				po = run(0)
+				parallel += po.ripup
+			}
+			b.StopTimer()
+			if so.res.Violations != po.res.Violations {
+				b.Fatalf("parallel overflow %d != serial baseline %d",
+					po.res.Violations, so.res.Violations)
+			}
+			if so.res.RipupRounds == 0 {
+				b.Fatal("benchmark circuit routed without congestion — nothing to negotiate")
+			}
+			speedup := float64(serial) / float64(parallel)
+			b.ReportMetric(serial.Seconds()/float64(b.N), "serial-ripup-s")
+			b.ReportMetric(parallel.Seconds()/float64(b.N), "parallel-ripup-s")
+			b.ReportMetric(speedup, "speedup")
+			b.ReportMetric(float64(po.res.Violations), "overflow")
+			rowBy[g] = row{
+				Gates:           g,
+				Nets:            len(nl.Nets),
+				Segments:        po.snap.Counters["route.segments"],
+				SerialRipupNs:   serial.Nanoseconds() / int64(b.N),
+				ParallelRipupNs: parallel.Nanoseconds() / int64(b.N),
+				Speedup:         speedup,
+				Rounds:          po.res.RipupRounds,
+				Regions:         po.snap.Counters["route.regions"],
+				BoundaryNets:    po.snap.Counters["route.boundary_nets"],
+				InitialOverflow: int(po.snap.Histograms["route.round_overflow"].Max),
+				FinalOverflow:   po.res.Violations,
+			}
+		})
+	}
+	var rows []row
+	for _, g := range gates {
+		if r, ok := rowBy[g]; ok {
+			rows = append(rows, r)
+		}
+	}
+	artifact := struct {
+		Bench   string `json:"bench"`
+		Workers int    `json:"workers"`
+		Rows    []row  `json:"rows"`
+	}{Bench: "route-ripup-parallel", Workers: runtime.GOMAXPROCS(0), Rows: rows}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_route.json", append(data, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

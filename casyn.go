@@ -75,8 +75,10 @@ type Options struct {
 	// no bound.
 	StageTimeout time.Duration
 	// Workers bounds the goroutines of the covering and routing
-	// fan-outs (0 = all CPUs, 1 = serial). The result is identical for
-	// every value; only wall-clock time changes.
+	// fan-outs — including the rip-up/reroute negotiation, which
+	// routes spatially disjoint congestion regions concurrently —
+	// (0 = all CPUs, 1 = serial). The result is identical for every
+	// value; only wall-clock time changes.
 	Workers int
 	// Verify runs the combinational equivalence checker over the
 	// pipeline: the decomposed subject DAG is checked against the

@@ -1,15 +1,20 @@
 // Command benchgen emits the synthetic benchmark circuits as Berkeley
-// PLA files so they can be inspected or fed to other tools.
+// PLA files so they can be inspected or fed to other tools, and the
+// paper-scale routing benchmarks (placed netlists, 100k–1M gates) as
+// plain-text placement+netlist dumps.
 //
 // Usage:
 //
 //	benchgen -out ./benchmarks
 //	benchgen -bench spla -scale 0.1 -out .
+//	benchgen -route 100000 -out ./benchmarks
+//	benchgen -route-ladder -out ./benchmarks
 //
 // Exit codes: 0 success, 1 generation or I/O error, 2 usage.
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -38,9 +43,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		outDir    = fs.String("out", ".", "output directory")
-		benchName = fs.String("bench", "", "single class to emit (spla, pdc); default: all PLA classes")
-		scale     = fs.Float64("scale", 1.0, "benchmark scale factor")
+		outDir      = fs.String("out", ".", "output directory")
+		benchName   = fs.String("bench", "", "single class to emit (spla, pdc); default: all PLA classes")
+		scale       = fs.Float64("scale", 1.0, "benchmark scale factor")
+		routeGates  = fs.Int("route", 0, "emit the paper-scale routing benchmark for this gate count instead of PLAs")
+		routeLadder = fs.Bool("route-ladder", false, "emit the full routing benchmark ladder (100k, 250k, 1M gates)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -49,6 +56,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fail("unexpected arguments: %v", fs.Args())
 		fs.Usage()
 		return exitUsage
+	}
+	if *routeGates != 0 || *routeLadder {
+		if *benchName != "" {
+			fail("-route/-route-ladder and -bench are mutually exclusive")
+			return exitUsage
+		}
+		specs := bench.PaperRouteSpecs()
+		if *routeGates != 0 {
+			specs = []bench.RouteSpec{bench.RouteSpecAt(*routeGates)}
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fail("%v", err)
+			return exitErr
+		}
+		for _, spec := range specs {
+			if err := ctx.Err(); err != nil {
+				fail("canceled: %v", err)
+				return exitErr
+			}
+			if err := emitRoute(spec, *outDir, stdout); err != nil {
+				fail("%v", err)
+				return exitErr
+			}
+		}
+		return exitOK
 	}
 
 	classes := []bench.Class{bench.SPLA, bench.PDC}
@@ -101,4 +133,46 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			path, s.Inputs, s.Outputs, s.Terms, s.Literals)
 	}
 	return exitOK
+}
+
+// emitRoute generates one paper-scale routing benchmark and writes it
+// as a plain-text placed netlist: a header with the die geometry, one
+// `cell i x y w` line per placed cell, one `net c1 c2 ...` line per
+// hyperedge. The format is deliberately trivial — these dumps exist so
+// other routers can be pointed at the exact circuits BENCH_route.json
+// was measured on.
+func emitRoute(spec bench.RouteSpec, outDir string, stdout io.Writer) error {
+	nl, pl, layout, err := spec.Generate()
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, spec.Name+".routebench")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	fmt.Fprintf(w, "# casyn routing benchmark %s (deterministic, seed %#x)\n", spec.Name, spec.Seed)
+	fmt.Fprintf(w, "die %g %g %g %g rowheight %g\n",
+		layout.Die.Min.X, layout.Die.Min.Y, layout.Die.Max.X, layout.Die.Max.Y, layout.RowHeight)
+	fmt.Fprintf(w, "cells %d nets %d\n", len(nl.Widths), len(nl.Nets))
+	for i, width := range nl.Widths {
+		fmt.Fprintf(w, "cell %d %g %g %g\n", i, pl.Pos[i].X, pl.Pos[i].Y, width)
+	}
+	for _, n := range nl.Nets {
+		w.WriteString("net")
+		for _, c := range n.Cells {
+			fmt.Fprintf(w, " %d", c)
+		}
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s: %d cells, %d nets\n", path, len(nl.Widths), len(nl.Nets))
+	return nil
 }

@@ -108,3 +108,45 @@ func TestCanceledContext(t *testing.T) {
 		t.Errorf("stderr %q does not mention cancellation", errb.String())
 	}
 }
+
+func TestEmitRouteBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	code, stdout, stderr := runCLI(t, "-route", "2000", "-out", dir)
+	if code != exitOK {
+		t.Fatalf("exit %d, want 0 (stderr %q)", code, stderr)
+	}
+	path := filepath.Join(dir, "route-2k.routebench")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.Contains(text, "cells 2000 ") {
+		t.Errorf("dump missing cells header:\n%.200s", text)
+	}
+	if !strings.Contains(text, "\nnet ") || !strings.Contains(text, "\ncell 1999 ") {
+		t.Error("dump missing cell or net records")
+	}
+	if !strings.Contains(stdout, "2000 cells") {
+		t.Errorf("stdout %q missing summary", stdout)
+	}
+	// Determinism: a second emission is byte-identical.
+	dir2 := t.TempDir()
+	if code, _, stderr := runCLI(t, "-route", "2000", "-out", dir2); code != exitOK {
+		t.Fatalf("second run: exit %d (stderr %q)", code, stderr)
+	}
+	again, err := os.ReadFile(filepath.Join(dir2, "route-2k.routebench"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != text {
+		t.Error("route benchmark emission is not deterministic")
+	}
+}
+
+func TestRouteAndBenchExclusive(t *testing.T) {
+	code, _, _ := runCLI(t, "-route", "2000", "-bench", "spla")
+	if code != exitUsage {
+		t.Fatalf("exit %d, want %d", code, exitUsage)
+	}
+}

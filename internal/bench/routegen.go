@@ -1,0 +1,245 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"casyn/internal/geom"
+	"casyn/internal/place"
+)
+
+// RouteSpec parameterizes the paper-scale routing benchmark generator:
+// a synthetic *placed* netlist of 100k–1M cells with realistic net
+// locality plus deliberate congestion hotspots. Running the full
+// synthesis flow at these sizes would take hours per data point, so
+// the generator emits the router's input directly — a legal row-based
+// placement and a hypergraph whose wiring statistics (short local
+// nets, a thin tail of die-spanning nets, hotspot pile-ups) reproduce
+// the congestion profile the rip-up/reroute negotiation exists to
+// clear. Generation is fully deterministic given the seed.
+type RouteSpec struct {
+	Name string
+	// Gates is the placed-cell count; the main size knob.
+	Gates int
+	// NetsPerGate sets the hyperedge count (default 1.15, a typical
+	// post-mapping net/cell ratio).
+	NetsPerGate float64
+	// Utilization is the row fill fraction (default 0.80, the paper's
+	// densest working point).
+	Utilization float64
+	// LocalSpan sets net locality: the standard deviation of a sink's
+	// offset from its anchor is LocalSpan×dieWidth (default 0.008 —
+	// post-placement nets overwhelmingly connect near neighbors).
+	LocalSpan float64
+	// GlobalFrac is the fraction of nets whose sinks ignore locality
+	// entirely (default 0.005); these are the die-crossing wires, and
+	// each one carries ~50× the track demand of a local net, so the
+	// default keeps them a Rent-style thin tail.
+	GlobalFrac float64
+	// Hotspots is the number of congestion hotspots (default 3);
+	// HotspotFrac is the fraction of nets that anchor at one (default
+	// 0.02). Hotspot nets pull wiring from a wide surround through a
+	// small center region, which is what overloads its edges — the
+	// default is calibrated so the initial routing overflows around
+	// the hotspots but the negotiation can detour most of it away.
+	Hotspots    int
+	HotspotFrac float64
+	Seed        int64
+}
+
+func (s *RouteSpec) defaults() {
+	if s.NetsPerGate == 0 {
+		s.NetsPerGate = 1.15
+	}
+	if s.Utilization == 0 {
+		s.Utilization = 0.80
+	}
+	if s.LocalSpan == 0 {
+		s.LocalSpan = 0.008
+	}
+	if s.GlobalFrac == 0 {
+		s.GlobalFrac = 0.005
+	}
+	if s.Hotspots == 0 {
+		s.Hotspots = 3
+	}
+	if s.HotspotFrac == 0 {
+		s.HotspotFrac = 0.012
+	}
+}
+
+// RouteSpecAt returns the calibrated routing benchmark for a target
+// gate count.
+func RouteSpecAt(gates int) RouteSpec {
+	return RouteSpec{
+		Name:  fmt.Sprintf("route-%dk", gates/1000),
+		Gates: gates,
+		Seed:  0x407e + int64(gates),
+	}
+}
+
+// PaperRouteSpecs returns the standard ladder of paper-scale routing
+// benchmarks (100k, 250k, 1M gates).
+func PaperRouteSpecs() []RouteSpec {
+	return []RouteSpec{
+		RouteSpecAt(100_000),
+		RouteSpecAt(250_000),
+		RouteSpecAt(1_000_000),
+	}
+}
+
+// routeRowHeight matches the layout convention of the rest of the
+// flow (library cells are one 5 µm row tall).
+const routeRowHeight = 5.0
+
+// Generate builds the placed netlist: the layout, a legal row-based
+// placement, and the hypergraph.
+func (s RouteSpec) Generate() (*place.Netlist, *place.Placement, place.Layout, error) {
+	s.defaults()
+	if s.Gates < 16 {
+		return nil, nil, place.Layout{}, fmt.Errorf("bench: route spec needs ≥16 gates, got %d", s.Gates)
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+
+	// Cell widths: 3.5–6.5 µm, the mapped library's spread.
+	nl := &place.Netlist{Widths: make([]float64, s.Gates)}
+	total := 0.0
+	for i := range nl.Widths {
+		w := 3.5 + 3.0*rng.Float64()
+		nl.Widths[i] = w
+		total += w
+	}
+	layout, err := place.NewLayout(total*routeRowHeight/s.Utilization, 1.0, routeRowHeight)
+	if err != nil {
+		return nil, nil, place.Layout{}, err
+	}
+
+	// Legal placement: pack cells row-major, left to right, restarting
+	// each row at the die edge. The per-row budget leaves the target
+	// utilization's whitespace spread uniformly.
+	pl := &place.Placement{
+		Pos: make([]geom.Point, s.Gates),
+		Row: make([]int, s.Gates),
+	}
+	rowW := layout.Die.W()
+	gap := (rowW*float64(layout.NumRows) - total) / float64(s.Gates)
+	if gap < 0 {
+		gap = 0
+	}
+	row, cursor := 0, 0.0
+	rowStart := []int{0} // first cell index of each row, for point→cell lookup
+	for i, w := range nl.Widths {
+		if cursor+w > rowW && row < layout.NumRows-1 {
+			row++
+			cursor = 0
+			rowStart = append(rowStart, i)
+		}
+		pl.Pos[i] = geom.Pt(
+			layout.Die.Min.X+cursor+w/2,
+			layout.Die.Min.Y+(float64(row)+0.5)*routeRowHeight,
+		)
+		pl.Row[i] = row
+		cursor += w + gap
+	}
+	rowStart = append(rowStart, s.Gates)
+
+	// cellNear maps a die point to the placed cell closest to it in
+	// the row-major order (approximate within a row; exact row).
+	cellNear := func(p geom.Point) int {
+		r := int((p.Y - layout.Die.Min.Y) / routeRowHeight)
+		if r < 0 {
+			r = 0
+		}
+		if r >= len(rowStart)-1 {
+			r = len(rowStart) - 2
+		}
+		lo, hi := rowStart[r], rowStart[r+1]
+		if hi <= lo {
+			return lo
+		}
+		frac := (p.X - layout.Die.Min.X) / rowW
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		i := lo + int(frac*float64(hi-lo))
+		if i >= hi {
+			i = hi - 1
+		}
+		return i
+	}
+	clampPt := func(x, y float64) geom.Point {
+		return geom.Pt(
+			math.Min(math.Max(x, layout.Die.Min.X), layout.Die.Max.X),
+			math.Min(math.Max(y, layout.Die.Min.Y), layout.Die.Max.Y),
+		)
+	}
+
+	// Hotspot centers: well-separated interior points. Separation
+	// matters — it is what lets the router's region partitioner give
+	// each congested blob its own concurrent region, and it reflects
+	// reality (distinct high-fanout structures congest distinct
+	// neighborhoods, not one merged smear).
+	hotFracs := [][2]float64{
+		{0.24, 0.26}, {0.74, 0.32}, {0.36, 0.76}, {0.78, 0.78},
+		{0.22, 0.52}, {0.55, 0.14}, {0.60, 0.55}, {0.14, 0.80},
+	}
+	hot := make([]geom.Point, s.Hotspots)
+	for h := range hot {
+		f := hotFracs[h%len(hotFracs)]
+		hot[h] = geom.Pt(
+			layout.Die.Min.X+f[0]*layout.Die.W(),
+			layout.Die.Min.Y+f[1]*layout.Die.H(),
+		)
+	}
+
+	sigma := s.LocalSpan * layout.Die.W()
+	numNets := int(float64(s.Gates) * s.NetsPerGate)
+	nl.Nets = make([]place.Net, 0, numNets)
+	for n := 0; n < numNets; n++ {
+		deg := 2 + rng.Intn(3) // 2–4 pins
+		cells := make([]int, 0, deg)
+		seen := map[int]bool{}
+		add := func(c int) {
+			if !seen[c] {
+				seen[c] = true
+				cells = append(cells, c)
+			}
+		}
+		switch {
+		case rng.Float64() < s.HotspotFrac:
+			// Hotspot net: anchor near a center, sinks pulled from a
+			// wide surround — the wiring funnels through the center.
+			c := hot[rng.Intn(len(hot))]
+			hs := 0.035 * layout.Die.W()
+			add(cellNear(clampPt(c.X+rng.NormFloat64()*sigma, c.Y+rng.NormFloat64()*sigma)))
+			for len(cells) < deg {
+				add(cellNear(clampPt(c.X+rng.NormFloat64()*hs, c.Y+rng.NormFloat64()*hs)))
+			}
+		case rng.Float64() < s.GlobalFrac:
+			// Global net: uniform pins across the die.
+			for len(cells) < deg {
+				add(rng.Intn(s.Gates))
+			}
+		default:
+			// Local net: anchor anywhere, sinks a Gaussian hop away.
+			a := rng.Intn(s.Gates)
+			add(a)
+			p := pl.Pos[a]
+			for len(cells) < deg {
+				add(cellNear(clampPt(p.X+rng.NormFloat64()*sigma, p.Y+rng.NormFloat64()*sigma)))
+			}
+		}
+		if len(cells) < 2 {
+			continue
+		}
+		nl.Nets = append(nl.Nets, place.Net{Cells: cells})
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, nil, place.Layout{}, err
+	}
+	return nl, pl, layout, nil
+}

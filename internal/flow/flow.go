@@ -101,7 +101,8 @@ type Config struct {
 	// selection, degrade records, truncation at the first routable K —
 	// is identical to the serial sweep. Workers is also forwarded to
 	// the per-tree covering fan-out and, when RouteOpts.Workers is
-	// unset, to the router's first pass.
+	// unset, to the router — both its first pass and the parallel
+	// region-partitioned rip-up/reroute negotiation.
 	Workers int
 }
 

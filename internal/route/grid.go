@@ -35,8 +35,14 @@ type Options struct {
 	// UtilizationPenalty scales how much local cell density eats
 	// routing capacity over the cells (default 0.35).
 	UtilizationPenalty float64
-	// RipupIterations bounds the reroute loop (default 3).
+	// RipupIterations bounds the rip-up/reroute negotiation rounds.
+	// 0 means "use the default" (3); a negative value disables rip-up
+	// entirely, equivalent to setting DisableRipup.
 	RipupIterations int
+	// DisableRipup skips the rip-up/reroute negotiation, leaving the
+	// first-pass pattern routing as the final result. The explicit form
+	// of the RipupIterations < 0 contract.
+	DisableRipup bool
 	// CapacityScale multiplies every edge capacity (default 1). The
 	// experiment configurations use it to calibrate this global
 	// router's capacity model against the commercial detailed router
@@ -45,10 +51,13 @@ type Options struct {
 	CapacityScale float64
 	// CongestionExponent shapes the maze router's edge cost (default 2).
 	CongestionExponent float64
-	// Workers bounds the goroutines of the initial routing sweep:
-	// 0 = runtime.GOMAXPROCS, 1 = serial. Results are identical for
-	// every value — the sweep works in fixed batches against an
-	// immutable congestion snapshot, so only wall-clock time changes.
+	// Workers bounds the goroutines of the initial routing sweep and of
+	// the rip-up/reroute negotiation: 0 = runtime.GOMAXPROCS,
+	// 1 = serial. Results are byte-identical for every value — the
+	// sweep works in fixed batches against an immutable congestion
+	// snapshot, and rip-up routes spatially disjoint regions whose
+	// partition never depends on the worker count — so only wall-clock
+	// time changes.
 	Workers int
 }
 
@@ -67,6 +76,10 @@ func (o *Options) defaults(layout place.Layout) {
 	}
 	if o.RipupIterations == 0 {
 		o.RipupIterations = 3
+	}
+	if o.DisableRipup || o.RipupIterations < 0 {
+		o.DisableRipup = true
+		o.RipupIterations = 0
 	}
 	if o.CongestionExponent == 0 {
 		o.CongestionExponent = 2

@@ -1,11 +1,11 @@
 package route
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"casyn/internal/geom"
 	"casyn/internal/obs"
@@ -15,11 +15,47 @@ import (
 
 // Histogram bucket bounds for the router's observability metrics. The
 // congestion bounds bracket the interesting region around capacity
-// (1.0); the HPWL bounds are logarithmic in µm.
+// (1.0); the HPWL bounds are logarithmic in µm, as are the per-round
+// overflow and region-population bounds.
 var (
 	congestionBounds = []float64{0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1, 1.25, 1.5, 2}
 	hpwlBounds       = []float64{5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+	overflowBounds   = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000}
+	regionSegBounds  = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 )
+
+// cancelCadence is how many inner-loop work items (segments applied or
+// rerouted) pass between cooperative ctx checks. Shared by the
+// first-pass and rip-up paths — including the per-region workers of
+// the parallel negotiation, which each run their own checker — so the
+// router's cancellation latency is one cadence of its cheapest unit of
+// work no matter which phase is running.
+const cancelCadence = 64
+
+// ctxErr returns the router's wrapped error when ctx is done.
+func ctxErr(ctx context.Context) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("route: canceled: %w", cerr)
+	}
+	return nil
+}
+
+// cancelChecker amortizes ctx checks over cancelCadence ticks. The
+// zero value is not usable; construct with the ctx to watch. tick
+// returns the raw ctx error (callers wrap via ctxErr at the phase
+// boundary where the error is surfaced).
+type cancelChecker struct {
+	ctx context.Context
+	n   int
+}
+
+func (c *cancelChecker) tick() error {
+	c.n++
+	if c.n%cancelCadence != 0 {
+		return nil
+	}
+	return c.ctx.Err()
+}
 
 // Result is a completed global routing.
 type Result struct {
@@ -40,20 +76,33 @@ type Result struct {
 	NetLength []float64
 	// MaxCongestion is the worst edge usage/capacity ratio.
 	MaxCongestion float64
+	// RipupRounds is the number of negotiation rounds that ran.
+	RipupRounds int
 }
 
 // Routable reports whether the layout routed without violations: no
 // connection crosses an over-capacity edge.
 func (r *Result) Routable() bool { return r.FailedConnections == 0 && r.Violations == 0 }
 
+// twoPin is one routed two-pin segment of a net's spanning tree.
+type twoPin struct {
+	net  int
+	a, b [2]int
+	path []edge
+}
+
 // RouteNetlist globally routes the placed netlist. Pads participate as
 // ordinary terminals. The cell-density capacity derate is computed
 // from the placement itself.
 //
 // Cancellation is cooperative: the initial pattern-routing sweep and
-// every rip-up/reroute iteration check ctx periodically and return a
-// wrapped ctx error promptly when it is canceled or its deadline
-// passes.
+// every rip-up/reroute round check ctx periodically (every
+// cancelCadence segments) and return a wrapped ctx error promptly when
+// it is canceled or its deadline passes.
+//
+// Both the first pass and the rip-up/reroute negotiation fan out
+// across opts.Workers goroutines; results are byte-identical for every
+// worker count (see the package comment in regions.go for why).
 func RouteNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, layout place.Layout, opts Options) (*Result, error) {
 	if len(pl.Pos) != nl.NumCells() {
 		return nil, fmt.Errorf("route: placement for %d cells, netlist has %d", len(pl.Pos), nl.NumCells())
@@ -67,22 +116,21 @@ func RouteNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, l
 	if err != nil {
 		return nil, err
 	}
-	r := &router{grid: g, opts: opts}
+	r := newRouter(g, opts)
 
 	// Decompose every net into two-pin segments over gcell terminals.
-	type segment struct {
-		net  int
-		a, b [2]int
-		path []edge
-	}
-	var segs []segment
+	// The terminal buffer is reused across nets (profile-driven: a
+	// fresh dedup map per net dominated setup time at 100k+ nets).
+	var segs []twoPin
+	var ptsBuf [][2]int
 	for ni := range nl.Nets {
-		pts := terminalCells(g, nl, pl, ni)
+		pts := terminalCells(g, nl, pl, ni, ptsBuf[:0])
+		ptsBuf = pts
 		if len(pts) < 2 {
 			continue
 		}
 		for _, pr := range mstPairs(g, pts) {
-			segs = append(segs, segment{net: ni, a: pr[0], b: pr[1]})
+			segs = append(segs, twoPin{net: ni, a: pr[0], b: pr[1]})
 		}
 	}
 	// Longer segments first: they have the least routing flexibility.
@@ -91,13 +139,6 @@ func RouteNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, l
 		dj := abs(segs[j].a[0]-segs[j].b[0]) + abs(segs[j].a[1]-segs[j].b[1])
 		return di > dj
 	})
-
-	canceled := func() error {
-		if cerr := ctx.Err(); cerr != nil {
-			return fmt.Errorf("route: canceled: %w", cerr)
-		}
-		return nil
-	}
 
 	rec := obs.From(ctx)
 	rec.Add("route.nets", int64(len(nl.Nets)))
@@ -111,13 +152,10 @@ func RouteNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, l
 	// in segment order before the next batch sees the grid. Batch
 	// boundaries depend only on the segment indices — never on the
 	// worker count — so the routing is byte-identical for any Workers
-	// value, and each batch boundary is a cancellation point.
+	// value, and the serial apply loop is the cancellation point.
 	const firstPassBatch = 256
+	applyCheck := cancelChecker{ctx: ctx}
 	for start := 0; start < len(segs); start += firstPassBatch {
-		if err := canceled(); err != nil {
-			fpSpan.End(err)
-			return nil, err
-		}
 		end := start + firstPassBatch
 		if end > len(segs) {
 			end = len(segs)
@@ -132,65 +170,25 @@ func RouteNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, l
 			return nil, err
 		}
 		for j := range batch {
+			if err := applyCheck.tick(); err != nil {
+				err = fmt.Errorf("route: canceled: %w", err)
+				fpSpan.End(err)
+				return nil, err
+			}
 			for _, e := range batch[j].path {
 				g.addUsage(e, 1)
 			}
 		}
 	}
 	fpSpan.End(nil)
-	// Rip-up and reroute segments crossing overflowed edges. This loop
-	// stays serial: negotiated congestion is inherently sequential
-	// (every reroute must see the previous one's usage), and it touches
-	// only the minority of segments crossing hot spots.
-	ripupIters := rec.Counter("route.ripup_iterations")
-	reroutes := rec.Counter("route.reroutes")
-	_, ripSpan := rec.StartSpan(ctx, "route.ripup")
-	for iter := 0; iter < opts.RipupIterations; iter++ {
-		if err := canceled(); err != nil {
-			ripSpan.End(err)
-			return nil, err
-		}
-		if g.TotalOverflow() == 0 {
-			break
-		}
-		ripupIters.Add(1)
-		r.bumpHistory()
-		rerouted := 0
-		for i := range segs {
-			bad := false
-			for _, e := range segs[i].path {
-				if g.overflowOf(e) > 0 {
-					bad = true
-					break
-				}
-			}
-			if !bad {
-				continue
-			}
-			if rerouted%64 == 63 {
-				if err := canceled(); err != nil {
-					ripSpan.End(err)
-					return nil, err
-				}
-			}
-			for _, e := range segs[i].path {
-				g.addUsage(e, -1)
-			}
-			segs[i].path = r.mazeRoute(segs[i].a, segs[i].b)
-			for _, e := range segs[i].path {
-				g.addUsage(e, 1)
-			}
-			rerouted++
-		}
-		reroutes.Add(int64(rerouted))
-		if rerouted == 0 {
-			break
-		}
+
+	rounds, err := r.negotiate(ctx, rec, segs)
+	if err != nil {
+		return nil, err
 	}
-	ripSpan.End(nil)
 
 	// Collect results.
-	res := &Result{Grid: g, NetLength: make([]float64, len(nl.Nets))}
+	res := &Result{Grid: g, NetLength: make([]float64, len(nl.Nets)), RipupRounds: rounds}
 	for i := range segs {
 		l := 0.0
 		failed := false
@@ -228,12 +226,131 @@ func RouteNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, l
 	return res, nil
 }
 
+// negotiate is the congestion negotiation: rip up and reroute every
+// segment crossing an overflowed edge, round by round, until the
+// overflow clears or the round budget runs out. Each round
+//
+//  1. freezes the failing set against the start-of-round congestion,
+//  2. partitions it into spatially disjoint regions plus per-depth
+//     boundary buckets of segments straddling the cut lines
+//     (regions.go),
+//  3. maze-routes the regions concurrently on opts.Workers goroutines
+//     — regions are edge-disjoint, so every worker reads and writes
+//     only its own rectangle of the shared grid: the rest of the grid
+//     is an immutable start-of-round snapshot from its point of view,
+//     and its own writes are the region-local deltas,
+//  4. routes the boundary buckets level by level, deepest first —
+//     buckets within a level are edge-disjoint and run concurrently;
+//     each bucket itself is routed serially against the settled grid.
+//
+// Within a region and within each boundary bucket, segments negotiate
+// in ascending global index order, each reroute seeing its
+// predecessors' usage — the sequential discipline negotiated
+// congestion requires, applied per disjoint region. The partition, the
+// per-region order, and the phase boundaries depend only on the
+// failing set and the grid geometry, so the outcome is byte-identical
+// at any worker count. Returns the number of rounds that ran.
+func (r *router) negotiate(ctx context.Context, rec *obs.Recorder, segs []twoPin) (int, error) {
+	g := r.grid
+	// Register the negotiation counters up front so a clean routing
+	// (zero rounds) still exports them at zero.
+	ripupIters := rec.Counter("route.ripup_iterations")
+	reroutes := rec.Counter("route.reroutes")
+	regionsTotal := rec.Counter("route.regions")
+	boundaryTotal := rec.Counter("route.boundary_nets")
+	roundOverflow := rec.Histogram("route.round_overflow", overflowBounds)
+	regionSize := rec.Histogram("route.region_segments", regionSegBounds)
+	_, ripSpan := rec.StartSpan(ctx, "route.ripup")
+	all := gridRect{X0: 0, Y0: 0, X1: g.NX - 1, Y1: g.NY - 1}
+	rounds := 0
+	for iter := 0; iter < r.opts.RipupIterations; iter++ {
+		if err := ctxErr(ctx); err != nil {
+			ripSpan.End(err)
+			return rounds, err
+		}
+		overflow := g.TotalOverflow()
+		if overflow == 0 {
+			break
+		}
+		rounds++
+		roundOverflow.Observe(float64(overflow))
+		ripupIters.Add(1)
+		r.bumpHistory()
+		// Freeze the failing set against the start-of-round state.
+		var fail []int
+		var terr []gridRect
+		for i := range segs {
+			for _, e := range segs[i].path {
+				if g.overflowOf(e) > 0 {
+					fail = append(fail, i)
+					terr = append(terr, g.territory(segs[i].a, segs[i].b))
+					break
+				}
+			}
+		}
+		if len(fail) == 0 {
+			break
+		}
+		plan := partitionRegions(fail, terr, all)
+		regionsTotal.Add(int64(len(plan.Regions)))
+		boundaryTotal.Add(int64(plan.boundaryCount()))
+		for _, reg := range plan.Regions {
+			regionSize.Observe(float64(len(reg)))
+		}
+		// runBuckets fans a set of edge-disjoint segment lists across
+		// the worker pool, each list routed serially in ascending order.
+		runBuckets := func(buckets [][]int) error {
+			return par.ForEach(ctx, r.opts.Workers, len(buckets), func(bi int) error {
+				s := r.scratch.Get().(*mazeScratch)
+				defer r.scratch.Put(s)
+				check := cancelChecker{ctx: ctx}
+				for _, i := range buckets[bi] {
+					if err := check.tick(); err != nil {
+						return err
+					}
+					r.reroute(s, &segs[i])
+				}
+				return nil
+			})
+		}
+		if err := runBuckets(plan.Regions); err != nil {
+			err = fmt.Errorf("route: canceled: %w", err)
+			ripSpan.End(err)
+			return rounds, err
+		}
+		// Boundary buckets: deepest level first, each level's buckets
+		// concurrent, seeing everything inside their rectangles settled.
+		for d := len(plan.BoundaryLevels) - 1; d >= 0; d-- {
+			if err := runBuckets(plan.BoundaryLevels[d]); err != nil {
+				err = fmt.Errorf("route: canceled: %w", err)
+				ripSpan.End(err)
+				return rounds, err
+			}
+		}
+		reroutes.Add(int64(len(fail)))
+	}
+	ripSpan.End(nil)
+	return rounds, nil
+}
+
+// reroute rips up one segment's usage and maze-routes it against the
+// current congestion.
+func (r *router) reroute(s *mazeScratch, sg *twoPin) {
+	for _, e := range sg.path {
+		r.grid.addUsage(e, -1)
+	}
+	sg.path = r.mazeRoute(s, sg.a, sg.b)
+	for _, e := range sg.path {
+		r.grid.addUsage(e, 1)
+	}
+}
+
 // recordRouteMetrics fills the router's observability signals: the
 // per-gcell congestion histogram (the paper's Figure 3 decision
 // input), the net half-perimeter wirelength distribution, and the
 // outcome counters. Runs serially after the collect pass, so every
 // observation order — and therefore every histogram min/max — is
-// deterministic regardless of the first pass's worker count.
+// deterministic regardless of the routing phases' worker counts.
 func recordRouteMetrics(rec *obs.Recorder, nl *place.Netlist, pl *place.Placement, g *Grid, res *Result) {
 	ch := rec.Histogram("route.congestion", congestionBounds)
 	for _, row := range g.CongestionMap() {
@@ -304,17 +421,20 @@ func cellDensity(nl *place.Netlist, pl *place.Placement, layout place.Layout, op
 	return m, nil
 }
 
-// terminalCells maps a net's endpoints to distinct gcells.
-func terminalCells(g *Grid, nl *place.Netlist, pl *place.Placement, ni int) [][2]int {
-	seen := map[[2]int]bool{}
-	var out [][2]int
+// terminalCells maps a net's endpoints to distinct gcells, appending
+// into buf (pass buf[:0] to reuse its backing array). Dedup is a
+// linear scan: nets have a handful of terminals, and avoiding a map
+// per net is a measured win at paper scale.
+func terminalCells(g *Grid, nl *place.Netlist, pl *place.Placement, ni int, buf [][2]int) [][2]int {
+	out := buf
 	add := func(p geom.Point) {
 		x, y := g.GCellOf(p)
-		k := [2]int{x, y}
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, k)
+		for _, k := range out {
+			if k[0] == x && k[1] == y {
+				return
+			}
 		}
+		out = append(out, [2]int{x, y})
 	}
 	for _, c := range nl.Nets[ni].Cells {
 		add(pl.Pos[c])
@@ -391,10 +511,30 @@ func clampInt(v, lo, hi int) int {
 	return v
 }
 
-// router carries the mutable routing state.
+// router carries the routing state shared by all workers: the grid,
+// the options, and the maze-scratch pool. The grid is only ever
+// mutated from one goroutine at a time per edge (regions are
+// edge-disjoint; serial phases own the whole grid), so the router
+// itself needs no locks.
 type router struct {
 	grid *Grid
 	opts Options
+	// squareCost short-circuits math.Pow on the hot path for the
+	// default CongestionExponent of 2 (math.Pow(x, 2) computes exactly
+	// x*x, so the results are bit-identical).
+	squareCost bool
+	// scratch pools the per-worker maze-routing buffers.
+	scratch sync.Pool
+}
+
+func newRouter(g *Grid, opts Options) *router {
+	r := &router{
+		grid:       g,
+		opts:       opts,
+		squareCost: opts.CongestionExponent == 2,
+	}
+	r.scratch.New = func() any { return &mazeScratch{} }
+	return r
 }
 
 // edgeCost is the congestion-aware cost of pushing one more track
@@ -413,7 +553,12 @@ func (r *router) edgeCost(e edge) float64 {
 	}
 	over := (usage + 1) / cap2
 	if over > 0.8 {
-		cost += math.Pow(over-0.8, r.opts.CongestionExponent) * 32
+		if r.squareCost {
+			d := over - 0.8
+			cost += d * d * 32
+		} else {
+			cost += math.Pow(over-0.8, r.opts.CongestionExponent) * 32
+		}
 	}
 	return cost
 }
@@ -460,7 +605,7 @@ func (r *router) pathCost(p []edge) float64 {
 // lPath builds the L route from a to b, horizontal-first or
 // vertical-first.
 func (r *router) lPath(a, b [2]int, horizontalFirst bool) []edge {
-	var p []edge
+	p := make([]edge, 0, abs(a[0]-b[0])+abs(a[1]-b[1]))
 	hseg := func(y, x0, x1 int) {
 		if x0 > x1 {
 			x0, x1 = x1, x0
@@ -487,88 +632,145 @@ func (r *router) lPath(a, b [2]int, horizontalFirst bool) []edge {
 	return p
 }
 
-// mazeRoute finds the min-cost path with Dijkstra over the grid.
+// mazeHalo is the detour margin in gcells around a segment's terminal
+// bounding box. Real global routers confine nets near their bounding
+// box (timing and via budgets); an unbounded maze would launder
+// structural congestion into die-wide detours. The region partitioner
+// relies on it: a segment's territory (regions.go) is its terminal
+// bounding box expanded by exactly this halo.
+const mazeHalo = 2
+
+// pqItem is one entry of the maze router's binary min-heap. node
+// indexes the box-local Dijkstra arrays.
 type pqItem struct {
-	node int
+	node int32
 	cost float64
 }
-type pq []pqItem
 
-func (p pq) Len() int            { return len(p) }
-func (p pq) Less(i, j int) bool  { return p[i].cost < p[j].cost }
-func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() interface{} {
-	old := *p
-	n := len(old)
-	it := old[n-1]
-	*p = old[:n-1]
-	return it
+// mazeScratch is the reusable maze-routing state: the box-local
+// Dijkstra arrays and the frontier heap. One lives in each concurrent
+// region worker (pooled on the router) and one in the serial phases;
+// reusing them removes the per-call allocations that used to dominate
+// reroute time at scale. The buffers grow to the largest detour box
+// seen and stay there.
+type mazeScratch struct {
+	dist []float64
+	prev []int32
+	heap []pqItem
 }
 
-func (r *router) mazeRoute(a, b [2]int) []edge {
+// ensure sizes the arrays for an n-cell detour box.
+func (s *mazeScratch) ensure(n int) {
+	if cap(s.dist) < n {
+		s.dist = make([]float64, n)
+		s.prev = make([]int32, n)
+	}
+	s.dist = s.dist[:n]
+	s.prev = s.prev[:n]
+	s.heap = s.heap[:0]
+}
+
+// heapPush inserts an item into the min-heap.
+func heapPush(q *[]pqItem, it pqItem) {
+	h := append(*q, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].cost <= h[i].cost {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	*q = h
+}
+
+// heapPop removes and returns the min item.
+func heapPop(q *[]pqItem) pqItem {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	for i := 0; ; {
+		l, rr := 2*i+1, 2*i+2
+		small := i
+		if l < n && h[l].cost < h[small].cost {
+			small = l
+		}
+		if rr < n && h[rr].cost < h[small].cost {
+			small = rr
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	*q = h
+	return top
+}
+
+// mazeRoute finds the min-cost path from a to b with Dijkstra over the
+// detour box (the terminal bounding box expanded by mazeHalo). All
+// search state is box-local and lives in the scratch buffers, so a
+// reroute costs O(box) rather than O(grid).
+func (r *router) mazeRoute(s *mazeScratch, a, b [2]int) []edge {
 	g := r.grid
-	n := g.NX * g.NY
-	id := func(x, y int) int { return y*g.NX + x }
-	// Detour region: the terminals' bounding box expanded by a small
-	// halo. Real global routers confine nets near their bounding box
-	// (timing and via budgets); an unbounded maze would launder
-	// structural congestion into die-wide detours.
-	const halo = 2
 	x0, x1 := minmax(a[0], b[0])
 	y0, y1 := minmax(a[1], b[1])
-	x0, x1 = clampInt(x0-halo, 0, g.NX-1), clampInt(x1+halo, 0, g.NX-1)
-	y0, y1 = clampInt(y0-halo, 0, g.NY-1), clampInt(y1+halo, 0, g.NY-1)
-	inBox := func(x, y int) bool { return x >= x0 && x <= x1 && y >= y0 && y <= y1 }
-	dist := make([]float64, n)
-	prev := make([]int, n)
+	x0, x1 = clampInt(x0-mazeHalo, 0, g.NX-1), clampInt(x1+mazeHalo, 0, g.NX-1)
+	y0, y1 = clampInt(y0-mazeHalo, 0, g.NY-1), clampInt(y1+mazeHalo, 0, g.NY-1)
+	w := x1 - x0 + 1
+	n := w * (y1 - y0 + 1)
+	s.ensure(n)
+	dist, prev := s.dist, s.prev
 	for i := range dist {
 		dist[i] = math.Inf(1)
 		prev[i] = -1
 	}
+	id := func(x, y int) int32 { return int32((y-y0)*w + (x - x0)) }
 	start, goal := id(a[0], a[1]), id(b[0], b[1])
 	dist[start] = 0
-	q := &pq{{node: start}}
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
+	heapPush(&s.heap, pqItem{node: start})
+	for len(s.heap) > 0 {
+		it := heapPop(&s.heap)
 		if it.cost > dist[it.node] {
 			continue
 		}
 		if it.node == goal {
 			break
 		}
-		x, y := it.node%g.NX, it.node/g.NX
+		li := int(it.node)
+		x, y := x0+li%w, y0+li/w
 		try := func(nx, ny int, e edge) {
-			if !inBox(nx, ny) {
-				return
-			}
 			nd := it.cost + r.edgeCost(e)
 			ni := id(nx, ny)
 			if nd < dist[ni] {
 				dist[ni] = nd
 				prev[ni] = it.node
-				heap.Push(q, pqItem{node: ni, cost: nd})
+				heapPush(&s.heap, pqItem{node: ni, cost: nd})
 			}
 		}
-		if x+1 < g.NX {
+		if x < x1 {
 			try(x+1, y, edge{x: x, y: y, horizontal: true})
 		}
-		if x > 0 {
+		if x > x0 {
 			try(x-1, y, edge{x: x - 1, y: y, horizontal: true})
 		}
-		if y+1 < g.NY {
+		if y < y1 {
 			try(x, y+1, edge{x: x, y: y, horizontal: false})
 		}
-		if y > 0 {
+		if y > y0 {
 			try(x, y-1, edge{x: x, y: y - 1, horizontal: false})
 		}
 	}
-	// Reconstruct.
-	var path []edge
+	// Reconstruct (capacity hint: the no-detour distance).
+	path := make([]edge, 0, abs(a[0]-b[0])+abs(a[1]-b[1]))
 	for v := goal; v != start && prev[v] >= 0; v = prev[v] {
 		u := prev[v]
-		ux, uy := u%g.NX, u/g.NX
-		vx, vy := v%g.NX, v/g.NX
+		ux, uy := x0+int(u)%w, y0+int(u)/w
+		vx, vy := x0+int(v)%w, y0+int(v)/w
 		switch {
 		case uy == vy && vx == ux+1:
 			path = append(path, edge{x: ux, y: uy, horizontal: true})

@@ -324,6 +324,54 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestRouteMetricsAfterCongestedJob drives a job whose floorplan is
+// tight enough that the rip-up/reroute negotiation runs, and asserts
+// the parallel-routing telemetry — region and boundary counters plus
+// the per-round overflow histogram — reaches /metrics through the
+// daemon's fold. The die area pins ~80% utilization for the scaled
+// benchmark, which overflows under the calibrated capacity model.
+func TestRouteMetricsAfterCongestedJob(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	_, m := postJob(t, ts, `{"bench":"spla","scale":0.25,"k":0,"die_area":27703}`)
+	job := waitTerminal(t, s, m["id"].(string))
+	if job.Status() != StatusDone {
+		t.Fatalf("status %s, want done", job.Status())
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"casyn_route_regions_total",
+		"casyn_route_boundary_nets_total",
+		"casyn_route_ripup_iterations_total",
+		"# TYPE casyn_route_round_overflow histogram",
+		"casyn_route_round_overflow_bucket",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The job congested, so the negotiation must actually have
+	// partitioned work: regions strictly positive, not just registered.
+	for _, line := range strings.Split(text, "\n") {
+		if v, ok := strings.CutPrefix(line, "casyn_route_regions_total "); ok {
+			if n, err := strconv.Atoi(strings.TrimSpace(v)); err != nil || n <= 0 {
+				t.Errorf("casyn_route_regions_total = %q, want > 0", v)
+			}
+			return
+		}
+	}
+	t.Error("casyn_route_regions_total sample line not found")
+}
+
 // TestResultCacheByteIdentical submits the same job twice and checks
 // the repeat is served from the result cache with an identical body.
 func TestResultCacheByteIdentical(t *testing.T) {
