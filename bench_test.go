@@ -23,6 +23,8 @@ import (
 	"testing"
 	"time"
 
+	"math/rand"
+
 	"casyn/internal/bench"
 	"casyn/internal/experiments"
 	"casyn/internal/flow"
@@ -665,4 +667,139 @@ func BenchmarkVerifyBDD(b *testing.B) {
 		"bdd_nodes":    nodes,
 		"ns_per_proof": b.Elapsed().Nanoseconds() / int64(b.N),
 	})
+}
+
+// BenchmarkECO measures the incremental-synthesis payoff on the
+// full-size TOO_LARGE class (~28k base gates): a single-gate edit at a
+// fixed K, re-synthesized three ways — from scratch (subject
+// placement, match enumeration, covering, fresh route), incrementally
+// with the byte-identical full reroute, and incrementally with the
+// territory-scoped fast reroute — plus a K re-tune against the shared
+// prepared prefix. Writes BENCH_eco.json; the headline is the
+// from-scratch/fast-ECO wall-clock ratio (the acceptance bar is 10×).
+func BenchmarkECO(b *testing.B) {
+	const k, retuneK = 0.5, 1.0
+	p, err := bench.Generate(bench.TooLarge.Spec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := bench.BuildSubject(p, bench.Direct, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	area := float64(d.BaseGateCount()) * 4.6 / 0.58
+	layout, err := place.NewLayout(area, 1.0, library.RowHeight)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fcfg := flow.Config{
+		Layout:    layout,
+		Lib:       library.Default(),
+		PlaceOpts: place.Options{Seed: 1, RefinePasses: 8},
+		RouteOpts: experiments.RouteOpts(),
+		KSchedule: []float64{k},
+	}
+	ctx := context.Background()
+	pc, err := flow.Prepare(ctx, d, fcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := flow.PrepareMapping(ctx, pc, fcfg); err != nil {
+		b.Fatal(err)
+	}
+	_, st, err := flow.RunStateful(ctx, pc, k, fcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edits := mapper.RandomEdits(st.Prep, rand.New(rand.NewSource(1)), 1)
+	if len(edits.Edits) != 1 {
+		b.Fatalf("wanted a single-gate edit, got %d", len(edits.Edits))
+	}
+	// The from-scratch side synthesizes the *edited* design, obtained
+	// from one untimed incremental run.
+	_, stEdited, err := flow.RunECO(ctx, pc, st, edits, fcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	editedDAG := stEdited.Prep.DAG()
+	fastCfg := fcfg
+	fastCfg.FastECORoute = true
+
+	var scratch, exact, fast, retune time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		rpc, err := flow.Prepare(ctx, editedDAG, fcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := flow.PrepareMapping(ctx, rpc, fcfg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := flow.RunOnce(ctx, rpc, k, fcfg); err != nil {
+			b.Fatal(err)
+		}
+		scratch += time.Since(t0)
+
+		t0 = time.Now()
+		if _, _, err := flow.RunECO(ctx, pc, st, edits, fcfg); err != nil {
+			b.Fatal(err)
+		}
+		exact += time.Since(t0)
+
+		t0 = time.Now()
+		if _, _, err := flow.RunECO(ctx, pc, st, edits, fastCfg); err != nil {
+			b.Fatal(err)
+		}
+		fast += time.Since(t0)
+
+		// K re-tune: a new congestion factor against the shared
+		// K-invariant prefix (no re-placement, no re-matching).
+		t0 = time.Now()
+		if _, _, err := flow.RunStateful(ctx, pc, retuneK, fcfg); err != nil {
+			b.Fatal(err)
+		}
+		retune += time.Since(t0)
+	}
+	b.StopTimer()
+	n := int64(b.N)
+	speedupExact := float64(scratch) / float64(exact)
+	speedupFast := float64(scratch) / float64(fast)
+	b.ReportMetric(scratch.Seconds()/float64(b.N), "scratch-s")
+	b.ReportMetric(exact.Seconds()/float64(b.N), "eco-exact-s")
+	b.ReportMetric(fast.Seconds()/float64(b.N), "eco-fast-s")
+	b.ReportMetric(retune.Seconds()/float64(b.N), "retune-s")
+	b.ReportMetric(speedupFast, "speedup-fast")
+	artifact := struct {
+		Bench        string  `json:"bench"`
+		Gates        int     `json:"gates"`
+		K            float64 `json:"k"`
+		RetuneK      float64 `json:"retune_k"`
+		Edits        int     `json:"edits"`
+		ScratchNs    int64   `json:"from_scratch_ns"`
+		EcoExactNs   int64   `json:"eco_exact_ns"`
+		EcoFastNs    int64   `json:"eco_fast_ns"`
+		RetuneNs     int64   `json:"retune_ns"`
+		SpeedupExact float64 `json:"speedup_exact"`
+		SpeedupFast  float64 `json:"speedup_fast"`
+	}{
+		Bench:        "too_large-single-edit",
+		Gates:        d.BaseGateCount(),
+		K:            k,
+		RetuneK:      retuneK,
+		Edits:        len(edits.Edits),
+		ScratchNs:    scratch.Nanoseconds() / n,
+		EcoExactNs:   exact.Nanoseconds() / n,
+		EcoFastNs:    fast.Nanoseconds() / n,
+		RetuneNs:     retune.Nanoseconds() / n,
+		SpeedupExact: speedupExact,
+		SpeedupFast:  speedupFast,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_eco.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }

@@ -9,6 +9,7 @@
 //	casyn -bench too_large -sis
 //	casyn -bench spla -timeout 2m -stage-timeout 30s
 //	casyn -pla design.pla -metrics run.jsonl -trace -pprof cpu
+//	casyn -bench spla -scale 0.05 -k 0.5 -eco edits.json -eco-fast
 //
 // Exit codes identify the failure: 0 success, 1 generic error, 2 usage,
 // 3 map stage, 4 place stage, 5 route stage, 6 sta stage, 7 timeout or
@@ -29,6 +30,9 @@ import (
 	"casyn"
 	"casyn/internal/bench"
 	"casyn/internal/cliobs"
+	"casyn/internal/flow"
+	"casyn/internal/logic"
+	"casyn/internal/mapper"
 	"casyn/internal/partition"
 	"casyn/internal/runstage"
 )
@@ -71,6 +75,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// single flow iteration, so the two budgets coincide.
 		iterTO  = fs.Duration("iteration-timeout", 0, "alias for -timeout (one run = one flow iteration)")
 		workers = fs.Int("workers", 0, "covering/routing goroutines (0 = all CPUs, 1 = serial)")
+		ecoPath = fs.String("eco", "", "after the base synthesis, apply the ECO edit-set JSON FILE incrementally and print both reports")
+		ecoFast = fs.Bool("eco-fast", false, "with -eco: incremental placement and edit-scoped reroute instead of the byte-identical full place/route")
 	)
 	ob := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -115,18 +121,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitErr
 	}
 
-	var res *casyn.Result
-	var err error
-	start := time.Now()
+	var p *logic.PLA
 	switch {
 	case *plaPath != "":
-		p, rerr := casyn.ReadPLAFile(*plaPath)
+		var rerr error
+		p, rerr = casyn.ReadPLAFile(*plaPath)
 		if rerr != nil {
 			fail("%v", rerr)
 			finish()
 			return exitErr
 		}
-		res, err = casyn.SynthesizeContext(ctx, p, opts)
 	case *benchName != "":
 		class, ok := classByName(*benchName)
 		if !ok {
@@ -138,18 +142,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *scale != 1.0 {
 			spec = class.ScaledSpec(*scale)
 		}
-		p, gerr := bench.Generate(spec)
+		var gerr error
+		p, gerr = bench.Generate(spec)
 		if gerr != nil {
 			fail("%v", gerr)
 			finish()
 			return exitErr
 		}
-		res, err = casyn.SynthesizeContext(ctx, p, opts)
 	default:
 		fail("need -pla FILE or -bench NAME")
 		fs.Usage()
 		finish()
 		return exitUsage
+	}
+	var res, ecoRes *casyn.Result
+	var err error
+	start := time.Now()
+	if *ecoPath != "" {
+		res, ecoRes, err = runECO(ctx, p, *ecoPath, *ecoFast, opts)
+	} else {
+		res, err = casyn.SynthesizeContext(ctx, p, opts)
 	}
 	elapsed := time.Since(start)
 	// The trace of a failed run is often the most useful one: flush the
@@ -165,6 +177,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitErr
 	}
 	fmt.Fprint(stdout, res.Report())
+	if ecoRes != nil {
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, "--- after ECO ---")
+		fmt.Fprint(stdout, ecoRes.Report())
+		// The artifact outputs below describe the edited design.
+		res = ecoRes
+	}
 	fmt.Fprintf(stdout, "wall-clock:        %.2fs (workers=%d, %d CPUs)\n",
 		elapsed.Seconds(), *workers, runtime.GOMAXPROCS(0))
 	if *cellRep {
@@ -218,7 +237,7 @@ func reportFailure(fail func(string, ...any), err error) int {
 	case se != nil:
 		fail("%s stage failed (K=%g): %v", se.Stage, se.K, se.Err)
 		switch se.Stage {
-		case runstage.StageMap:
+		case runstage.StageMap, runstage.StageECO:
 			return exitMap
 		case runstage.StagePlace, runstage.StagePrepare:
 			return exitPlace
@@ -232,6 +251,53 @@ func reportFailure(fail func(string, ...any), err error) int {
 		fail("%v", err)
 		return exitErr
 	}
+}
+
+// runECO synthesizes the base design statefully at K, then applies the
+// edit-set file incrementally (flow.RunECO): only the partition trees,
+// covering regions, and — with fast set — routing territories the
+// edits dirtied are recomputed. Returns the base and post-ECO results.
+func runECO(ctx context.Context, p *logic.PLA, path string, fast bool, opts casyn.Options) (*casyn.Result, *casyn.Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	edits, err := mapper.ParseEditSet(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	dag, err := casyn.SubjectFor(ctx, p, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	layout, err := casyn.LayoutFor(dag, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := casyn.FlowConfig(layout, opts)
+	cfg.FastECORoute = fast
+	// The ECO chain runs the paper's seeded-placement methodology: the
+	// mapper's center-of-mass seeds are legalized rather than re-placed
+	// by bisection, so the captured placement state is reusable — fast
+	// mode keeps unmoved cells verbatim and the routing dirty region
+	// stays local to the edit.
+	cfg.FreshPlacement = false
+	pc, err := flow.Prepare(ctx, dag, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	it, st, err := flow.RunStateful(ctx, pc, opts.K, cfg)
+	flow.MergeMetrics(ctx, it.Metrics)
+	if err != nil {
+		return nil, nil, err
+	}
+	base := casyn.ResultFrom(dag, layout, &it)
+	eit, _, err := flow.RunECO(ctx, pc, st, edits, cfg)
+	flow.MergeMetrics(ctx, eit.Metrics)
+	if err != nil {
+		return base, nil, err
+	}
+	return base, casyn.ResultFrom(dag, layout, &eit), nil
 }
 
 func classByName(name string) (bench.Class, bool) {

@@ -15,6 +15,13 @@
 //	curl -s -X POST localhost:8080/jobs -d '{"bench":"spla","scale":0.05,"k":0.5}'
 //	curl -s localhost:8080/jobs/j000001/result
 //
+// Apply an incremental ECO against a completed job (the edits are
+// re-synthesized against the cached lineage, recomputing only what
+// they dirtied):
+//
+//	curl -s -X POST localhost:8080/jobs/j000001/eco \
+//	  -d '{"edits":[{"op":"nudge","gate":12,"dx":5,"dy":0}]}'
+//
 // The daemon prints "listening on ADDR" to stdout once the socket is
 // bound (with the resolved port when -addr asked for :0), then serves
 // until SIGINT/SIGTERM, at which point it stops admitting jobs,

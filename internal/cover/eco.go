@@ -1,0 +1,241 @@
+package cover
+
+// This file implements the incremental (ECO) side of the shared
+// covering prefix: rebuilding a Prefix after a local edit by
+// recomputing only the dirtied partition trees' match enumerations
+// (copy-on-write of everything else), and re-running the covering DP
+// on just those trees against a previous same-K cover.
+//
+// A new tree may reuse a previous tree's cached enumeration exactly
+// when nothing the matcher or the cached geometry reads has changed.
+// The matcher reads only the tree members' gate records (type and
+// fanins), the father pointers of members, and tree membership; match
+// leaves bind any gate without inspecting it. The cached geometry
+// reads the positions of members (centers of mass) and of leaves
+// (cross-reference distances), and the father pointers of in-tree
+// leaves (which are members). Hence a tree rooted at r is clean iff:
+//
+//  1. its member set is identical to the old tree at r (every member's
+//     old root is r, and the old tree had the same size);
+//  2. no member was structurally edited, and every member's father
+//     pointer is unchanged;
+//  3. no member moved, and no fanin of any member moved (fanins are a
+//     superset of the match leaves).
+//
+// Everything else — including every gate the edit touched, every gate
+// whose father flipped because a nearest-consumer distance changed,
+// and every tree whose membership shifted — is dirty and re-enumerated
+// from scratch on the edited DAG.
+
+import (
+	"context"
+	"fmt"
+
+	"casyn/internal/geom"
+	"casyn/internal/library"
+	"casyn/internal/obs"
+	"casyn/internal/par"
+	"casyn/internal/partition"
+	"casyn/internal/subject"
+)
+
+// Rebuild is the outcome of RebuildPrefix: the new prefix plus the
+// per-tree reuse classification CoverDelta consumes.
+type Rebuild struct {
+	Prefix *Prefix
+	// Reused[ti] reports whether tree ti of Prefix shares its cached
+	// enumeration with the previous prefix (clean) or was re-enumerated
+	// (dirty). Indexed like Prefix trees.
+	Reused []bool
+	// DirtyRoots lists the roots of re-enumerated trees in ascending
+	// gate-ID order — the mapper's dirty region for downstream
+	// incremental routing.
+	DirtyRoots []int
+}
+
+// ReusedTrees counts clean trees.
+func (r *Rebuild) ReusedTrees() int {
+	n := 0
+	for _, ok := range r.Reused {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// RebuildPrefix builds a Prefix for the edited (dag, forest, pos) by
+// copy-on-write against prev: clean trees share prev's per-gate match
+// slices (never reallocated, pointer-identical), dirty trees are
+// re-enumerated on the edited DAG. editedGates lists the gate IDs
+// whose type or fanins changed; position changes are detected by
+// comparing pos against prev's frozen snapshot. prevForest must be the
+// forest prev was built with (the father pointers feed the clean-tree
+// test). The edited DAG must have the same vertex count as prev's —
+// ECO edits rewrite gates in place, never add or remove them.
+//
+// prev is read-only throughout: a shared Prepared can keep serving
+// concurrent covers while its successor is rebuilt.
+func RebuildPrefix(ctx context.Context, dag *subject.DAG, forest *partition.Forest, lib *library.Library, pos []geom.Point, metric geom.Metric, workers int, prevForest *partition.Forest, prev *Prefix, editedGates []int) (*Rebuild, error) {
+	if prev == nil || prevForest == nil {
+		return nil, fmt.Errorf("cover: RebuildPrefix needs a previous prefix and forest")
+	}
+	if dag.NumGates() != prev.dag.NumGates() {
+		return nil, fmt.Errorf("cover: edited DAG has %d gates, previous prefix was built for %d",
+			dag.NumGates(), prev.dag.NumGates())
+	}
+	if len(pos) < dag.NumGates() {
+		return nil, fmt.Errorf("cover: %d positions for %d gates", len(pos), dag.NumGates())
+	}
+	n := dag.NumGates()
+	structEdited := make([]bool, n)
+	for _, g := range editedGates {
+		if g < 0 || g >= n {
+			return nil, fmt.Errorf("cover: edited gate %d out of range [0,%d)", g, n)
+		}
+		structEdited[g] = true
+	}
+	posChanged := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if pos[i] != prev.pos[i] {
+			posChanged[i] = true
+		}
+	}
+	// Old tree sizes by root: membership equality is "every member's
+	// old root is r" plus a size match.
+	oldSize := make(map[int]int, len(prev.trees))
+	for ti := range prev.trees {
+		oldSize[prev.trees[ti].Root] = len(prev.trees[ti].Gates)
+	}
+
+	p := &Prefix{
+		dag:     dag,
+		trees:   forest.Trees(dag),
+		rootOf:  forest.RootOf(dag),
+		pos:     append([]geom.Point(nil), pos...),
+		matches: make([][]preparedMatch, n),
+	}
+	rb := &Rebuild{Prefix: p, Reused: make([]bool, len(p.trees))}
+	var dirty []int
+	for ti := range p.trees {
+		t := &p.trees[ti]
+		clean := oldSize[t.Root] == len(t.Gates)
+		for _, v := range t.Gates {
+			if !clean {
+				break
+			}
+			if prev.rootOf[v] != t.Root || structEdited[v] ||
+				forest.Father[v] != prevForest.Father[v] || posChanged[v] {
+				clean = false
+				break
+			}
+			for _, l := range dag.Fanins(v) {
+				if posChanged[l] {
+					clean = false
+					break
+				}
+			}
+		}
+		if clean {
+			// Copy-on-write: share the previous enumeration. The outer
+			// slice is fresh per prefix; the per-gate match slices are
+			// the immutable payload and are never reallocated.
+			for _, v := range t.Gates {
+				p.matches[v] = prev.matches[v]
+			}
+			rb.Reused[ti] = true
+			continue
+		}
+		dirty = append(dirty, ti)
+		rb.DirtyRoots = append(rb.DirtyRoots, t.Root)
+	}
+	dag.PrecomputeFanouts() // no lazy rebuild race under the fan-out
+	err := par.ForEach(ctx, workers, len(dirty), func(di int) error {
+		p.enumerateTree(dag, forest, lib, metric, dirty[di])
+		return nil
+	})
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("cover: canceled re-enumerating %d dirty trees: %w", len(dirty), cerr)
+		}
+		return nil, err
+	}
+	return rb, nil
+}
+
+// SharesMatches reports whether prefixes a and b hold the identical
+// cached match slice for gate g (pointer identity, not value
+// equality). Test hook for the copy-on-write contract: clean trees
+// must share, dirty trees must not.
+func SharesMatches(a, b *Prefix, g int) bool {
+	if g < 0 || g >= len(a.matches) || g >= len(b.matches) {
+		return false
+	}
+	ma, mb := a.matches[g], b.matches[g]
+	if len(ma) != len(mb) || len(ma) == 0 {
+		return len(ma) == len(mb) && ma == nil && mb == nil
+	}
+	return &ma[0] == &mb[0]
+}
+
+// CoverDelta re-runs the covering DP on only the dirty trees of a
+// rebuilt prefix, copying the clean trees' solutions and committed
+// positions from a previous same-K cover. prev must be the Result of
+// CoverWithPrefix (or a previous CoverDelta) over the prefix that
+// rebuild was diffed against, at the same opts — the caller owns that
+// lineage (mapper.CoverState threads it). The result is byte-identical
+// to CoverWithPrefix over the full rebuilt prefix: clean trees' DPs
+// read only their own shared enumeration and the frozen snapshot, so
+// recomputing them would reproduce prev's solutions exactly.
+func CoverDelta(ctx context.Context, dag *subject.DAG, forest *partition.Forest, rebuild *Rebuild, prev *Result, opts Options) (*Result, error) {
+	prefix := rebuild.Prefix
+	if prefix == nil || prefix.dag != dag {
+		return nil, fmt.Errorf("cover: rebuilt prefix is for a different DAG")
+	}
+	if prev == nil || len(prev.Best) != dag.NumGates() {
+		return nil, fmt.Errorf("cover: previous cover does not match the DAG")
+	}
+	if opts.WireUnit == 0 {
+		opts.WireUnit = 0.5
+	}
+	res := &Result{
+		Best: make([]*Solution, dag.NumGates()),
+		Pos:  append([]geom.Point(nil), prefix.pos...),
+	}
+	rec := obs.From(ctx)
+	rec.Add("cover.trees", int64(len(prefix.trees)))
+	rec.Add("cover.delta_reused_trees", int64(rebuild.ReusedTrees()))
+	ins := instruments{
+		solutions: rec.Counter("cover.solutions"),
+		matches:   rec.Counter("cover.matches"),
+		perGate:   rec.Histogram("cover.matches_per_gate", matchesPerGateBounds),
+	}
+	err := par.ForEach(ctx, opts.Workers, len(prefix.trees), func(ti int) error {
+		t := &prefix.trees[ti]
+		if rebuild.Reused[ti] {
+			// Clean tree: solutions are immutable after covering, so the
+			// pointers themselves carry over; the committed positions of
+			// every member (covered gates moved to their match's center
+			// of mass, the rest on the frozen snapshot) carry over too,
+			// since neither the members nor their matches moved.
+			for _, v := range t.Gates {
+				res.Best[v] = prev.Best[v]
+				res.Pos[v] = prev.Pos[v]
+			}
+			return nil
+		}
+		return coverTree(dag, forest, prefix, t, res, opts, ins)
+	})
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("cover: canceled with %d trees pending: %w", len(prefix.trees), cerr)
+		}
+		return nil, err
+	}
+	for _, root := range forest.Roots {
+		sol := res.Best[root]
+		res.RootArea += sol.AreaCost
+		res.RootWire += sol.Wire
+	}
+	return res, nil
+}

@@ -96,43 +96,7 @@ func BuildPrefix(ctx context.Context, dag *subject.DAG, forest *partition.Forest
 	}
 	dag.PrecomputeFanouts() // no lazy rebuild race under the fan-out
 	err := par.ForEach(ctx, workers, len(p.trees), func(ti int) error {
-		t := &p.trees[ti]
-		inTree := p.inTreeFunc(t.Root)
-		m := match.NewMatcher(dag, lib, forest.Father, inTree)
-		covered := map[int]bool{} // scratch per match
-		for _, v := range t.Gates {
-			ms := m.MatchesAt(v)
-			pms := make([]preparedMatch, len(ms))
-			for i := range ms {
-				mt := &ms[i]
-				for k := range covered {
-					delete(covered, k)
-				}
-				for _, c := range mt.Covered {
-					covered[c] = true
-				}
-				var com geom.Point
-				for _, c := range mt.Covered {
-					com = com.Add(p.pos[c])
-				}
-				com = com.Scale(1 / float64(len(mt.Covered)))
-				pm := preparedMatch{
-					m:         *mt,
-					com:       com,
-					subLeaf:   make([]bool, len(mt.Leaves)),
-					crossDist: make([]float64, len(mt.Leaves)),
-				}
-				for li, l := range mt.Leaves {
-					if inTree(l) && covered[forest.Father[l]] {
-						pm.subLeaf[li] = true
-					} else {
-						pm.crossDist[li] = metric.Distance(com, p.pos[l])
-					}
-				}
-				pms[i] = pm
-			}
-			p.matches[v] = pms
-		}
+		p.enumerateTree(dag, forest, lib, metric, ti)
 		return nil
 	})
 	if err != nil {
@@ -142,4 +106,49 @@ func BuildPrefix(ctx context.Context, dag *subject.DAG, forest *partition.Forest
 		return nil, err
 	}
 	return p, nil
+}
+
+// enumerateTree fills p.matches for every vertex of tree ti: the
+// complete match enumeration with cached K-invariant geometry. It
+// writes only tree ti's own vertices' match lists, so disjoint trees
+// enumerate concurrently. Shared by BuildPrefix (all trees) and
+// RebuildPrefix (dirty trees only).
+func (p *Prefix) enumerateTree(dag *subject.DAG, forest *partition.Forest, lib *library.Library, metric geom.Metric, ti int) {
+	t := &p.trees[ti]
+	inTree := p.inTreeFunc(t.Root)
+	m := match.NewMatcher(dag, lib, forest.Father, inTree)
+	covered := map[int]bool{} // scratch per match
+	for _, v := range t.Gates {
+		ms := m.MatchesAt(v)
+		pms := make([]preparedMatch, len(ms))
+		for i := range ms {
+			mt := &ms[i]
+			for k := range covered {
+				delete(covered, k)
+			}
+			for _, c := range mt.Covered {
+				covered[c] = true
+			}
+			var com geom.Point
+			for _, c := range mt.Covered {
+				com = com.Add(p.pos[c])
+			}
+			com = com.Scale(1 / float64(len(mt.Covered)))
+			pm := preparedMatch{
+				m:         *mt,
+				com:       com,
+				subLeaf:   make([]bool, len(mt.Leaves)),
+				crossDist: make([]float64, len(mt.Leaves)),
+			}
+			for li, l := range mt.Leaves {
+				if inTree(l) && covered[forest.Father[l]] {
+					pm.subLeaf[li] = true
+				} else {
+					pm.crossDist[li] = metric.Distance(com, p.pos[l])
+				}
+			}
+			pms[i] = pm
+		}
+		p.matches[v] = pms
+	}
 }

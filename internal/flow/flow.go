@@ -63,6 +63,15 @@ type Config struct {
 	// generated once and carried through mapping; use fresh placement
 	// for the ablation that discards it.
 	FreshPlacement bool
+	// FastECORoute makes RunECO place and route incrementally: cells
+	// whose mapper seeds are unchanged keep the previous iteration's
+	// legalized positions (place.PlaceECO), and the router rips up only
+	// the nets whose territories intersect the dirtied region, against
+	// the persisted congestion history (route.RouteECO). Off by default
+	// because the from-scratch placement and route are what make
+	// RunECO's result byte-identical to a full synthesis of the edited
+	// design.
+	FastECORoute bool
 	// RunSTA enables timing analysis per iteration.
 	RunSTA bool
 	// STAOpts forwards to the timing analyzer.

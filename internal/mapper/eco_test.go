@@ -1,0 +1,341 @@
+package mapper
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"casyn/internal/library"
+	"casyn/internal/subject"
+)
+
+// exampleCircuits globs the example PLA suite the ECO properties run
+// over.
+func exampleCircuits(t *testing.T) []string {
+	t.Helper()
+	plas, err := filepath.Glob("../../examples/circuits/*.pla")
+	if err != nil || len(plas) == 0 {
+		t.Fatalf("no example circuits found: %v", err)
+	}
+	return plas
+}
+
+// TestMapECOMatchesFresh is the incremental-mapping determinism
+// property: on every example circuit, applying a random edit set via
+// Invalidate + MapECO (both the delta-cover path and the full-cover
+// fallback) is byte-identical to a from-scratch Prepare + MapPrepared
+// of the edited design in the same placement context — including when
+// a second edit set chains off the first ECO.
+func TestMapECOMatchesFresh(t *testing.T) {
+	t.Parallel()
+	for _, pla := range exampleCircuits(t) {
+		pla := pla
+		t.Run(strings.TrimSuffix(filepath.Base(pla), ".pla"), func(t *testing.T) {
+			t.Parallel()
+			d, in := placedCircuit(t, pla)
+			ctx := context.Background()
+			lib := library.Default()
+			prep, err := Prepare(ctx, d, in, Options{Lib: lib})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []float64{0, 1} {
+				for seed := int64(1); seed <= 2; seed++ {
+					rng := rand.New(rand.NewSource(seed))
+					base, cov, err := MapStateful(ctx, prep, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					direct, err := MapPrepared(ctx, prep, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if resultKey(base) != resultKey(direct) {
+						t.Fatalf("K=%g: MapStateful differs from MapPrepared", k)
+					}
+
+					edits := RandomEdits(prep, rng, 4)
+					if len(edits.Edits) == 0 {
+						t.Fatal("RandomEdits returned an empty set")
+					}
+					eco, err := prep.Invalidate(ctx, edits)
+					if err != nil {
+						t.Fatalf("K=%g seed=%d: Invalidate: %v", k, seed, err)
+					}
+					inc, incCov, err := MapECO(ctx, eco, cov, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ref, err := Prepare(ctx, eco.Prep.DAG(),
+						Input{Pos: eco.Prep.Pos(), POPads: eco.Prep.POPads()}, Options{Lib: lib})
+					if err != nil {
+						t.Fatal(err)
+					}
+					refRes, err := MapPrepared(ctx, ref, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if resultKey(inc) != resultKey(refRes) {
+						t.Errorf("K=%g seed=%d: delta-cover ECO differs from fresh synthesis of the edited design", k, seed)
+					}
+					full, _, err := MapECO(ctx, eco, nil, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if resultKey(full) != resultKey(refRes) {
+						t.Errorf("K=%g seed=%d: full-fallback ECO differs from fresh synthesis", k, seed)
+					}
+
+					// Chain a second edit set off the successor.
+					edits2 := RandomEdits(&eco.Prep.Prepared, rng, 3)
+					if len(edits2.Edits) == 0 {
+						continue
+					}
+					eco2, err := eco.Prep.Invalidate(ctx, edits2)
+					if err != nil {
+						t.Fatalf("K=%g seed=%d: chained Invalidate: %v", k, seed, err)
+					}
+					inc2, _, err := MapECO(ctx, eco2, incCov, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ref2, err := Prepare(ctx, eco2.Prep.DAG(),
+						Input{Pos: eco2.Prep.Pos(), POPads: eco2.Prep.POPads()}, Options{Lib: lib})
+					if err != nil {
+						t.Fatal(err)
+					}
+					ref2Res, err := MapPrepared(ctx, ref2, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if resultKey(inc2) != resultKey(ref2Res) {
+						t.Errorf("K=%g seed=%d: chained ECO differs from fresh synthesis", k, seed)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInvalidateDirtySetExact is the dirty-set minimality/soundness
+// property: Invalidate's per-tree reuse decision must match an
+// independent reimplementation of the clean-tree criterion (identical
+// membership, no structurally edited member, unchanged father
+// pointers, no member or member-fanin moved), and every clean tree
+// must share its members' match slices with the parent by pointer
+// identity (copy-on-write, no reallocation). The whole property runs
+// under 8 concurrent readers mapping against the parent, so -race
+// additionally proves Invalidate never writes the shared Prepared.
+func TestInvalidateDirtySetExact(t *testing.T) {
+	t.Parallel()
+	for _, pla := range exampleCircuits(t) {
+		pla := pla
+		t.Run(strings.TrimSuffix(filepath.Base(pla), ".pla"), func(t *testing.T) {
+			t.Parallel()
+			d, in := placedCircuit(t, pla)
+			ctx := context.Background()
+			lib := library.Default()
+			prep, err := Prepare(ctx, d, in, Options{Lib: lib})
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseRes, err := MapPrepared(ctx, prep, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseKey := resultKey(baseRes)
+
+			// 8 concurrent readers of the parent Prepared.
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			errs := make(chan string, 8)
+			for r := 0; r < 8; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						res, err := MapPrepared(ctx, prep, 0.5)
+						if err != nil {
+							errs <- err.Error()
+							return
+						}
+						if resultKey(res) != baseKey {
+							errs <- "concurrent MapPrepared result changed during Invalidate"
+							return
+						}
+					}
+				}()
+			}
+
+			rng := rand.New(rand.NewSource(7))
+			for round := 0; round < 4; round++ {
+				edits := RandomEdits(prep, rng, 3)
+				if len(edits.Edits) == 0 {
+					t.Fatal("RandomEdits returned an empty set")
+				}
+				eco, err := prep.Invalidate(ctx, edits)
+				if err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				checkDirtySet(t, prep, eco)
+			}
+			close(stop)
+			wg.Wait()
+			select {
+			case msg := <-errs:
+				t.Fatal(msg)
+			default:
+			}
+		})
+	}
+}
+
+// checkDirtySet verifies one Invalidate outcome against the
+// independent clean-tree criterion.
+func checkDirtySet(t *testing.T, parent *Prepared, eco *ECO) {
+	t.Helper()
+	succ := &eco.Prep.Prepared
+	oldForest, newForest := parent.forest, succ.forest
+	oldRootOf := oldForest.RootOf(parent.dag)
+	oldSize := make(map[int]int)
+	for _, tr := range oldForest.Trees(parent.dag) {
+		oldSize[tr.Root] = len(tr.Gates)
+	}
+	structEdited := make(map[int]bool)
+	for _, g := range eco.EditedGates {
+		structEdited[g] = true
+	}
+	posChanged := make([]bool, succ.dag.NumGates())
+	for _, g := range eco.MovedGates {
+		posChanged[g] = true
+	}
+	newTrees := newForest.Trees(succ.dag)
+	if len(eco.Prep.rebuild.Reused) != len(newTrees) {
+		t.Fatalf("reuse map has %d entries for %d trees", len(eco.Prep.rebuild.Reused), len(newTrees))
+	}
+	dirtyRoots := make(map[int]bool)
+	for _, r := range eco.DirtyRoots {
+		dirtyRoots[r] = true
+	}
+	reused := 0
+	for ti, tr := range newTrees {
+		clean := oldSize[tr.Root] == len(tr.Gates)
+		for _, v := range tr.Gates {
+			if !clean {
+				break
+			}
+			if oldRootOf[v] != tr.Root || structEdited[v] ||
+				newForest.Father[v] != oldForest.Father[v] || posChanged[v] {
+				clean = false
+				break
+			}
+			g := succ.dag.Gate(v)
+			for p := 0; p < g.Type.NumInputs(); p++ {
+				if posChanged[g.In[p]] {
+					clean = false
+					break
+				}
+			}
+		}
+		if got := eco.Prep.rebuild.Reused[ti]; got != clean {
+			t.Errorf("tree %d (root %d): Reused=%v, independent criterion says clean=%v", ti, tr.Root, got, clean)
+		}
+		if clean {
+			reused++
+			for _, v := range tr.Gates {
+				if !eco.Prep.SharesMatches(v) {
+					t.Errorf("clean tree root %d: gate %d's match slice was reallocated", tr.Root, v)
+				}
+			}
+			if dirtyRoots[tr.Root] {
+				t.Errorf("root %d is both reused and listed dirty", tr.Root)
+			}
+		} else if !dirtyRoots[tr.Root] {
+			t.Errorf("dirty tree root %d missing from DirtyRoots", tr.Root)
+		}
+	}
+	if reused != eco.ReusedTrees {
+		t.Errorf("ReusedTrees=%d, counted %d", eco.ReusedTrees, reused)
+	}
+	if eco.Trees != len(newTrees) {
+		t.Errorf("Trees=%d, forest has %d", eco.Trees, len(newTrees))
+	}
+}
+
+// TestInvalidateRejectsInvalid checks that malformed edit sets error
+// out without touching the shared Prepared.
+func TestInvalidateRejectsInvalid(t *testing.T) {
+	t.Parallel()
+	plas := exampleCircuits(t)
+	d, in := placedCircuit(t, plas[0])
+	ctx := context.Background()
+	lib := library.Default()
+	prep, err := Prepare(ctx, d, in, Options{Lib: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := MapPrepared(ctx, prep, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseKey := resultKey(baseRes)
+
+	live := d.LiveGates()
+	var g int
+	for _, v := range live {
+		if tp := d.Gate(v).Type; tp == subject.Nand2 || tp == subject.Inv {
+			g = v
+			break
+		}
+	}
+	if g == 0 {
+		t.Fatal("no editable base gate in circuit")
+	}
+	cases := []struct {
+		name  string
+		edits EditSet
+	}{
+		{"empty", EditSet{}},
+		{"out_of_range", EditSet{Edits: []Edit{{Kind: EditNudge, Gate: d.NumGates() + 5, DX: 1, DY: 1}}}},
+		{"negative_gate", EditSet{Edits: []Edit{{Kind: EditNudge, Gate: -1, DX: 1, DY: 1}}}},
+		{"pi_target", EditSet{Edits: []Edit{{Kind: EditNudge, Gate: d.PIs()[0], DX: 1, DY: 1}}}},
+		{"duplicate_move", EditSet{Edits: []Edit{
+			{Kind: EditNudge, Gate: g, DX: 1, DY: 1},
+			{Kind: EditNudge, Gate: g, DX: 2, DY: 2}}}},
+		{"swap_self", EditSet{Edits: []Edit{{Kind: EditSwap, Gate: g, Other: g}}}},
+		{"fanin_not_topological", EditSet{Edits: []Edit{
+			{Kind: EditReconnect, Gate: g, Pin: 0, NewFanin: g}}}},
+		{"nand_identical_fanins", EditSet{Edits: []Edit{
+			{Kind: EditGateFunc, Gate: g, NewType: subject.Nand2, NewIn: [2]int{0, 0}}}}},
+		{"nonfinite_nudge", EditSet{Edits: []Edit{
+			{Kind: EditNudge, Gate: g, DX: inf(), DY: 0}}}},
+	}
+	for _, tc := range cases {
+		if _, err := prep.Invalidate(ctx, tc.edits); err == nil {
+			t.Errorf("%s: Invalidate accepted an invalid edit set", tc.name)
+		}
+	}
+	res, err := MapPrepared(ctx, prep, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultKey(res) != baseKey {
+		t.Fatal("shared Prepared changed after rejected edit sets")
+	}
+}
+
+func inf() float64 {
+	f := 1.0
+	for i := 0; i < 2000; i++ {
+		f *= 2
+	}
+	return f
+}

@@ -1,0 +1,113 @@
+package mapper
+
+import (
+	"math/rand"
+
+	"casyn/internal/subject"
+)
+
+// RandomEdits draws up to n random, validity-guaranteed edit
+// operations against the prepared design: gate-function rewrites,
+// fanin reconnects, placement nudges, and cell swaps, mixed uniformly.
+// Deterministic per rng state — the differential ECO harness, the
+// invalidation property tests, and BenchmarkECO all draw their edit
+// streams from it. It returns fewer than n operations only when the
+// design is too small to host them without violating the
+// one-structural-edit / one-move per gate rules (a caller that needs a
+// non-empty set should check, since an empty EditSet fails Validate by
+// design).
+func RandomEdits(p *Prepared, rng *rand.Rand, n int) EditSet {
+	d := p.dag
+	var base []int
+	for _, g := range d.LiveGates() {
+		if t := d.Gate(g).Type; t == subject.Nand2 || t == subject.Inv {
+			base = append(base, g)
+		}
+	}
+	es := EditSet{}
+	if len(base) == 0 {
+		return es
+	}
+	usedStruct := make(map[int]bool)
+	usedPos := make(map[int]bool)
+	// fanin samples a routable driver with ID below g (the topological
+	// invariant), avoiding `not`; -1 when none was found.
+	fanin := func(g, not int) int {
+		if g == 0 {
+			return -1
+		}
+		for try := 0; try < 64; try++ {
+			f := rng.Intn(g)
+			if f == not {
+				continue
+			}
+			switch d.Gate(f).Type {
+			case subject.PI, subject.Nand2, subject.Inv, subject.Const0, subject.Const1:
+				return f
+			}
+		}
+		return -1
+	}
+	for attempts := 0; len(es.Edits) < n && attempts < 20*n+100; attempts++ {
+		g := base[rng.Intn(len(base))]
+		switch rng.Intn(4) {
+		case 0: // gate_func
+			if usedStruct[g] {
+				continue
+			}
+			e := Edit{Kind: EditGateFunc, Gate: g, NewIn: [2]int{-1, -1}}
+			if rng.Intn(2) == 0 {
+				f := fanin(g, -1)
+				if f < 0 {
+					continue
+				}
+				e.NewType = subject.Inv
+				e.NewIn[0] = f
+			} else {
+				f0 := fanin(g, -1)
+				if f0 < 0 {
+					continue
+				}
+				f1 := fanin(g, f0)
+				if f1 < 0 {
+					continue
+				}
+				e.NewType = subject.Nand2
+				e.NewIn = [2]int{f0, f1}
+			}
+			usedStruct[g] = true
+			es.Edits = append(es.Edits, e)
+		case 1: // reconnect
+			if usedStruct[g] {
+				continue
+			}
+			gt := d.Gate(g)
+			pin := rng.Intn(gt.Type.NumInputs())
+			not := -1
+			if gt.Type == subject.Nand2 {
+				not = gt.In[1-pin]
+			}
+			f := fanin(g, not)
+			if f < 0 {
+				continue
+			}
+			usedStruct[g] = true
+			es.Edits = append(es.Edits, Edit{Kind: EditReconnect, Gate: g, Pin: pin, NewFanin: f})
+		case 2: // nudge
+			if usedPos[g] {
+				continue
+			}
+			usedPos[g] = true
+			es.Edits = append(es.Edits, Edit{Kind: EditNudge, Gate: g,
+				DX: (rng.Float64()*2 - 1) * 25, DY: (rng.Float64()*2 - 1) * 25})
+		case 3: // swap
+			o := base[rng.Intn(len(base))]
+			if o == g || usedPos[g] || usedPos[o] {
+				continue
+			}
+			usedPos[g], usedPos[o] = true, true
+			es.Edits = append(es.Edits, Edit{Kind: EditSwap, Gate: g, Other: o})
+		}
+	}
+	return es
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"casyn/internal/cover"
+	"casyn/internal/geom"
 	"casyn/internal/library"
 	"casyn/internal/obs"
 	"casyn/internal/partition"
@@ -36,10 +37,31 @@ type Prepared struct {
 	forest *partition.Forest
 	prefix *cover.Prefix
 	opts   Options
+	// in is the placement context the prefix was built against; the
+	// incremental path (Invalidate) re-partitions edited clones of it.
+	in Input
 }
+
+// DAG exposes the subject DAG the prefix was built for (read-only).
+func (p *Prepared) DAG() *subject.DAG { return p.dag }
+
+// Pos exposes the placement the prefix was built against (read-only).
+// After an Invalidate, the successor Prepared's Pos carries the edited
+// positions — downstream placement and routing read them from here.
+func (p *Prepared) Pos() []geom.Point { return p.in.Pos }
+
+// POPads exposes the PO pad map of the placement context (read-only).
+func (p *Prepared) POPads() map[int][]geom.Point { return p.in.POPads }
 
 // Forest exposes the partition the prefix was built on.
 func (p *Prepared) Forest() *partition.Forest { return p.forest }
+
+// Lib exposes the cell library the prefix's matches were enumerated
+// against. Compatible is pointer identity and library.Default()
+// allocates per call, so callers holding only the Prepared (an ECO
+// state, a cached prefix) read the exact pointer from here instead of
+// defaulting a fresh — and incompatible — library.
+func (p *Prepared) Lib() *library.Library { return p.opts.Lib }
 
 // NumMatches returns the total cached match count (reporting only).
 func (p *Prepared) NumMatches() int { return p.prefix.NumMatches() }
@@ -88,7 +110,7 @@ func prepare(ctx context.Context, d *subject.DAG, in Input, opts Options) (*Prep
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{dag: d, forest: forest, prefix: prefix, opts: opts}, nil
+	return &Prepared{dag: d, forest: forest, prefix: prefix, opts: opts, in: in}, nil
 }
 
 // MapPrepared maps the prepared DAG at one congestion factor K. The

@@ -1,0 +1,53 @@
+package place
+
+// Incremental placement for ECO synthesis: after a small edit, almost
+// every cell's mapper seed (its covered gates' center of mass on the
+// companion placement) is unchanged, so the previous legalized
+// position is still the right answer. PlaceECO keeps those verbatim
+// and snaps only the cells whose seeds moved — no global
+// re-legalization, no refinement sweep. The result is deliberately
+// NOT byte-identical to PlaceSeeded on the edited netlist (moved
+// cells may overlap neighbors until the next full placement); it is
+// the placement half of the flow's fast-ECO mode, which trades exact
+// identity for a milliseconds-scale re-synthesis.
+
+import (
+	"casyn/internal/geom"
+)
+
+// PlaceECO incrementally updates a previous legalized placement for an
+// edited netlist whose cells are index-aligned with the previous one:
+// cell i keeps prev's position when newSeeds[i] == oldSeeds[i], and is
+// otherwise snapped to the row nearest its new seed, clamped inside
+// the die. Returns the new placement, the number of re-placed cells,
+// and whether the fast path applied at all — false (nil placement)
+// when the netlists are not index-aligned or the previous placement
+// does not cover them, in which case the caller must fall back to a
+// full PlaceSeeded.
+func PlaceECO(nl *Netlist, layout Layout, prev *Placement, oldSeeds, newSeeds []geom.Point) (*Placement, int, bool) {
+	n := nl.NumCells()
+	if prev == nil || len(prev.Pos) != n || len(prev.Row) != n ||
+		len(oldSeeds) != n || len(newSeeds) != n || layout.NumRows < 1 {
+		return nil, 0, false
+	}
+	p := &Placement{Pos: make([]geom.Point, n), Row: make([]int, n)}
+	copy(p.Pos, prev.Pos)
+	copy(p.Row, prev.Row)
+	moved := 0
+	for i := 0; i < n; i++ {
+		if newSeeds[i] == oldSeeds[i] {
+			continue
+		}
+		moved++
+		r := layout.RowOf(newSeeds[i].Y)
+		x := newSeeds[i].X
+		if half := nl.Widths[i] / 2; x < layout.Die.Min.X+half {
+			x = layout.Die.Min.X + half
+		} else if x > layout.Die.Max.X-half {
+			x = layout.Die.Max.X - half
+		}
+		p.Pos[i] = geom.Pt(x, layout.RowY(r))
+		p.Row[i] = r
+	}
+	return p, moved, true
+}

@@ -1,0 +1,75 @@
+package place
+
+import (
+	"testing"
+
+	"casyn/internal/geom"
+)
+
+func TestPlaceECO(t *testing.T) {
+	t.Parallel()
+	layout, err := LayoutWithRows(10, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := &Netlist{Widths: []float64{4, 4, 4, 4}}
+	oldSeeds := []geom.Point{geom.Pt(10, 2), geom.Pt(20, 12), geom.Pt(30, 22), geom.Pt(40, 32)}
+	prev := &Placement{
+		Pos: []geom.Point{geom.Pt(11, 2.5), geom.Pt(21, 12.5), geom.Pt(31, 22.5), geom.Pt(41, 32.5)},
+		Row: []int{0, 2, 4, 6},
+	}
+
+	// Unchanged seeds keep the previous legalized placement verbatim.
+	newSeeds := append([]geom.Point(nil), oldSeeds...)
+	p, moved, ok := PlaceECO(nl, layout, prev, oldSeeds, newSeeds)
+	if !ok || moved != 0 {
+		t.Fatalf("ok=%v moved=%d, want true, 0", ok, moved)
+	}
+	for i := range p.Pos {
+		if p.Pos[i] != prev.Pos[i] || p.Row[i] != prev.Row[i] {
+			t.Fatalf("cell %d changed: pos %v row %d", i, p.Pos[i], p.Row[i])
+		}
+	}
+
+	// A moved seed snaps to the nearest row at the seed's x; everything
+	// else stays put. The previous placement is never mutated.
+	newSeeds[2] = geom.Pt(73, 41)
+	p, moved, ok = PlaceECO(nl, layout, prev, oldSeeds, newSeeds)
+	if !ok || moved != 1 {
+		t.Fatalf("ok=%v moved=%d, want true, 1", ok, moved)
+	}
+	wantRow := layout.RowOf(41)
+	if p.Row[2] != wantRow || p.Pos[2] != geom.Pt(73, layout.RowY(wantRow)) {
+		t.Errorf("moved cell: pos %v row %d, want (73, %g) row %d", p.Pos[2], p.Row[2], layout.RowY(wantRow), wantRow)
+	}
+	for _, i := range []int{0, 1, 3} {
+		if p.Pos[i] != prev.Pos[i] || p.Row[i] != prev.Row[i] {
+			t.Errorf("unmoved cell %d changed: pos %v", i, p.Pos[i])
+		}
+	}
+	if prev.Pos[2] != geom.Pt(31, 22.5) || prev.Row[2] != 4 {
+		t.Error("previous placement was mutated")
+	}
+
+	// Seeds outside the die clamp to it (by half the cell width).
+	newSeeds[3] = geom.Pt(150, -9)
+	p, moved, ok = PlaceECO(nl, layout, prev, oldSeeds, newSeeds)
+	if !ok || moved != 2 {
+		t.Fatalf("ok=%v moved=%d, want true, 2", ok, moved)
+	}
+	if p.Pos[3].X != layout.Die.Max.X-2 || p.Row[3] != 0 {
+		t.Errorf("clamped cell: pos %v row %d, want x=%g row 0", p.Pos[3], p.Row[3], layout.Die.Max.X-2)
+	}
+
+	// Index misalignment (cell count changed) refuses the fast path.
+	grown := &Netlist{Widths: []float64{4, 4, 4, 4, 4}}
+	if _, _, ok := PlaceECO(grown, layout, prev, oldSeeds, newSeeds); ok {
+		t.Error("misaligned netlist accepted")
+	}
+	if _, _, ok := PlaceECO(nl, layout, nil, oldSeeds, newSeeds); ok {
+		t.Error("nil previous placement accepted")
+	}
+	if _, _, ok := PlaceECO(nl, layout, prev, oldSeeds[:3], newSeeds); ok {
+		t.Error("short seed slice accepted")
+	}
+}

@@ -1,0 +1,417 @@
+package route
+
+// This file implements incremental (ECO) rerouting: after a local
+// edit, only the nets whose terminals changed are ripped up and
+// rerouted, against the persisted congestion history of the previous
+// routing, so the negotiation resumes where it left off instead of
+// relearning the hot spots. Residual overflow the baseline
+// negotiation already settled for is treated as settled (the router's
+// overflow floor), and only the edited nets' segments are eligible
+// for rip-up rounds — everything else keeps its routed path verbatim,
+// and marginal overflow the edit adds on a saturated design is
+// reported rather than re-negotiated globally.
+//
+// Incremental rerouting is deliberately NOT byte-identical to a
+// from-scratch RouteNetlist of the edited design: the first pass's
+// L-shape choices read accumulated congestion, so any reroute
+// ordering that skips clean nets observes different intermediate
+// state. The contract is instead: (1) an unchanged design returns the
+// previous result verbatim, (2) the final grid usage exactly equals
+// the sum of the final paths, and (3) only nets whose terminals
+// changed or whose territory intersects the dirty region change
+// paths. The eco invariant tests pin all three; the differential ECO
+// harness proves byte-identity of the exact path (full reroute),
+// which flow.RunECO uses by default.
+
+import (
+	"context"
+	"fmt"
+
+	"casyn/internal/obs"
+	"casyn/internal/place"
+)
+
+// State captures a completed routing for incremental reuse: the
+// settled grid (usage and negotiation history), every segment's final
+// path, and the per-net terminal gcells the next routing is diffed
+// against.
+type State struct {
+	layout place.Layout
+	opts   Options // defaulted
+	grid   *Grid
+	segs   []twoPin
+	// segsOfNet[ni] indexes segs for net ni, in mstPairs order.
+	segsOfNet [][]int
+	// netTerms[ni] is net ni's deduped terminal gcells.
+	netTerms [][][2]int
+	res      *Result
+}
+
+// Result returns the routing result the state captured.
+func (s *State) Result() *Result { return s.res }
+
+func newState(layout place.Layout, opts Options, g *Grid, segs []twoPin, netTerms [][][2]int, res *Result) *State {
+	st := &State{
+		layout:    layout,
+		opts:      opts,
+		grid:      g,
+		segs:      segs,
+		segsOfNet: make([][]int, len(netTerms)),
+		netTerms:  netTerms,
+		res:       res,
+	}
+	// segs are globally sorted; per-net index lists must recover the
+	// mstPairs emission order, which ascending (a, b) scan order does
+	// not. Rebuild by replaying mstPairs? No — record by matching:
+	// collect indices per net, then order them to match mstPairs by
+	// walking the pairs. Cheaper and simpler: index segs per net in
+	// their sorted positions, then reorder to mstPairs order below.
+	byNet := make(map[int][]int, len(netTerms))
+	for i := range segs {
+		byNet[segs[i].net] = append(byNet[segs[i].net], i)
+	}
+	for ni, pts := range netTerms {
+		if len(pts) < 2 {
+			continue
+		}
+		idx := byNet[ni]
+		ordered := make([]int, 0, len(idx))
+		for _, pr := range mstPairs(g, pts) {
+			for _, i := range idx {
+				if segs[i].a == pr[0] && segs[i].b == pr[1] {
+					ordered = append(ordered, i)
+					idx = removeFirst(idx, i)
+					break
+				}
+			}
+		}
+		st.segsOfNet[ni] = ordered
+	}
+	return st
+}
+
+func removeFirst(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// intersects reports whether two grid rectangles share a cell.
+func (r gridRect) intersects(o gridRect) bool {
+	return r.X0 <= o.X1 && o.X0 <= r.X1 && r.Y0 <= o.Y1 && o.Y0 <= r.Y1
+}
+
+// union grows r to cover o.
+func (r gridRect) union(o gridRect) gridRect {
+	if o.X0 < r.X0 {
+		r.X0 = o.X0
+	}
+	if o.Y0 < r.Y0 {
+		r.Y0 = o.Y0
+	}
+	if o.X1 > r.X1 {
+		r.X1 = o.X1
+	}
+	if o.Y1 > r.Y1 {
+		r.Y1 = o.Y1
+	}
+	return r
+}
+
+// termTerritory is a net's territory: the bounding box of its terminal
+// gcells expanded by mazeHalo — the multi-terminal generalization of
+// Grid.territory, and exactly the union of its segments' territories.
+func termTerritory(g *Grid, pts [][2]int) gridRect {
+	r := gridRect{X0: pts[0][0], Y0: pts[0][1], X1: pts[0][0], Y1: pts[0][1]}
+	for _, p := range pts[1:] {
+		r = r.union(gridRect{X0: p[0], Y0: p[1], X1: p[0], Y1: p[1]})
+	}
+	r.X0 = clampInt(r.X0-mazeHalo, 0, g.NX-1)
+	r.Y0 = clampInt(r.Y0-mazeHalo, 0, g.NY-1)
+	r.X1 = clampInt(r.X1+mazeHalo, 0, g.NX-1)
+	r.Y1 = clampInt(r.Y1+mazeHalo, 0, g.NY-1)
+	return r
+}
+
+// copyHistoryFrom persists o's negotiation history onto g. Grids must
+// have identical dimensions.
+func (g *Grid) copyHistoryFrom(o *Grid) {
+	for y := 0; y < g.NY; y++ {
+		copy(g.histH[y], o.histH[y])
+		copy(g.histV[y], o.histV[y])
+	}
+}
+
+// capacityDiffRect returns the bounding box of gcells whose edge
+// capacities differ between the grids (a placement change moves cell
+// density, which derates capacity), and whether any differ.
+func capacityDiffRect(a, b *Grid) (gridRect, bool) {
+	var r gridRect
+	found := false
+	for y := 0; y < a.NY; y++ {
+		for x := 0; x < a.NX; x++ {
+			if a.capH[y][x] == b.capH[y][x] && a.capV[y][x] == b.capV[y][x] {
+				continue
+			}
+			c := gridRect{X0: x, Y0: y, X1: x, Y1: y}
+			if !found {
+				r, found = c, true
+			} else {
+				r = r.union(c)
+			}
+		}
+	}
+	return r, found
+}
+
+// maxDirtyRects bounds the dirty-region representation; past it the
+// region collapses to one bounding box (the conservative pre-existing
+// behavior). A handful of moved cells stays well under it.
+const maxDirtyRects = 64
+
+// dirtyRegion is a set of dirty rectangles. Keeping them separate
+// instead of unioning into one bounding box is what makes incremental
+// rerouting local: a few moved cells scattered across the die would
+// otherwise bound a box covering most of the grid and rip up nearly
+// every net. Every rect is still conservative (a superset of the true
+// dirty cells), so shrinking the region never violates the RouteECO
+// contract — it only keeps more clean nets' paths.
+type dirtyRegion struct {
+	rects []gridRect
+}
+
+func (d *dirtyRegion) empty() bool { return len(d.rects) == 0 }
+
+// add inserts a rect, merging it with any rect it intersects and
+// collapsing the whole region to one bounding box past maxDirtyRects.
+func (d *dirtyRegion) add(r gridRect) {
+	for i := range d.rects {
+		if d.rects[i].intersects(r) {
+			d.rects[i] = d.rects[i].union(r)
+			return
+		}
+	}
+	if len(d.rects) >= maxDirtyRects {
+		for _, o := range d.rects[1:] {
+			d.rects[0] = d.rects[0].union(o)
+		}
+		d.rects = d.rects[:1]
+		d.rects[0] = d.rects[0].union(r)
+		return
+	}
+	d.rects = append(d.rects, r)
+}
+
+func (d *dirtyRegion) intersects(r gridRect) bool {
+	for _, o := range d.rects {
+		if o.intersects(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// addCapacityDiff appends the gcells whose edge capacities differ
+// between the grids, as per-row runs of consecutive cells — the
+// piecewise version of capacityDiffRect.
+func (d *dirtyRegion) addCapacityDiff(a, b *Grid) {
+	for y := 0; y < a.NY; y++ {
+		run := -1
+		for x := 0; x <= a.NX; x++ {
+			diff := x < a.NX && (a.capH[y][x] != b.capH[y][x] || a.capV[y][x] != b.capV[y][x])
+			if diff && run < 0 {
+				run = x
+			} else if !diff && run >= 0 {
+				d.add(gridRect{X0: run, Y0: y, X1: x - 1, Y1: y})
+				run = -1
+			}
+		}
+	}
+}
+
+func equalTerms(a, b [][2]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RouteECO incrementally reroutes the edited design against a previous
+// routing State. Nets whose terminals changed are ripped up and
+// rerouted — first pattern-routed in the canonical global order, then
+// negotiated among themselves against the kept usage and the persisted
+// congestion history, with the baseline's residual overflow accepted
+// as settled (only overflow the edit introduced, by a new path or by a
+// capacity shift under a moved cell, triggers rip-up rounds, and only
+// the edited nets' segments are eligible for rip-up). Kept nets keep
+// their previous paths verbatim; any marginal overflow the edit adds
+// on a saturated design is reported in the Result rather than fought
+// globally.
+//
+// An unchanged design (identical terminals and capacities) returns the
+// previous Result and State verbatim. A design whose net count changed
+// (the edit altered the netlist's shape beyond recognition by index)
+// falls back to a full RouteNetlistState — same signature, counted on
+// "eco.route_full".
+func RouteECO(ctx context.Context, st *State, nl *place.Netlist, pl *place.Placement) (*Result, *State, error) {
+	rec := obs.From(ctx)
+	if st == nil {
+		return nil, nil, fmt.Errorf("route: RouteECO needs a previous State")
+	}
+	if len(pl.Pos) != nl.NumCells() {
+		return nil, nil, fmt.Errorf("route: placement for %d cells, netlist has %d", len(pl.Pos), nl.NumCells())
+	}
+	if len(nl.Nets) != len(st.netTerms) {
+		rec.Add("eco.route_full", 1)
+		return RouteNetlistState(ctx, nl, pl, st.layout, st.opts)
+	}
+	opts := st.opts
+	density, err := cellDensity(nl, pl, st.layout, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := NewGrid(st.layout, opts, density)
+	if err != nil {
+		return nil, nil, err
+	}
+	if g.NX != st.grid.NX || g.NY != st.grid.NY {
+		rec.Add("eco.route_full", 1)
+		return RouteNetlistState(ctx, nl, pl, st.layout, st.opts)
+	}
+
+	// The dirty region: the gcells whose capacity derate shifted under
+	// moved cells, kept as separate rects so scattered small edits stay
+	// local. Nets whose terminals changed are ripped directly; their
+	// neighbors are not — any conflict a changed net's new path causes
+	// is exactly what the post-rip negotiation resolves.
+	var dirty dirtyRegion
+	dirty.addCapacityDiff(st.grid, g)
+	terms := make([][][2]int, len(nl.Nets))
+	var changed []int
+	var ptsBuf [][2]int
+	for ni := range nl.Nets {
+		pts := terminalCells(g, nl, pl, ni, ptsBuf[:0])
+		ptsBuf = pts
+		terms[ni] = append([][2]int(nil), pts...)
+		if !equalTerms(st.netTerms[ni], terms[ni]) {
+			changed = append(changed, ni)
+		}
+	}
+	if dirty.empty() && len(changed) == 0 {
+		// Nothing moved and nothing reconnected: the previous routing
+		// is the routing.
+		rec.Add("eco.route_nets_kept", int64(len(nl.Nets)))
+		return st.res, st, nil
+	}
+
+	// Persist the negotiated history — the learned congestion map — so
+	// rerouting resumes rather than relearns.
+	g.copyHistoryFrom(st.grid)
+
+	// Only changed nets are ripped outright. Kept nets whose paths the
+	// capacity shift or a changed net's new path now overflow are
+	// caught by the floor-gated negotiation below — per offending
+	// segment, instead of preemptively ripping every net whose
+	// territory overlaps the dirty region (on a coarse grid that is a
+	// large fraction of the design).
+	rip := make([]bool, len(nl.Nets))
+	for _, ni := range changed {
+		rip[ni] = true
+	}
+	ripped := len(changed)
+
+	// Rebuild the canonical segment list. Kept nets carry their
+	// previous paths (same terminals → same mstPairs, index-aligned
+	// with the previous state); ripped nets start pathless.
+	var segs []twoPin
+	for ni := range nl.Nets {
+		pts := terms[ni]
+		if len(pts) < 2 {
+			continue
+		}
+		prs := mstPairs(g, pts)
+		if !rip[ni] && len(st.segsOfNet[ni]) == len(prs) {
+			for k, pr := range prs {
+				segs = append(segs, twoPin{net: ni, a: pr[0], b: pr[1], path: st.segs[st.segsOfNet[ni][k]].path})
+			}
+		} else {
+			for _, pr := range prs {
+				segs = append(segs, twoPin{net: ni, a: pr[0], b: pr[1]})
+			}
+		}
+	}
+	sortSegs(segs)
+	reroute := make([]bool, len(segs))
+	for i := range segs {
+		reroute[i] = segs[i].path == nil
+	}
+
+	rec.Add("route.nets", int64(len(nl.Nets)))
+	rec.Add("route.segments", int64(len(segs)))
+	rec.Add("eco.route_nets_changed", int64(len(changed)))
+	rec.Add("eco.route_dirty_rects", int64(len(dirty.rects)))
+	rec.Add("eco.route_nets_ripped", int64(ripped))
+	rec.Add("eco.route_nets_kept", int64(len(nl.Nets)-ripped))
+
+	// Re-apply the kept paths' usage, then pattern-route the ripped
+	// segments in canonical order against it, then negotiate everything
+	// under the persisted history.
+	check := cancelChecker{ctx: ctx}
+	for i := range segs {
+		if reroute[i] {
+			continue
+		}
+		if err := check.tick(); err != nil {
+			return nil, nil, fmt.Errorf("route: canceled: %w", err)
+		}
+		for _, e := range segs[i].path {
+			g.addUsage(e, 1)
+		}
+	}
+	r := newRouter(g, opts)
+	// Residual overflow the baseline negotiation already settled for is
+	// not this edit's problem (floorGrid), and kept nets' paths are
+	// never ripped (eligible): the rounds below only rework the edited
+	// nets against each other.
+	r.floorGrid = st.grid
+	r.eligible = reroute
+	// Ripped segments maze-route directly — serially, in canonical
+	// order, against the kept usage and the persisted history — instead
+	// of the from-scratch flow's pattern-route first pass. An L-shape
+	// through the design's settled hot spots would push saturated edges
+	// over their floor and drag their every co-user into the
+	// negotiation; the maze reads the congestion and threads around
+	// them, so the rounds below have little or nothing left to fix.
+	_, fpSpan := rec.StartSpan(ctx, "route.first_pass")
+	s := r.scratch.Get().(*mazeScratch)
+	for i := range segs {
+		if !reroute[i] {
+			continue
+		}
+		if err := check.tick(); err != nil {
+			err = fmt.Errorf("route: canceled: %w", err)
+			fpSpan.End(err)
+			return nil, nil, err
+		}
+		r.reroute(s, &segs[i])
+	}
+	r.scratch.Put(s)
+	fpSpan.End(nil)
+	rounds, err := r.negotiate(ctx, rec, segs)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := collectResult(g, nl, segs, rounds)
+	if rec != nil {
+		recordRouteMetrics(rec, nl, pl, g, res)
+	}
+	return res, newState(st.layout, opts, g, segs, terms, res), nil
+}

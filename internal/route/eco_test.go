@@ -1,0 +1,261 @@
+package route
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"casyn/internal/geom"
+	"casyn/internal/place"
+)
+
+// ecoDesign builds a deterministic random multi-net design on the
+// standard 200×100 test die. Nets are spatially local — each draws
+// its 2–4 dedicated cells inside a small random box — so a single
+// moved cell dirties only part of the grid and the territory-
+// intersection invariant has clean nets to observe. Lightly loaded,
+// so the post-ECO negotiation has nothing to do and the kept-path
+// invariant is directly observable.
+func ecoDesign(t *testing.T, nets int, seed int64) (*place.Netlist, *place.Placement, place.Layout) {
+	t.Helper()
+	layout := testLayout(t)
+	rng := rand.New(rand.NewSource(seed))
+	nl := &place.Netlist{}
+	pl := &place.Placement{}
+	for n := 0; n < nets; n++ {
+		k := 2 + rng.Intn(3)
+		cx := rng.Float64() * (layout.Die.W() - 30)
+		cy := rng.Float64() * (layout.Die.H() - 20)
+		var members []int
+		for i := 0; i < k; i++ {
+			c := len(nl.Widths)
+			nl.Widths = append(nl.Widths, 2)
+			p := geom.Pt(cx+rng.Float64()*30, cy+rng.Float64()*20)
+			pl.Pos = append(pl.Pos, p)
+			pl.Row = append(pl.Row, layout.RowOf(p.Y))
+			members = append(members, c)
+		}
+		nl.Nets = append(nl.Nets, place.Net{Cells: members})
+	}
+	return nl, pl, layout
+}
+
+func ecoOpts() Options {
+	// Generous capacity: the invariants below need a congestion-free
+	// design so rip-up rounds stay at zero and kept paths are
+	// observable verbatim.
+	return Options{GCellSize: 10, RipupIterations: 4, CapacityScale: 4}
+}
+
+// usageFromPaths recomputes what the grid's edge usage must be from
+// the captured segments' final paths.
+func usageFromPaths(segs []twoPin) map[edge]float64 {
+	u := make(map[edge]float64)
+	for i := range segs {
+		for _, e := range segs[i].path {
+			u[e]++
+		}
+	}
+	return u
+}
+
+// checkUsageMatchesPaths asserts invariant (2) of the RouteECO
+// contract: the final grid usage exactly equals the sum of the final
+// paths.
+func checkUsageMatchesPaths(t *testing.T, st *State) {
+	t.Helper()
+	want := usageFromPaths(st.segs)
+	g := st.grid
+	for y := 0; y < g.NY; y++ {
+		for x := 0; x < g.NX; x++ {
+			for _, hz := range []bool{true, false} {
+				e := edge{x: x, y: y, horizontal: hz}
+				got := g.usageV[y][x]
+				if hz {
+					got = g.usageH[y][x]
+				}
+				if math.Abs(got-want[e]) > 1e-9 {
+					t.Fatalf("edge %+v: grid usage %g, paths sum to %g", e, got, want[e])
+				}
+			}
+		}
+	}
+}
+
+// TestRouteECOUnchangedReturnsPrevious: an unedited design is a no-op
+// — RouteECO hands back the previous Result and State verbatim.
+func TestRouteECOUnchangedReturnsPrevious(t *testing.T) {
+	t.Parallel()
+	nl, pl, layout := ecoDesign(t, 25, 3)
+	ctx := context.Background()
+	res, st, err := RouteNetlistState(ctx, nl, pl, layout, ecoOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Result() != res {
+		t.Fatal("State.Result does not return the captured result")
+	}
+	res2, st2, err := RouteECO(ctx, st, nl, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 != res || st2 != st {
+		t.Error("unchanged design did not return the previous Result/State verbatim")
+	}
+}
+
+// TestRouteECOInvariants moves one cell and checks the three
+// incremental-reroute guarantees: usage bookkeeping is exact, the
+// result matches a full-route summary of consistency (violations
+// from its own grid), and only nets whose territory intersects the
+// dirtied region changed paths.
+func TestRouteECOInvariants(t *testing.T) {
+	t.Parallel()
+	nl, pl, layout := ecoDesign(t, 25, 7)
+	ctx := context.Background()
+	res, st, err := RouteNetlistState(ctx, nl, pl, layout, ecoOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RipupRounds != 0 {
+		t.Fatalf("design congested (rounds=%d); the kept-path invariant needs a clean baseline", res.RipupRounds)
+	}
+	checkUsageMatchesPaths(t, st)
+
+	// Nudge one cell across a gcell boundary.
+	moved := 11
+	pl2 := &place.Placement{Pos: append([]geom.Point(nil), pl.Pos...), Row: append([]int(nil), pl.Row...)}
+	pl2.Pos[moved] = pl.Pos[moved].Add(geom.Pt(15, 10))
+	if out := layout.Die.Max; pl2.Pos[moved].X > out.X || pl2.Pos[moved].Y > out.Y {
+		pl2.Pos[moved] = geom.Pt(pl.Pos[moved].X-15, pl.Pos[moved].Y-10)
+	}
+	pl2.Row[moved] = layout.RowOf(pl2.Pos[moved].Y)
+
+	res2, st2, err := RouteECO(ctx, st, nl, pl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 == res {
+		t.Fatal("a moved cell must produce a new result")
+	}
+	checkUsageMatchesPaths(t, st2)
+
+	// Independent dirty region: capacity shifts plus old+new
+	// territories of every net whose terminals changed.
+	g2 := st2.grid
+	dirty, anyDirty := capacityDiffRect(st.grid, g2)
+	changed := make(map[int]bool)
+	for ni := range nl.Nets {
+		if equalTerms(st.netTerms[ni], st2.netTerms[ni]) {
+			continue
+		}
+		changed[ni] = true
+		for _, terms := range [][][2]int{st.netTerms[ni], st2.netTerms[ni]} {
+			if len(terms) == 0 {
+				continue
+			}
+			tr := termTerritory(g2, terms)
+			if !anyDirty {
+				dirty, anyDirty = tr, true
+			} else {
+				dirty = dirty.union(tr)
+			}
+		}
+	}
+	if !anyDirty {
+		t.Fatal("moving a cell across a gcell boundary dirtied nothing; pick a bigger nudge")
+	}
+
+	// Invariant (3): with zero rip-up rounds, a net outside the dirty
+	// region keeps its exact previous path.
+	if res2.RipupRounds != 0 {
+		t.Fatalf("post-ECO negotiation ripped (rounds=%d); capacity scale too low for the invariant", res2.RipupRounds)
+	}
+	pathOf := func(st *State, ni int) [][]edge {
+		var out [][]edge
+		for _, si := range st.segsOfNet[ni] {
+			out = append(out, st.segs[si].path)
+		}
+		return out
+	}
+	cleanNets, changedPaths := 0, 0
+	for ni := range nl.Nets {
+		if changed[ni] || len(st2.netTerms[ni]) < 2 {
+			continue
+		}
+		if termTerritory(g2, st2.netTerms[ni]).intersects(dirty) {
+			continue
+		}
+		cleanNets++
+		oldP, newP := pathOf(st, ni), pathOf(st2, ni)
+		if len(oldP) != len(newP) {
+			t.Fatalf("net %d outside the dirty region changed segment count", ni)
+		}
+		for k := range oldP {
+			if len(oldP[k]) != len(newP[k]) {
+				changedPaths++
+				break
+			}
+			same := true
+			for j := range oldP[k] {
+				if oldP[k][j] != newP[k][j] {
+					same = false
+					break
+				}
+			}
+			if !same {
+				changedPaths++
+				break
+			}
+		}
+	}
+	if cleanNets == 0 {
+		t.Fatal("every net intersected the dirty region; the invariant was never exercised")
+	}
+	if changedPaths != 0 {
+		t.Errorf("%d of %d nets outside the dirty region changed paths", changedPaths, cleanNets)
+	}
+}
+
+// TestRouteECOFullFallback: a net-count change is beyond index-based
+// diffing — RouteECO must fall back to a full route whose result
+// matches a from-scratch RouteNetlistState bit for bit.
+func TestRouteECOFullFallback(t *testing.T) {
+	t.Parallel()
+	nl, pl, layout := ecoDesign(t, 25, 11)
+	ctx := context.Background()
+	_, st, err := RouteNetlistState(ctx, nl, pl, layout, ecoOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl2 := &place.Netlist{Widths: nl.Widths, Nets: append(append([]place.Net(nil), nl.Nets...), place.Net{Cells: []int{0, 39}})}
+	res2, st2, err := RouteECO(ctx, st, nl2, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := RouteNetlistState(ctx, nl2, pl, layout, ecoOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.WireLength != ref.WireLength || res2.Violations != ref.Violations ||
+		res2.FailedConnections != ref.FailedConnections || len(res2.NetLength) != len(ref.NetLength) {
+		t.Errorf("fallback result differs from from-scratch route: wl %g vs %g, viol %d vs %d",
+			res2.WireLength, ref.WireLength, res2.Violations, ref.Violations)
+	}
+	for ni := range ref.NetLength {
+		if res2.NetLength[ni] != ref.NetLength[ni] {
+			t.Fatalf("net %d length %g vs %g", ni, res2.NetLength[ni], ref.NetLength[ni])
+		}
+	}
+	checkUsageMatchesPaths(t, st2)
+}
+
+// TestRouteECONilState: a missing baseline is an error, not a crash.
+func TestRouteECONilState(t *testing.T) {
+	t.Parallel()
+	nl, pl, _ := ecoDesign(t, 4, 13)
+	if _, _, err := RouteECO(context.Background(), nil, nl, pl); err == nil {
+		t.Error("nil state did not error")
+	}
+}

@@ -104,17 +104,29 @@ type twoPin struct {
 // across opts.Workers goroutines; results are byte-identical for every
 // worker count (see the package comment in regions.go for why).
 func RouteNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, layout place.Layout, opts Options) (*Result, error) {
+	res, _, err := routeNetlist(ctx, nl, pl, layout, opts, false)
+	return res, err
+}
+
+// RouteNetlistState is RouteNetlist plus a captured State for
+// incremental ECO rerouting (RouteECO). The Result is byte-identical
+// to RouteNetlist's — capture only records, it never alters routing.
+func RouteNetlistState(ctx context.Context, nl *place.Netlist, pl *place.Placement, layout place.Layout, opts Options) (*Result, *State, error) {
+	return routeNetlist(ctx, nl, pl, layout, opts, true)
+}
+
+func routeNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, layout place.Layout, opts Options, capture bool) (*Result, *State, error) {
 	if len(pl.Pos) != nl.NumCells() {
-		return nil, fmt.Errorf("route: placement for %d cells, netlist has %d", len(pl.Pos), nl.NumCells())
+		return nil, nil, fmt.Errorf("route: placement for %d cells, netlist has %d", len(pl.Pos), nl.NumCells())
 	}
 	opts.defaults(layout)
 	density, err := cellDensity(nl, pl, layout, opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	g, err := NewGrid(layout, opts, density)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	r := newRouter(g, opts)
 
@@ -122,10 +134,17 @@ func RouteNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, l
 	// The terminal buffer is reused across nets (profile-driven: a
 	// fresh dedup map per net dominated setup time at 100k+ nets).
 	var segs []twoPin
+	var netTerms [][][2]int
+	if capture {
+		netTerms = make([][][2]int, len(nl.Nets))
+	}
 	var ptsBuf [][2]int
 	for ni := range nl.Nets {
 		pts := terminalCells(g, nl, pl, ni, ptsBuf[:0])
 		ptsBuf = pts
+		if capture {
+			netTerms[ni] = append([][2]int(nil), pts...)
+		}
 		if len(pts) < 2 {
 			continue
 		}
@@ -134,11 +153,7 @@ func RouteNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, l
 		}
 	}
 	// Longer segments first: they have the least routing flexibility.
-	sort.SliceStable(segs, func(i, j int) bool {
-		di := abs(segs[i].a[0]-segs[i].b[0]) + abs(segs[i].a[1]-segs[i].b[1])
-		dj := abs(segs[j].a[0]-segs[j].b[0]) + abs(segs[j].a[1]-segs[j].b[1])
-		return di > dj
-	})
+	sortSegs(segs)
 
 	rec := obs.From(ctx)
 	rec.Add("route.nets", int64(len(nl.Nets)))
@@ -153,7 +168,48 @@ func RouteNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, l
 	// boundaries depend only on the segment indices — never on the
 	// worker count — so the routing is byte-identical for any Workers
 	// value, and the serial apply loop is the cancellation point.
+	if err := r.firstPass(ctx, segs, nil); err != nil {
+		fpSpan.End(err)
+		return nil, nil, err
+	}
+	fpSpan.End(nil)
+
+	rounds, err := r.negotiate(ctx, rec, segs)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	res := collectResult(g, nl, segs, rounds)
+	if rec != nil {
+		recordRouteMetrics(rec, nl, pl, g, res)
+	}
+	var st *State
+	if capture {
+		st = newState(layout, opts, g, segs, netTerms, res)
+	}
+	return res, st, nil
+}
+
+// sortSegs orders segments longest-first (least routing flexibility),
+// stably — the canonical global routing order shared by the full and
+// the incremental paths.
+func sortSegs(segs []twoPin) {
+	sort.SliceStable(segs, func(i, j int) bool {
+		di := abs(segs[i].a[0]-segs[i].b[0]) + abs(segs[i].a[1]-segs[i].b[1])
+		dj := abs(segs[j].a[0]-segs[j].b[0]) + abs(segs[j].a[1]-segs[j].b[1])
+		return di > dj
+	})
+}
+
+// firstPass pattern-routes segments in fixed 256-segment batches
+// against the congestion frozen at each batch boundary, applying usage
+// serially in segment order between batches. When route is non-nil,
+// only segments with route[i] true are pattern-routed — the others
+// already carry a path whose usage was applied by the caller (the
+// incremental path's kept nets). Byte-identical for any worker count.
+func (r *router) firstPass(ctx context.Context, segs []twoPin, route []bool) error {
 	const firstPassBatch = 256
+	g := r.grid
 	applyCheck := cancelChecker{ctx: ctx}
 	for start := 0; start < len(segs); start += firstPassBatch {
 		end := start + firstPassBatch
@@ -161,33 +217,32 @@ func RouteNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, l
 			end = len(segs)
 		}
 		batch := segs[start:end]
-		if err := par.ForEach(ctx, opts.Workers, len(batch), func(j int) error {
-			batch[j].path = r.patternRoute(batch[j].a, batch[j].b)
+		if err := par.ForEach(ctx, r.opts.Workers, len(batch), func(j int) error {
+			if route == nil || route[start+j] {
+				batch[j].path = r.patternRoute(batch[j].a, batch[j].b)
+			}
 			return nil
 		}); err != nil {
-			err = fmt.Errorf("route: canceled: %w", err)
-			fpSpan.End(err)
-			return nil, err
+			return fmt.Errorf("route: canceled: %w", err)
 		}
 		for j := range batch {
 			if err := applyCheck.tick(); err != nil {
-				err = fmt.Errorf("route: canceled: %w", err)
-				fpSpan.End(err)
-				return nil, err
+				return fmt.Errorf("route: canceled: %w", err)
+			}
+			if route != nil && !route[start+j] {
+				continue
 			}
 			for _, e := range batch[j].path {
 				g.addUsage(e, 1)
 			}
 		}
 	}
-	fpSpan.End(nil)
+	return nil
+}
 
-	rounds, err := r.negotiate(ctx, rec, segs)
-	if err != nil {
-		return nil, err
-	}
-
-	// Collect results.
+// collectResult assembles a Result from the settled grid and segment
+// paths.
+func collectResult(g *Grid, nl *place.Netlist, segs []twoPin, rounds int) *Result {
 	res := &Result{Grid: g, NetLength: make([]float64, len(nl.Nets)), RipupRounds: rounds}
 	for i := range segs {
 		l := 0.0
@@ -220,10 +275,7 @@ func RouteNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, l
 			}
 		}
 	}
-	if rec != nil {
-		recordRouteMetrics(rec, nl, pl, g, res)
-	}
-	return res, nil
+	return res
 }
 
 // negotiate is the congestion negotiation: rip up and reroute every
@@ -272,16 +324,17 @@ func (r *router) negotiate(ctx context.Context, rec *obs.Recorder, segs []twoPin
 		if overflow == 0 {
 			break
 		}
-		rounds++
-		roundOverflow.Observe(float64(overflow))
-		ripupIters.Add(1)
-		r.bumpHistory()
-		// Freeze the failing set against the start-of-round state.
+		// Freeze the failing set against the start-of-round state. With
+		// an ECO overflow floor, residual baseline congestion does not
+		// fail a segment — only overflow the edit introduced does.
 		var fail []int
 		var terr []gridRect
 		for i := range segs {
+			if r.eligible != nil && !r.eligible[i] {
+				continue
+			}
 			for _, e := range segs[i].path {
-				if g.overflowOf(e) > 0 {
+				if ov := g.overflowOf(e); ov > 0 && ov > r.overflowFloor(e) {
 					fail = append(fail, i)
 					terr = append(terr, g.territory(segs[i].a, segs[i].b))
 					break
@@ -291,6 +344,10 @@ func (r *router) negotiate(ctx context.Context, rec *obs.Recorder, segs []twoPin
 		if len(fail) == 0 {
 			break
 		}
+		rounds++
+		roundOverflow.Observe(float64(overflow))
+		ripupIters.Add(1)
+		r.bumpHistory()
 		plan := partitionRegions(fail, terr, all)
 		regionsTotal.Add(int64(len(plan.Regions)))
 		boundaryTotal.Add(int64(plan.boundaryCount()))
@@ -523,8 +580,35 @@ type router struct {
 	// default CongestionExponent of 2 (math.Pow(x, 2) computes exactly
 	// x*x, so the results are bit-identical).
 	squareCost bool
+	// floorGrid, when set (incremental ECO rerouting), is the previous
+	// routing's settled grid: overflow up to its level is treated as
+	// already-negotiated residue, and only overflow EXCEEDING it
+	// triggers rip-up. Without it a fast ECO on a design whose baseline
+	// negotiation ended with residual congestion would re-fight that
+	// entire congestion every time, globally.
+	floorGrid *Grid
+	// eligible, when set (incremental ECO rerouting), restricts rip-up
+	// to the marked segments — the edited nets. On a saturated design
+	// an edited net has no overflow-free path, so its +1 through a hot
+	// edge would otherwise drag that edge's every co-user into the
+	// negotiation and cascade across the die; instead the kept nets'
+	// paths are preserved verbatim and the marginal overflow is
+	// reported honestly in the Result.
+	eligible []bool
 	// scratch pools the per-worker maze-routing buffers.
 	scratch sync.Pool
+}
+
+// overflowFloor is the overflow level on e the negotiation accepts
+// without ripping: zero normally, the baseline's residue under ECO.
+func (r *router) overflowFloor(e edge) float64 {
+	if r.floorGrid == nil {
+		return 0
+	}
+	if ov := r.floorGrid.overflowOf(e); ov > 0 {
+		return ov
+	}
+	return 0
 }
 
 func newRouter(g *Grid, opts Options) *router {

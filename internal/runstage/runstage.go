@@ -34,8 +34,12 @@ const (
 	// (partition + match enumeration, flow.PrepareMapping); it runs
 	// before the K ladder, not inside an iteration.
 	StageMapPrepare Stage = "map_prepare"
-	StageMap        Stage = "map"
-	StageVerify     Stage = "verify"
+	StageMap Stage = "map"
+	// StageECO is the edit-scoped invalidation of a prepared mapping
+	// context (flow.RunECO): applying an EditSet and recomputing only
+	// the dirtied partition trees' enumerations.
+	StageECO    Stage = "eco"
+	StageVerify Stage = "verify"
 	StagePlace      Stage = "place"
 	StageRoute      Stage = "route"
 	StageSTA        Stage = "sta"

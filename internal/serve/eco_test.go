@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"casyn"
+	"casyn/internal/logic"
+	"casyn/internal/runstage"
+	"casyn/internal/subject"
+)
+
+func postEco(t *testing.T, ts *httptest.Server, parent, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/jobs/"+parent+"/eco", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	resp.Body.Close()
+	return resp, m
+}
+
+// tinyEditableGate finds a live base gate of tinyPLA's subject DAG —
+// the same DAG the daemon synthesizes for the spec — so the tests can
+// submit a semantically valid edit.
+func tinyEditableGate(t *testing.T) int {
+	t.Helper()
+	p, err := logic.ReadPLA(strings.NewReader(tinyPLA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := casyn.SubjectFor(context.Background(), p, casyn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range d.LiveGates() {
+		if tp := d.Gate(g).Type; tp == subject.Nand2 || tp == subject.Inv {
+			return g
+		}
+	}
+	t.Fatal("tinyPLA has no editable base gate")
+	return -1
+}
+
+// TestEcoEndpoint drives the incremental path over HTTP: base job,
+// then an ECO against it; the result must carry the ECO annotation,
+// and an identical resubmission must come back byte-identical from
+// the result cache.
+func TestEcoEndpoint(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	resp, m := postJob(t, ts, `{"pla":`+strconv.Quote(tinyPLA)+`,"k":0}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d (%v)", resp.StatusCode, m)
+	}
+	parent := m["id"].(string)
+	if job := waitTerminal(t, s, parent); job.Status() != StatusDone {
+		res, err := job.Result()
+		t.Fatalf("parent finished %s (%+v, %v)", job.Status(), res, err)
+	}
+
+	edits := fmt.Sprintf(`{"edits":[{"op":"nudge","gate":%d,"dx":5,"dy":0}]}`, tinyEditableGate(t))
+	er, em := postEco(t, ts, parent, edits)
+	if er.StatusCode != http.StatusAccepted {
+		t.Fatalf("eco submit: %d (%v)", er.StatusCode, em)
+	}
+	eid := em["id"].(string)
+	job := waitTerminal(t, s, eid)
+	if job.Status() != StatusDone {
+		res, err := job.Result()
+		t.Fatalf("eco job finished %s (%+v, %v)", job.Status(), res, err)
+	}
+	res, _ := job.Result()
+	if res == nil || res.ECO == nil {
+		t.Fatalf("eco result missing annotation: %+v", res)
+	}
+	if res.ECO.Parent != parent || res.ECO.Edits != 1 || res.ECO.K != 0 || res.ECO.FastRoute {
+		t.Fatalf("eco annotation %+v", res.ECO)
+	}
+	if res.Report == "" || res.NumCells == 0 {
+		t.Fatalf("empty eco result: %+v", res)
+	}
+
+	// Identical resubmission: served from the result cache, byte-identical.
+	er2, em2 := postEco(t, ts, parent, edits)
+	if er2.StatusCode != http.StatusAccepted {
+		t.Fatalf("eco resubmit: %d (%v)", er2.StatusCode, em2)
+	}
+	job2 := waitTerminal(t, s, em2["id"].(string))
+	res2, _ := job2.Result()
+	if res2 == nil || res2.Cache != "result" {
+		t.Fatalf("resubmission missed the result cache: %+v", res2)
+	}
+	if res2.Report != res.Report {
+		t.Error("cached eco result differs from the original")
+	}
+
+	// Chaining an ECO off an ECO is rejected.
+	cr, cm := postEco(t, ts, eid, edits)
+	if cr.StatusCode != http.StatusBadRequest {
+		t.Errorf("eco-of-eco: %d (%v), want 400", cr.StatusCode, cm)
+	}
+}
+
+// TestEcoRejections covers the endpoint's error contract: malformed
+// bodies 400, unknown parent 404, unfinished parent 409.
+func TestEcoRejections(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1, Hooks: &runstage.Hooks{Faults: []runstage.Fault{
+		{Stage: runstage.StagePrepare, AllK: true, Delay: 3 * time.Second},
+	}}})
+
+	if r, m := postEco(t, ts, "nope", `{"edits":[{"op":"nudge","gate":1,"dx":1,"dy":1}]}`); r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown parent: %d (%v), want 404", r.StatusCode, m)
+	}
+
+	// A slow parent is not done: 409.
+	resp, m := postJob(t, ts, `{"pla":`+strconv.Quote(tinyPLA)+`,"k":0}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d (%v)", resp.StatusCode, m)
+	}
+	parent := m["id"].(string)
+	waitRunning(t, s, parent)
+	if r, m := postEco(t, ts, parent, `{"edits":[{"op":"nudge","gate":1,"dx":1,"dy":1}]}`); r.StatusCode != http.StatusConflict {
+		t.Errorf("unfinished parent: %d (%v), want 409", r.StatusCode, m)
+	}
+	if job := waitTerminal(t, s, parent); job.Status() != StatusDone {
+		t.Fatalf("parent finished %s", job.Status())
+	}
+
+	for _, body := range []string{
+		`{`,                              // malformed JSON
+		`{}`,                             // no edits
+		`{"edits":[]}`,                   // empty set
+		`{"edits":[{"op":"warp"}]}`,      // unknown op
+		`{"edits":[{"op":"nudge"}]}`,     // missing fields
+		`{"edits":[],"typo_field":true}`, // unknown field
+		`{"edits":[{"op":"nudge","gate":1,"dx":1,"dy":1}],"k":-1}`, // bad K
+	} {
+		if r, m := postEco(t, ts, parent, body); r.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: %d (%v), want 400", body, r.StatusCode, m)
+		}
+	}
+
+	// A semantically invalid edit (out-of-range gate) passes admission
+	// and fails in the eco stage.
+	r, m := postEco(t, ts, parent, `{"edits":[{"op":"nudge","gate":999999,"dx":1,"dy":1}]}`)
+	if r.StatusCode != http.StatusAccepted {
+		t.Fatalf("out-of-range gate rejected at admission: %d (%v)", r.StatusCode, m)
+	}
+	job := waitTerminal(t, s, m["id"].(string))
+	if job.Status() != StatusFailed {
+		t.Fatalf("out-of-range gate: job %s, want failed", job.Status())
+	}
+	_, jerr := job.Result()
+	if jerr == nil || jerr.Stage != string(runstage.StageECO) {
+		t.Errorf("failure did not identify the eco stage: %+v", jerr)
+	}
+}

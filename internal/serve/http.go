@@ -42,6 +42,7 @@ func viewOf(j *Job) jobView {
 // Handler returns the daemon's HTTP API:
 //
 //	POST   /jobs             submit a JobSpec       → 202 {id,status} | 400 | 429 (+Retry-After) | 503 draining
+//	POST   /jobs/{id}/eco    incremental edit job   → 202 {id,status} | 400 | 404 | 409 parent not done | 429 | 503
 //	GET    /jobs/{id}        job status             → 200 | 404
 //	GET    /jobs/{id}/result terminal outcome       → 200 result | 200 error body | 202 still running | 404
 //	DELETE /jobs/{id}        cancel                 → 200 | 404
@@ -50,6 +51,7 @@ func viewOf(j *Job) jobView {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("POST /jobs/{id}/eco", s.handleEco)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
@@ -79,6 +81,39 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job, err := s.Submit(*spec)
 	var full *ErrQueueFull
 	switch {
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errBody{Error: err.Error()})
+	case errors.As(err, &full):
+		secs := int(full.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, errBody{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusAccepted, viewOf(job))
+	}
+}
+
+// handleEco admits an incremental job: the edit set in the body is
+// applied against the completed parent job's synthesis lineage.
+func (s *Server) handleEco(w http.ResponseWriter, r *http.Request) {
+	parent, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	spec, err := ParseEcoSpec(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody{Error: err.Error()})
+		return
+	}
+	job, err := s.SubmitECO(parent, spec)
+	var full *ErrQueueFull
+	switch {
+	case errors.Is(err, ErrParentNotDone):
+		writeJSON(w, http.StatusConflict, errBody{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, errBody{Error: err.Error()})
 	case errors.As(err, &full):

@@ -97,6 +97,9 @@ type JobResult struct {
 	// "prepared" (shared mapping prefix reused), or "result" (exact
 	// repeat, no compute).
 	Cache string `json:"cache,omitempty"`
+	// ECO describes an incremental job (POST /jobs/{id}/eco); nil for
+	// ordinary submissions.
+	ECO *ECOInfo `json:"eco,omitempty"`
 	// Retries counts transient-failure retries the job survived.
 	Retries int `json:"retries,omitempty"`
 }
@@ -118,6 +121,10 @@ type Job struct {
 	// attempt by runJob/prepared.
 	prepKey   string
 	resultKey string
+	// eco marks an incremental ECO job (POST /jobs/{id}/eco): the edit
+	// set to apply against the parent job's synthesis lineage. Nil for
+	// ordinary submissions.
+	eco *ecoJob
 
 	mu       sync.Mutex
 	status   Status

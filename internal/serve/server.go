@@ -172,6 +172,11 @@ type Server struct {
 
 	prepCache *lru[*prepEntry]
 	resCache  *lru[*JobResult]
+	// ecoCache holds per-(prefix, K) baseline synthesis states for the
+	// incremental ECO path: the mapping/covering/routing residue an
+	// edit set is diffed against. Keyed by prepKey + K, so every ECO
+	// against the same parent lineage reuses one baseline.
+	ecoCache *lru[*flow.ECOState]
 
 	// ewmaNs tracks the exponentially-weighted moving average of job
 	// wall time, the basis of the Retry-After estimate.
@@ -195,6 +200,7 @@ func New(cfg Config) *Server {
 		jobs:       make(map[string]*Job),
 		prepCache:  newLRU[*prepEntry](cfg.PreparedCacheSize),
 		resCache:   newLRU[*JobResult](cfg.ResultCacheSize),
+		ecoCache:   newLRU[*flow.ECOState](cfg.PreparedCacheSize),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -212,6 +218,7 @@ func (s *Server) Metrics() obs.Snapshot {
 	s.rec.SetGauge("serve.jobs_running", s.runningCount())
 	s.rec.SetGauge("serve.cache.prepared_entries", int64(s.prepCache.len()))
 	s.rec.SetGauge("serve.cache.result_entries", int64(s.resCache.len()))
+	s.rec.SetGauge("serve.cache.eco_entries", int64(s.ecoCache.len()))
 	return s.rec.Snapshot()
 }
 
@@ -255,6 +262,12 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		return nil, err
 	}
 
+	return s.admit(spec, prepKey, resultKey, nil)
+}
+
+// admit is the shared admission tail of Submit and SubmitECO: drain
+// check, bounded-queue enqueue, job-table insert.
+func (s *Server) admit(spec JobSpec, prepKey, resultKey string, eco *ecoJob) (*Job, error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -263,6 +276,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	}
 	s.nextID++
 	job := newJob(fmt.Sprintf("j%06d", s.nextID), spec, prepKey, resultKey)
+	job.eco = eco
 	select {
 	case s.queue <- job:
 	default:
@@ -503,6 +517,9 @@ func (s *Server) runJobIsolated(ctx context.Context, job *Job) (res *JobResult, 
 // the flow. Cache keys were computed once at Submit (hashing an inline
 // PLA is not free) and ride on the job.
 func (s *Server) runJob(ctx context.Context, job *Job) (*JobResult, error) {
+	if job.eco != nil {
+		return s.runJobECO(ctx, job)
+	}
 	spec := &job.Spec
 	if !spec.NoResultCache {
 		if cached, ok := s.resCache.get(job.resultKey); ok {

@@ -1,0 +1,66 @@
+package subject
+
+import "fmt"
+
+// Clone returns an independent deep copy of the DAG. The copy shares
+// no mutable state with the original: gates, PI and output lists, and
+// the structural-hash table are all duplicated, and the fanout cache
+// starts stale. ECO edits mutate a clone so the original can keep
+// serving concurrent readers.
+func (d *DAG) Clone() *DAG {
+	cp := &DAG{
+		gates:   append([]Gate(nil), d.gates...),
+		pis:     append([]int(nil), d.pis...),
+		outputs: append([]Output(nil), d.outputs...),
+		hash:    make(map[[3]int]int, len(d.hash)),
+	}
+	for k, v := range d.hash {
+		cp.hash[k] = v
+	}
+	return cp
+}
+
+// SetGate rewrites gate id in place to the given base-gate type and
+// fanins. It is the primitive under ECO edits (function changes and
+// net reconnects), and deliberately bypasses structural hashing: an
+// edit may duplicate existing structure, so the whole hash table is
+// dropped rather than left pointing at stale shapes (later Add* calls
+// stay correct, they just may not re-share).
+//
+// Only Nand2 and Inv targets are legal — PIs, constants, and output
+// markers are not rewritable vertices. Every fanin must be an existing
+// gate with ID < id, which preserves the DAG-wide invariant that IDs
+// are topologically ordered (Eval and TopoOrder iterate by ID).
+func (d *DAG) SetGate(id int, t GateType, in [2]int) error {
+	if id < 0 || id >= len(d.gates) {
+		return fmt.Errorf("subject: SetGate id %d out of range [0,%d)", id, len(d.gates))
+	}
+	switch d.gates[id].Type {
+	case Nand2, Inv:
+	default:
+		return fmt.Errorf("subject: SetGate target %d is a %s, not a base gate", id, d.gates[id].Type)
+	}
+	switch t {
+	case Nand2, Inv:
+	default:
+		return fmt.Errorf("subject: SetGate new type %s is not a base gate", t)
+	}
+	n := t.NumInputs()
+	for i := 0; i < n; i++ {
+		if in[i] < 0 || in[i] >= len(d.gates) {
+			return fmt.Errorf("subject: SetGate fanin %d out of range [0,%d)", in[i], len(d.gates))
+		}
+		if in[i] >= id {
+			return fmt.Errorf("subject: SetGate fanin %d not before gate %d (IDs must stay topological)", in[i], id)
+		}
+	}
+	if t == Nand2 && in[0] == in[1] {
+		return fmt.Errorf("subject: SetGate NAND2 %d with identical fanins %d (fold to INV instead)", id, in[0])
+	}
+	g := Gate{ID: id, Type: t, In: [2]int{-1, -1}}
+	copy(g.In[:n], in[:n])
+	d.gates[id] = g
+	d.hash = make(map[[3]int]int)
+	d.fanouts = nil
+	return nil
+}

@@ -1,0 +1,75 @@
+package diffharness
+
+import (
+	"context"
+	"testing"
+)
+
+// TestECOSweepEveryExampleCircuit is the ECO acceptance sweep: every
+// example circuit × a seeded stream of random edit sets × K ∈ {0, 1}
+// × workers ∈ {1, 4}; every incremental result byte-identical to the
+// from-scratch synthesis of the edited design, every edited netlist
+// proven equivalent to its edited subject DAG.
+func TestECOSweepEveryExampleCircuit(t *testing.T) {
+	t.Parallel()
+	cfg := ECODefault()
+	for name, p := range corpus(t) {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunECOSweep(context.Background(), name, p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Base) != len(cfg.Ks) {
+				t.Fatalf("%d base fingerprints, want %d", len(res.Base), len(cfg.Ks))
+			}
+			want := len(cfg.Ks) * cfg.Sets
+			for _, w := range cfg.Workers {
+				checks, ok := res.Checks[w]
+				if !ok {
+					t.Fatalf("no checks for workers=%d", w)
+				}
+				if len(checks) != want {
+					t.Fatalf("workers=%d: %d checks, want %d", w, len(checks), want)
+				}
+				for _, c := range checks {
+					if c.Fingerprint == "" || c.Fingerprint != c.Reference {
+						t.Errorf("workers=%d K=%g set=%d: fingerprint %q does not match reference %q",
+							w, c.K, c.Set, c.Fingerprint, c.Reference)
+					}
+					if c.Edits == 0 {
+						t.Errorf("workers=%d K=%g set=%d: empty edit set slipped through", w, c.K, c.Set)
+					}
+				}
+			}
+			if len(res.Proofs) != want {
+				t.Fatalf("%d equivalence proofs, want %d", len(res.Proofs), want)
+			}
+			for i, rep := range res.Proofs {
+				if !rep.Proven {
+					t.Errorf("proof %d unproven", i)
+				}
+			}
+		})
+	}
+}
+
+// TestECOSweepRejectsDegenerateConfig: an empty ladder, worker list,
+// or edit budget is an error, not a vacuous pass.
+func TestECOSweepRejectsDegenerateConfig(t *testing.T) {
+	t.Parallel()
+	p := corpus(t)["dec24"]
+	if p == nil {
+		t.Skip("dec24 example missing")
+	}
+	for _, cfg := range []ECOConfig{
+		{},
+		{Ks: []float64{0}, Workers: []int{1}, Sets: 0, EditsPerSet: 4},
+		{Ks: []float64{0}, Workers: []int{1}, Sets: 1, EditsPerSet: 0},
+		{Ks: []float64{0}, Workers: nil, Sets: 1, EditsPerSet: 4},
+	} {
+		if _, err := RunECOSweep(context.Background(), "dec24", p, cfg); err == nil {
+			t.Errorf("degenerate config %+v did not error", cfg)
+		}
+	}
+}
