@@ -572,6 +572,125 @@ func BenchmarkRouteParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptive measures the closed-loop congestion controller
+// against the full 14-rung open-loop K ladder on the flagship
+// congested operating point (SPLA at 55% target utilization, router
+// capacity scaled to 1.3, seeded placement — the regime where the
+// baseline K is unroutable and K choice actually matters). Both arms
+// share one prepared prefix; the headline is the wall-clock ratio and
+// the covering-iteration count (14 rungs vs ≤3 routed iterations).
+// The final overflow is cross-checked: the accepted adaptive iteration
+// must be no worse than the ladder's accepted rung. Writes
+// BENCH_adaptive.json so the trajectory is tracked across PRs.
+func BenchmarkAdaptive(b *testing.B) {
+	const tightness, capScale = 0.55, 1.3
+	p, err := bench.Generate(bench.SPLA.ScaledSpec(benchScale))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := bench.BuildSubject(p, bench.Direct, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout, err := place.NewLayout(float64(d.BaseGateCount())*4.6/tightness, 1.0, library.RowHeight)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := flow.Config{
+		Layout:         layout,
+		Lib:            library.Default(),
+		PlaceOpts:      place.Options{Seed: 1},
+		RouteOpts:      route.Options{CapacityScale: capScale},
+		FreshPlacement: false,
+		Workers:        4,
+	}
+	ctx := context.Background()
+	pc, err := flow.Prepare(ctx, d, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := flow.PrepareMapping(ctx, pc, cfg); err != nil {
+		b.Fatal(err)
+	}
+	lcfg := cfg
+	lcfg.KSchedule = flow.DefaultKSchedule()
+
+	var ladderWall, adaptiveWall time.Duration
+	var ladderViol, adaptiveViol, adaptiveIters int
+	var converged bool
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		ladder, err := flow.Run(ctx, pc, lcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ladderWall += time.Since(start)
+
+		start = time.Now()
+		ares, err := flow.RunAdaptive(ctx, pc, cfg, flow.AdaptiveConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		adaptiveWall += time.Since(start)
+
+		lbest, abest := ladder.Best(), ares.Best()
+		if lbest == nil || abest == nil {
+			b.Fatal("an arm produced no iterations")
+		}
+		if !abest.Routable && abest.Violations > lbest.Violations {
+			b.Fatalf("adaptive overflow %d worse than ladder best %d",
+				abest.Violations, lbest.Violations)
+		}
+		ladderViol, adaptiveViol = lbest.Violations, abest.Violations
+		adaptiveIters, converged = ares.RoutedIterations(), ares.Converged
+	}
+	b.StopTimer()
+	if !converged {
+		b.Fatal("adaptive loop did not converge within its budget")
+	}
+	speedup := float64(ladderWall) / float64(adaptiveWall)
+	b.ReportMetric(ladderWall.Seconds()/float64(b.N), "ladder-s")
+	b.ReportMetric(adaptiveWall.Seconds()/float64(b.N), "adaptive-s")
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(float64(adaptiveIters), "adaptive-iterations")
+	b.ReportMetric(float64(adaptiveViol), "adaptive-overflow")
+	artifact := struct {
+		Bench         string  `json:"bench"`
+		Scale         float64 `json:"scale"`
+		Tightness     float64 `json:"tightness"`
+		CapacityScale float64 `json:"capacity_scale"`
+		LadderRungs   int     `json:"ladder_rungs"`
+		AdaptiveIters int     `json:"adaptive_iterations"`
+		LadderNs      int64   `json:"ladder_ns"`
+		AdaptiveNs    int64   `json:"adaptive_ns"`
+		Speedup       float64 `json:"speedup"`
+		LadderViol    int     `json:"ladder_overflow"`
+		AdaptiveViol  int     `json:"adaptive_overflow"`
+		Converged     bool    `json:"converged"`
+	}{
+		Bench:         "spla-adaptive-vs-ladder",
+		Scale:         benchScale,
+		Tightness:     tightness,
+		CapacityScale: capScale,
+		LadderRungs:   len(lcfg.KSchedule),
+		AdaptiveIters: adaptiveIters,
+		LadderNs:      ladderWall.Nanoseconds() / int64(b.N),
+		AdaptiveNs:    adaptiveWall.Nanoseconds() / int64(b.N),
+		Speedup:       speedup,
+		LadderViol:    ladderViol,
+		AdaptiveViol:  adaptiveViol,
+		Converged:     converged,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_adaptive.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // Equivalence-checker benchmarks: the simulation engine's vector
 // throughput and the BDD backend's proof cost on the standard
 // benchmark circuit (subject DAG vs its mapped netlist). Both merge

@@ -46,8 +46,19 @@ import (
 // Options configures Synthesize.
 type Options struct {
 	// K is the congestion minimization factor of the paper's Eq. 5;
-	// 0 reproduces DAGON-style minimum-area mapping.
+	// 0 reproduces DAGON-style minimum-area mapping. With Adaptive set
+	// it is instead the loop's uniform baseline (0 = the calibrated
+	// default, 0.001).
 	K float64
+	// Adaptive replaces the fixed-K mapping with the closed-loop
+	// congestion controller (flow.RunAdaptive): map at a low baseline
+	// K, route, inflate a spatial K-field only where the routed
+	// congestion map is over capacity, and re-cover just the affected
+	// region — at most 3 routed iterations instead of sweeping a K
+	// ladder. Placement is seeded rather than re-annealed per
+	// iteration (the controller's operating mode).
+	// Result.AdaptiveIterations records the routed iterations used.
+	Adaptive bool
 	// DieArea fixes the floorplan in µm². When 0, the die is sized so
 	// the minimum-area mapping sits at 58% utilization (the calibrated
 	// operating point of the paper's experiments).
@@ -132,6 +143,9 @@ type Result struct {
 	// congestion histogram, hot spots, counters). Non-nil only when the
 	// caller attached an obs.Recorder to ctx (see internal/obs).
 	Metrics *flow.Metrics
+	// AdaptiveIterations is the number of routed iterations the
+	// closed-loop controller used (0 for fixed-K synthesis).
+	AdaptiveIterations int
 }
 
 // Report formats the result like the paper's tables.
@@ -142,6 +156,9 @@ func (r *Result) Report() string {
 	fmt.Fprintf(&b, "die:               %.0f µm² (%d rows), utilization %.2f%%\n",
 		r.Die.Area(), r.Die.NumRows, r.Utilization*100)
 	fmt.Fprintf(&b, "routing violations: %d (routable: %v)\n", r.Violations, r.Routable)
+	if r.AdaptiveIterations > 0 {
+		fmt.Fprintf(&b, "adaptive:          %d routed iteration(s)\n", r.AdaptiveIterations)
+	}
 	fmt.Fprintf(&b, "routed wirelength: %.0f µm\n", r.WireLength)
 	if r.CriticalPath != "" {
 		fmt.Fprintf(&b, "critical path:     %s\n", r.CriticalPath)
@@ -262,9 +279,28 @@ func SynthesizeSubjectContext(ctx context.Context, dag *subject.DAG, opts Option
 		ctx, cancel = context.WithTimeout(ctx, opts.IterationTimeout)
 		defer cancel()
 	}
+	if opts.Adaptive {
+		// The closed loop runs with seeded placement: its feedback is
+		// region-local, and a fresh anneal per iteration would reshuffle
+		// the placement out from under the inflated windows.
+		cfg.FreshPlacement = false
+	}
 	pc, err := flow.Prepare(ctx, dag, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Adaptive {
+		ares, err := flow.RunAdaptive(ctx, pc, cfg, flow.AdaptiveConfig{BaseK: opts.K})
+		if err != nil {
+			return nil, err
+		}
+		best := ares.Best()
+		if best == nil {
+			return nil, fmt.Errorf("casyn: adaptive synthesis produced no iterations")
+		}
+		res := ResultFrom(dag, layout, best)
+		res.AdaptiveIterations = ares.RoutedIterations()
+		return res, nil
 	}
 	it, err := flow.RunOnce(ctx, pc, opts.K, cfg)
 	if err != nil {

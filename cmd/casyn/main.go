@@ -10,6 +10,7 @@
 //	casyn -bench spla -timeout 2m -stage-timeout 30s
 //	casyn -pla design.pla -metrics run.jsonl -trace -pprof cpu
 //	casyn -bench spla -scale 0.05 -k 0.5 -eco edits.json -eco-fast
+//	casyn -bench spla -scale 0.05 -adaptive
 //
 // Exit codes identify the failure: 0 success, 1 generic error, 2 usage,
 // 3 map stage, 4 place stage, 5 route stage, 6 sta stage, 7 timeout or
@@ -62,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		benchName = fs.String("bench", "", "built-in benchmark class: spla, pdc, too_large")
 		scale     = fs.Float64("scale", 1.0, "benchmark scale factor (1.0 = full size)")
 		k         = fs.Float64("k", 0, "congestion minimization factor K (Eq. 5)")
+		adaptive  = fs.Bool("adaptive", false, "closed-loop congestion control: steer a spatial K-field from the routed congestion map instead of fixing K (-k then sets the baseline; 0 = calibrated default)")
 		dieArea   = fs.Float64("die", 0, "die area in µm² (0 = auto-size at 58% utilization)")
 		sis       = fs.Bool("sis", false, "run SIS-style technology-independent optimization first")
 		timing    = fs.Bool("timing", false, "run static timing analysis")
@@ -85,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	opts := casyn.Options{
 		K:                       *k,
+		Adaptive:                *adaptive,
 		DieArea:                 *dieArea,
 		OptimizeTechIndependent: *sis,
 		RunTiming:               *timing,
@@ -101,6 +104,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.Partition = partition.Cone
 	default:
 		fail("unknown partition method %q", *method)
+		return exitUsage
+	}
+	if *adaptive && *ecoPath != "" {
+		fail("-adaptive and -eco are mutually exclusive (the ECO chain is fixed-K)")
 		return exitUsage
 	}
 

@@ -100,6 +100,14 @@ type Options struct {
 	TransitiveWire bool
 	// NoWire2 drops WIRE2 entirely (WIRE = WIRE1), the other ablation.
 	NoWire2 bool
+	// KField, when non-nil, spatially weights Eq. 5: each wire term is
+	// scaled by the field multiplier sampled along its span (see
+	// kfield.go) before K is applied. Nil runs the classic global-K
+	// cost unchanged; a uniform field (all multipliers exactly 1.0)
+	// produces a byte-identical result to nil. The reported WIRE
+	// metrics (Solution.Wire, Result.RootWire) stay unweighted — the
+	// field shifts the optimization, not the measurement.
+	KField *KField
 	// Workers bounds the goroutines covering trees concurrently:
 	// 0 = runtime.GOMAXPROCS, 1 = serial. The result is identical for
 	// every value (see the package comment on parallelism).
@@ -114,6 +122,11 @@ type Solution struct {
 	// WireCost is the stored wireCost(v): WIRE1 of the selected match
 	// (or the transitive accumulation under Options.TransitiveWire).
 	WireCost float64
+	// WireCostW is the K-field-weighted analogue of WireCost: each
+	// span's contribution scaled by the field multiplier. It is what a
+	// parent's WIRE2 accumulates under a field. Equal to WireCost when
+	// the cover ran with a nil or uniform field.
+	WireCostW float64
 	// Wire is Eq. 4 for the selected match (reporting only).
 	Wire float64
 	// Arrival is the estimated arrival time at the vertex under the
@@ -215,6 +228,7 @@ func CoverWithPrefix(ctx context.Context, dag *subject.DAG, forest *partition.Fo
 // which no other tree touches.
 func coverTree(dag *subject.DAG, forest *partition.Forest, prefix *Prefix, t *partition.Tree, res *Result, opts Options, ins instruments) error {
 	inTree := prefix.inTreeFunc(t.Root)
+	field := opts.KField
 	for _, v := range t.Gates {
 		matches := prefix.matches[v]
 		if len(matches) == 0 {
@@ -231,6 +245,13 @@ func coverTree(dag *subject.DAG, forest *partition.Forest, prefix *Prefix, t *pa
 			area := pm.m.Cell.Area
 			wire1 := 0.0
 			wire2 := 0.0
+			// wire1W/wire2W are the K-field-weighted analogues: each
+			// span's length scaled by the field multiplier sampled along
+			// it. Accumulated in the same order as the unweighted terms,
+			// so a uniform field (×1.0 is exact in IEEE 754) reproduces
+			// wire1/wire2 bit-for-bit. Untouched when field is nil.
+			wire1W := 0.0
+			wire2W := 0.0
 			arrival := 0.0
 			for li, l := range pm.m.Leaves {
 				if pm.subLeaf[li] {
@@ -243,6 +264,10 @@ func coverTree(dag *subject.DAG, forest *partition.Forest, prefix *Prefix, t *pa
 					if sub.Arrival > arrival {
 						arrival = sub.Arrival
 					}
+					if field != nil {
+						wire2W += sub.WireCostW
+						wire1W += field.SpanMult(pm.com, sub.Pos) * (opts.Metric.Distance(pm.com, sub.Pos) / opts.WireUnit)
+					}
 				} else {
 					// Cross reference (PI, another tree, or a side
 					// branch): its area and wire are paid elsewhere.
@@ -250,11 +275,23 @@ func coverTree(dag *subject.DAG, forest *partition.Forest, prefix *Prefix, t *pa
 					// keeping this tree independent of every other
 					// tree's committed updates.
 					wire1 += pm.crossDist[li] / opts.WireUnit
+					if field != nil {
+						wire1W += field.SpanMult(pm.com, prefix.pos[l]) * (pm.crossDist[li] / opts.WireUnit)
+					}
 				}
 			}
 			wire := wire1
 			if !opts.NoWire2 {
 				wire += wire2
+			}
+			// kw is the wire term K multiplies: the classic unweighted
+			// accumulation, or the field-weighted one (Eq. 5').
+			kw := wire
+			if field != nil {
+				kw = wire1W
+				if !opts.NoWire2 {
+					kw += wire2W
+				}
 			}
 			var cost, tie float64
 			if opts.Objective == MinDelay {
@@ -262,24 +299,33 @@ func coverTree(dag *subject.DAG, forest *partition.Forest, prefix *Prefix, t *pa
 				// load; cross-tree arrival is handled by the final STA,
 				// so the DP ranks matches by their in-tree depth cost.
 				arrival += pm.m.Cell.Intrinsic + pm.m.Cell.Drive*pm.m.Cell.InputCap
-				cost = arrival + opts.K*wire
+				cost = arrival + opts.K*kw
 				tie = area
 			} else {
-				cost = area + opts.K*wire
+				cost = area + opts.K*kw
 				tie = 0
 			}
 			if cost < bestCost || (cost == bestCost && tie < bestTie) {
 				stored := wire1
+				storedW := wire1W
 				if opts.TransitiveWire {
 					stored = wire // accumulates transitively via children
+					storedW = kw
+				}
+				if field == nil {
+					// Keep the "WireCostW mirrors WireCost when
+					// unweighted" invariant so a later field-delta cover
+					// can chain off a classic baseline.
+					storedW = stored
 				}
 				best = &Solution{
-					Match:    pm.m,
-					AreaCost: area,
-					WireCost: stored,
-					Wire:     wire,
-					Arrival:  arrival,
-					Pos:      pm.com,
+					Match:     pm.m,
+					AreaCost:  area,
+					WireCost:  stored,
+					WireCostW: storedW,
+					Wire:      wire,
+					Arrival:   arrival,
+					Pos:       pm.com,
 				}
 				bestCost = cost
 				bestTie = tie

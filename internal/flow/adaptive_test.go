@@ -1,0 +1,243 @@
+package flow
+
+// Convergence regression for the closed-loop congestion controller
+// (adaptive.go) and its differential guarantees. The flagship
+// configurations are congested operating points (seeded placement,
+// reduced routing capacity) where the baseline K is unroutable; the
+// regression pins that the controller converges within its 3-routed-
+// iteration budget and ends no worse than the best rung of the full
+// 14-rung open-loop ladder — at a fraction of the covering work.
+
+import (
+	"context"
+	"testing"
+
+	"casyn/internal/bench"
+)
+
+// adaptiveCase is one congested operating point. The expectations were
+// calibrated once and are pinned as regressions: these are exactly the
+// regimes where closed-loop control pays for itself.
+type adaptiveCase struct {
+	class     bench.Class
+	tightness float64
+	capScale  float64
+	// wantReuse asserts the first inflation re-covers only a strict
+	// subset of the trees. False where the calibrated hot window spans
+	// every territory (PDC is small and congests wall to wall).
+	wantReuse bool
+}
+
+func (c adaptiveCase) name() string {
+	if c.capScale == 1.1 {
+		return c.class.String() + "-t55-cs11"
+	}
+	if c.tightness == 0.45 {
+		return c.class.String() + "-t45-cs13"
+	}
+	return c.class.String() + "-t55-cs13"
+}
+
+// adaptiveCases are the flagship convergence configs. Seeded placement
+// (FreshPlacement=false) is essential: the controller's feedback is
+// region-local, and a fresh anneal per iteration would reshuffle the
+// whole placement out from under the inflated windows.
+var adaptiveCases = []adaptiveCase{
+	{bench.SPLA, 0.45, 1.3, true},
+	{bench.SPLA, 0.55, 1.3, true},
+	{bench.PDC, 0.55, 1.1, false},
+}
+
+func (c adaptiveCase) prepare(t *testing.T) (*Context, Config) {
+	t.Helper()
+	pc, cfg := preparedClass(t, c.class, c.tightness)
+	cfg.RouteOpts.CapacityScale = c.capScale
+	cfg.FreshPlacement = false
+	cfg.Workers = 4
+	return pc, cfg
+}
+
+// TestAdaptiveConvergence is the satellite-3 regression: on each
+// congested config the closed loop must converge within its routed
+// budget and end with overflow no worse than the best rung the full
+// open-loop ladder finds — while re-covering a fraction of the trees.
+func TestAdaptiveConvergence(t *testing.T) {
+	for _, tc := range adaptiveCases {
+		tc := tc
+		t.Run(tc.name(), func(t *testing.T) {
+			t.Parallel()
+			pc, cfg := tc.prepare(t)
+
+			lcfg := cfg
+			lcfg.KSchedule = DefaultKSchedule()
+			ladder, err := Run(context.Background(), pc, lcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lbest := ladder.Best()
+			if lbest == nil {
+				t.Fatal("ladder produced no iterations")
+			}
+
+			res, err := RunAdaptive(context.Background(), pc, cfg, AdaptiveConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.RoutedIterations() > 3 {
+				t.Errorf("adaptive used %d routed iterations, budget is 3", res.RoutedIterations())
+			}
+			if !res.Converged {
+				t.Error("adaptive did not converge within its budget")
+			}
+			abest := res.Best()
+			if abest == nil {
+				t.Fatal("adaptive produced no iterations")
+			}
+			t.Logf("ladder best K=%g viol=%d routable=%v over %d rungs; adaptive viol=%d routable=%v in %d iterations",
+				lbest.K, lbest.Violations, lbest.Routable, len(ladder.Iterations),
+				abest.Violations, abest.Routable, res.RoutedIterations())
+			if lbest.Routable && !abest.Routable {
+				t.Errorf("ladder routed (K=%g) but adaptive did not (viol=%d)", lbest.K, abest.Violations)
+			}
+			if !abest.Routable && abest.Violations > lbest.Violations {
+				t.Errorf("adaptive final overflow %d worse than best ladder rung %d",
+					abest.Violations, lbest.Violations)
+			}
+			// ≥3× fewer covering iterations than the 14-rung ladder.
+			if got := res.RoutedIterations() * 3; got > len(ladder.Iterations) {
+				t.Errorf("adaptive used %d covering iterations, not ≥3× fewer than the %d-rung ladder",
+					res.RoutedIterations(), len(ladder.Iterations))
+			}
+			// The controller must actually act on these congested configs
+			// (the first inflation step exists and re-covers only a
+			// fraction of the trees).
+			if len(res.Iterations) > 1 {
+				it1 := res.Iterations[1]
+				if it1.ChangedCells == 0 || it1.InflatedCells == 0 {
+					t.Error("controller inflated nothing on a congested config")
+				}
+				if it1.DirtyTrees == 0 {
+					t.Error("inflation dirtied no trees")
+				}
+				if tc.wantReuse && it1.ReusedTrees == 0 {
+					t.Errorf("field delta reused no trees (%d dirty): the re-cover was not local",
+						it1.DirtyTrees)
+				}
+				if it1.MaxMult <= 1 {
+					t.Errorf("field MaxMult %g after inflation", it1.MaxMult)
+				}
+			}
+		})
+	}
+}
+
+// TestAdaptiveBeatsLadderOnFlagship pins the headline result: on
+// SPLA tightness 0.55 / capacity 1.3 the closed loop reaches a
+// routable design while the entire 14-rung ladder never does.
+func TestAdaptiveBeatsLadderOnFlagship(t *testing.T) {
+	t.Parallel()
+	pc, cfg := adaptiveCase{bench.SPLA, 0.55, 1.3, true}.prepare(t)
+	res, err := RunAdaptive(context.Background(), pc, cfg, AdaptiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FoundRoutable() {
+		t.Fatalf("adaptive failed to route the flagship config (best viol=%d over %d iterations)",
+			res.Best().Violations, res.RoutedIterations())
+	}
+	if res.RoutedIterations() > 2 {
+		t.Errorf("flagship config routed in %d iterations, regression baseline is 2", res.RoutedIterations())
+	}
+}
+
+// TestAdaptiveDeterministic: repeat runs are byte-identical, including
+// every controller decision — the loop is a pure function of its
+// inputs (satellite 3's seeded-determinism clause).
+func TestAdaptiveDeterministic(t *testing.T) {
+	t.Parallel()
+	pc, cfg := adaptiveCase{bench.SPLA, 0.55, 1.3, true}.prepare(t)
+	a, err := RunAdaptive(context.Background(), pc, cfg, AdaptiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAdaptive(context.Background(), pc, cfg, AdaptiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAdaptive(t, "repeat", a, b)
+}
+
+// TestAdaptiveWorkerIndependence: the whole closed loop — controller
+// decisions included — is byte-identical at 1 and 8 workers.
+func TestAdaptiveWorkerIndependence(t *testing.T) {
+	t.Parallel()
+	pc, cfg := adaptiveCase{bench.SPLA, 0.55, 1.3, true}.prepare(t)
+	serial := cfg
+	serial.Workers = 1
+	a, err := RunAdaptive(context.Background(), pc, serial, AdaptiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := cfg
+	wide.Workers = 8
+	b, err := RunAdaptive(context.Background(), pc, wide, AdaptiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAdaptive(t, "workers-1-vs-8", a, b)
+}
+
+// sameAdaptive asserts two adaptive runs are identical: per-iteration
+// flow results, controller decisions, convergence verdicts, and final
+// fields.
+func sameAdaptive(t *testing.T, tag string, a, b *AdaptiveResult) {
+	t.Helper()
+	if len(a.Iterations) != len(b.Iterations) {
+		t.Fatalf("%s: %d vs %d iterations", tag, len(a.Iterations), len(b.Iterations))
+	}
+	for i := range a.Iterations {
+		ai, bi := a.Iterations[i], b.Iterations[i]
+		sameIteration(t, tag, ai.Iteration, bi.Iteration)
+		if ai.ChangedCells != bi.ChangedCells || ai.InflatedCells != bi.InflatedCells ||
+			ai.MaxMult != bi.MaxMult || ai.DirtyTrees != bi.DirtyTrees ||
+			ai.ReusedTrees != bi.ReusedTrees {
+			t.Errorf("%s: iteration %d controller state diverged:\n%+v\n%+v", tag, i, ai, bi)
+		}
+	}
+	if a.BestIndex != b.BestIndex || a.Converged != b.Converged {
+		t.Errorf("%s: verdicts diverged: best %d/%d converged %v/%v",
+			tag, a.BestIndex, b.BestIndex, a.Converged, b.Converged)
+	}
+	if (a.Field == nil) != (b.Field == nil) {
+		t.Fatalf("%s: field presence differs", tag)
+	}
+	if a.Field != nil {
+		if len(a.Field.Mult) != len(b.Field.Mult) {
+			t.Fatalf("%s: field shapes differ", tag)
+		}
+		for i := range a.Field.Mult {
+			if a.Field.Mult[i] != b.Field.Mult[i] {
+				t.Fatalf("%s: field cell %d: %g vs %g", tag, i, a.Field.Mult[i], b.Field.Mult[i])
+			}
+		}
+	}
+}
+
+// TestAdaptiveBaselineMatchesStateful: the loop's first iteration is
+// the plain uniform cover at BaseK — byte-identical to RunStateful —
+// so the controller's deltas chain off the classic path.
+func TestAdaptiveBaselineMatchesStateful(t *testing.T) {
+	t.Parallel()
+	pc, cfg := adaptiveCase{bench.SPLA, 0.55, 1.3, true}.prepare(t)
+	acfg := AdaptiveConfig{}
+	acfg.defaults()
+	it, _, err := RunStateful(context.Background(), pc, acfg.BaseK, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunAdaptive(context.Background(), pc, cfg, AdaptiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameIteration(t, "baseline", it, res.Iterations[0].Iteration)
+}

@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 
+	"casyn/internal/cover"
 	"casyn/internal/geom"
 	"casyn/internal/mapper"
 	"casyn/internal/obs"
@@ -111,11 +112,17 @@ func RunECO(ctx context.Context, pc *Context, st *ECOState, edits mapper.EditSet
 }
 
 // ecoIn selects runECOIteration's mapping mode: prep set = full
-// stateful iteration; prev set = incremental iteration against it.
+// stateful iteration; prev set = incremental iteration against it;
+// field set = K-field covering (adaptive.go) — with fieldPrev also
+// set, a field delta that re-covers only fieldDirty trees.
 type ecoIn struct {
 	prep  *mapper.Prepared
 	prev  *ECOState
 	edits mapper.EditSet
+
+	field      *cover.KField
+	fieldPrev  *mapper.CoverState
+	fieldDirty []bool
 }
 
 func runECOIteration(ctx context.Context, pc *Context, cfg Config, k float64, in ecoIn) (it Iteration, _ *ECOState, err error) {
@@ -154,6 +161,14 @@ func runECOIteration(ctx context.Context, pc *Context, cfg Config, k float64, in
 		func(ctx context.Context) (mapOut, error) {
 			if eco != nil {
 				res, cov, err := mapper.MapECO(ctx, eco, in.prev.Cover, k)
+				return mapOut{res, cov}, err
+			}
+			if in.field != nil {
+				if in.fieldPrev != nil {
+					res, cov, err := mapper.MapFieldDelta(ctx, in.fieldPrev, k, in.field, in.fieldDirty)
+					return mapOut{res, cov}, err
+				}
+				res, cov, err := mapper.MapWithField(ctx, prep, k, in.field)
 				return mapOut{res, cov}, err
 			}
 			res, cov, err := mapper.MapStateful(ctx, prep, k)

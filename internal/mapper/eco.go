@@ -153,6 +153,11 @@ type CoverState struct {
 	prep *Prepared
 	k    float64
 	cov  *cover.Result
+	// field is the K-field the cover ran with: nil for the classic
+	// global-K path (equivalent to a uniform field), non-nil for a
+	// MapWithField/MapFieldDelta cover. The adaptive controller chains
+	// field deltas off it (adaptive.go).
+	field *cover.KField
 }
 
 // K returns the congestion factor the state was covered at.
@@ -204,7 +209,10 @@ func MapECO(ctx context.Context, e *ECO, prev *CoverState, k float64) (*Result, 
 	}
 	prep := &e.Prep.Prepared
 	rec := obs.From(ctx)
-	if prev == nil || prev.k != k || prev.prep != e.Prep.parent {
+	// A previous cover under a non-uniform K-field cannot seed a
+	// structural delta here: CoverDelta would re-cover dirty trees at
+	// the classic cost while clean trees keep field-weighted solutions.
+	if prev == nil || prev.k != k || prev.prep != e.Prep.parent || prev.field != nil {
 		rec.Add("eco.cover_full", 1)
 		return MapStateful(ctx, prep, k)
 	}

@@ -1,0 +1,155 @@
+package route
+
+// Regression tests for the congestion-map cache (grid.go): repeated
+// reads between routing passes must be free (same map returned), and
+// the cache must never serve a stale map after any usage write — the
+// adaptive controller (flow.RunAdaptive) steers covering by this map,
+// so a stale read would inflate the wrong windows.
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"casyn/internal/geom"
+	"casyn/internal/place"
+)
+
+// freshCongestionMap recomputes the map from scratch, bypassing the
+// cache — the oracle the cached path is compared against.
+func freshCongestionMap(g *Grid) [][]float64 {
+	g.congMu.Lock()
+	g.congMap = nil
+	g.congDirty.Store(true)
+	g.congMu.Unlock()
+	return g.CongestionMap()
+}
+
+func sameMap(t *testing.T, tag string, a, b [][]float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d rows", tag, len(a), len(b))
+	}
+	for y := range a {
+		for x := range a[y] {
+			if a[y][x] != b[y][x] {
+				t.Fatalf("%s: cell (%d,%d): %g vs %g", tag, x, y, a[y][x], b[y][x])
+			}
+		}
+	}
+}
+
+func TestCongestionMapCacheHit(t *testing.T) {
+	t.Parallel()
+	g, err := NewGrid(testLayout(t), Options{GCellSize: 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.addUsage(edge{x: 2, y: 2, horizontal: true}, 3)
+	m1 := g.CongestionMap()
+	m2 := g.CongestionMap()
+	if &m1[0][0] != &m2[0][0] {
+		t.Error("repeated CongestionMap with no writes recomputed (cache miss)")
+	}
+}
+
+func TestCongestionMapInvalidatedByUsage(t *testing.T) {
+	t.Parallel()
+	g, err := NewGrid(testLayout(t), Options{GCellSize: 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := edge{x: 4, y: 4, horizontal: false}
+	g.addUsage(e, g.capV[4][4]/2)
+	before := g.CongestionMap()
+	// Overload the edge past capacity; the next read must see it.
+	g.addUsage(e, g.capV[4][4])
+	after := g.CongestionMap()
+	if &before[0][0] == &after[0][0] {
+		t.Fatal("usage write did not invalidate the cached map")
+	}
+	if after[4][4] <= 1 {
+		t.Errorf("map is stale: congestion at overloaded cell = %g", after[4][4])
+	}
+	// The previously returned map is an immutable snapshot of the usage
+	// it was computed from, not a view that mutated under the caller.
+	if before[4][4] != 0.5 {
+		t.Errorf("earlier snapshot mutated: %g, want 0.5", before[4][4])
+	}
+	// Negative deltas (rip-up removing a path) must invalidate too.
+	g.addUsage(e, -g.capV[4][4])
+	sameMap(t, "after rip-down", g.CongestionMap(), freshCongestionMap(g))
+}
+
+// TestCongestionMapFreshAfterRipup is the end-to-end stale-map
+// regression: after a full congested route — initial pattern pass plus
+// rip-up/reroute negotiation, the exact writer sequence the adaptive
+// loop observes — the cached map must equal a from-scratch recompute.
+func TestCongestionMapFreshAfterRipup(t *testing.T) {
+	t.Parallel()
+	layout := testLayout(t)
+	// Many nets crossing the same corridor: enough demand to force the
+	// rip-up negotiation to move paths (the TestRipupRepairsHotspot
+	// regime).
+	var nl place.Netlist
+	var pos []geom.Point
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		a := len(pos)
+		pos = append(pos, geom.Pt(5, 25+rng.Float64()*2))
+		b := len(pos)
+		pos = append(pos, geom.Pt(195, 25+rng.Float64()*2))
+		nl.Widths = append(nl.Widths, 1, 1)
+		nl.Nets = append(nl.Nets, place.Net{Cells: []int{a, b}})
+	}
+	pl := &place.Placement{Pos: pos, Row: make([]int, len(pos))}
+	res, err := RouteNetlist(context.Background(), &nl, pl, layout,
+		Options{GCellSize: 10, RipupIterations: 4, CapacityScale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := res.Grid.CongestionMap()
+	sameMap(t, "post-route", cached, freshCongestionMap(res.Grid))
+}
+
+func TestCongestionMapConcurrentReaders(t *testing.T) {
+	t.Parallel()
+	g, err := NewGrid(testLayout(t), Options{GCellSize: 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: concurrent disjoint-region writers, the negotiation
+	// access pattern — each worker touches its own edges, all race on
+	// the (atomic) dirty flag. No invalidation may be lost.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				g.addUsage(edge{x: (4*i + w) % g.NX, y: w, horizontal: true}, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	// Phase 2 (writes settled, ordered by the WaitGroup): concurrent
+	// readers must share one freshly computed map.
+	maps := make([][][]float64, 4)
+	for r := range maps {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			maps[r] = g.CongestionMap()
+		}()
+	}
+	wg.Wait()
+	for r := 1; r < len(maps); r++ {
+		if &maps[r][0][0] != &maps[0][0][0] {
+			t.Fatal("concurrent readers got different maps")
+		}
+	}
+	sameMap(t, "post-negotiation", maps[0], freshCongestionMap(g))
+}

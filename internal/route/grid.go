@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"casyn/internal/geom"
 	"casyn/internal/place"
@@ -102,6 +104,16 @@ type Grid struct {
 	capH, capV     [][]float64
 	usageH, usageV [][]float64
 	histH, histV   [][]float64 // rip-up history cost
+
+	// Congestion-map cache: congMap is the last map computed by
+	// CongestionMap, valid while congDirty is false. Every usage write
+	// funnels through addUsage, which marks the cache dirty; the flag
+	// is atomic because rip-up negotiation calls addUsage concurrently
+	// from disjoint-region workers. congMu serializes recomputation so
+	// concurrent readers share one map.
+	congDirty atomic.Bool
+	congMu    sync.Mutex
+	congMap   [][]float64
 }
 
 // NewGrid builds the routing grid for a layout. cellDensity, if
@@ -197,13 +209,16 @@ type edge struct {
 	horizontal bool
 }
 
-// addUsage adjusts an edge's occupancy by delta tracks.
+// addUsage adjusts an edge's occupancy by delta tracks. It is the
+// single usage-write chokepoint, so it also invalidates the cached
+// congestion map.
 func (g *Grid) addUsage(e edge, delta float64) {
 	if e.horizontal {
 		g.usageH[e.y][e.x] += delta
 	} else {
 		g.usageV[e.y][e.x] += delta
 	}
+	g.congDirty.Store(true)
 }
 
 // overflowOf returns the edge's overflow in tracks.
@@ -233,7 +248,24 @@ func (g *Grid) TotalOverflow() int {
 
 // CongestionMap returns, per gcell, the maximum of the adjacent edges'
 // usage/capacity ratios — the congestion map the methodology inspects.
+// The map is cached on the grid and invalidated by every usage write
+// (addUsage), so repeated calls between routing passes are free; each
+// recomputation builds a fresh slice, so a previously returned map
+// stays a consistent snapshot of the usage it was computed from and
+// callers must not mutate it. Safe to call concurrently with other
+// CongestionMap calls. Usage writes must be ordered before the read
+// (the router only reads between negotiation rounds); the dirty flag
+// is atomic so invalidations from concurrent disjoint-region workers
+// are never lost, not to license reading mid-write.
 func (g *Grid) CongestionMap() [][]float64 {
+	g.congMu.Lock()
+	defer g.congMu.Unlock()
+	if g.congMap != nil && !g.congDirty.Load() {
+		return g.congMap
+	}
+	// Clear before reading usage: a concurrent addUsage after this
+	// point re-dirties the flag and forces the next call to recompute.
+	g.congDirty.Store(false)
 	m := make([][]float64, g.NY)
 	for y := range m {
 		m[y] = make([]float64, g.NX)
@@ -259,6 +291,7 @@ func (g *Grid) CongestionMap() [][]float64 {
 			m[y][x] = r
 		}
 	}
+	g.congMap = m
 	return m
 }
 

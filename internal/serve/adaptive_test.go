@@ -1,0 +1,162 @@
+package serve
+
+// Daemon-side tests for "k_mode":"adaptive" — the closed-loop
+// congestion controller as a job spec. The mode must run end to end,
+// report its routed trajectory, share the K-invariant prepared prefix
+// with fixed-K jobs, and never share a result-cache entry with them.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"testing"
+)
+
+func TestAdaptiveJob(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	resp, m := postJob(t, ts, `{"pla":`+strconv.Quote(tinyPLA)+`,"k_mode":"adaptive"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d (%v)", resp.StatusCode, m)
+	}
+	job := waitTerminal(t, s, m["id"].(string))
+	res, jerr := job.Result()
+	if jerr != nil {
+		t.Fatalf("adaptive job failed: %+v", jerr)
+	}
+	if res.AdaptiveIterations < 1 || res.AdaptiveIterations > 3 {
+		t.Errorf("adaptive_iterations = %d, budget is [1, 3]", res.AdaptiveIterations)
+	}
+	if len(res.Iterations) != res.AdaptiveIterations {
+		t.Errorf("%d iteration rows, want %d", len(res.Iterations), res.AdaptiveIterations)
+	}
+	if res.BestK != nil {
+		t.Errorf("best_k = %v on an adaptive job (K is the fixed baseline)", *res.BestK)
+	}
+	if res.Report == "" || res.NumCells == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+}
+
+// TestAdaptiveSharesPrefixNotResult pins the two cache contracts at
+// once: a fixed-K job and an adaptive job on the same circuit share
+// the K-invariant prepared prefix (the expensive part), but must not
+// serve each other's cached results — the computations differ.
+func TestAdaptiveSharesPrefixNotResult(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1})
+	spec := `{"pla":` + strconv.Quote(tinyPLA) + `,"k":0.001}`
+	_, m1 := postJob(t, ts, spec)
+	fixed := waitTerminal(t, s, m1["id"].(string))
+	_, m2 := postJob(t, ts, `{"pla":`+strconv.Quote(tinyPLA)+`,"k":0.001,"k_mode":"adaptive"}`)
+	adaptive := waitTerminal(t, s, m2["id"].(string))
+
+	if fixed.prepKey != adaptive.prepKey {
+		t.Error("fixed and adaptive jobs did not share a prep key")
+	}
+	if fixed.resultKey == adaptive.resultKey {
+		t.Error("fixed and adaptive jobs share a result key")
+	}
+	fres, jerr := fixed.Result()
+	if jerr != nil {
+		t.Fatalf("fixed job failed: %+v", jerr)
+	}
+	ares, jerr := adaptive.Result()
+	if jerr != nil {
+		t.Fatalf("adaptive job failed: %+v", jerr)
+	}
+	if fres.AdaptiveIterations != 0 {
+		t.Errorf("fixed job reports %d adaptive iterations", fres.AdaptiveIterations)
+	}
+	if ares.AdaptiveIterations == 0 {
+		t.Error("adaptive job reports no adaptive iterations")
+	}
+	if ares.Cache == "result" {
+		t.Errorf("adaptive job served from the result cache (tag %q)", ares.Cache)
+	}
+	if ares.Cache != "prepared" {
+		t.Errorf("adaptive job cache tag %q, want the shared prefix (prepared)", ares.Cache)
+	}
+
+	// An exact adaptive repeat is a result-cache hit.
+	_, m3 := postJob(t, ts, `{"pla":`+strconv.Quote(tinyPLA)+`,"k":0.001,"k_mode":"adaptive"}`)
+	repeat := waitTerminal(t, s, m3["id"].(string))
+	rres, jerr := repeat.Result()
+	if jerr != nil {
+		t.Fatalf("repeat adaptive job failed: %+v", jerr)
+	}
+	if rres.Cache != "result" {
+		t.Errorf("repeat adaptive job cache tag %q, want result", rres.Cache)
+	}
+	if rres.AdaptiveIterations != ares.AdaptiveIterations {
+		t.Errorf("cached repeat reports %d adaptive iterations, original %d",
+			rres.AdaptiveIterations, ares.AdaptiveIterations)
+	}
+}
+
+func TestAdaptiveSpecValidation(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	for _, body := range []string{
+		`{"pla":` + strconv.Quote(tinyPLA) + `,"k_mode":"adaptive","k_schedule":[0.1]}`,
+		`{"pla":` + strconv.Quote(tinyPLA) + `,"k_mode":"spicy"}`,
+	} {
+		resp, m := postJob(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400 (%v)", body, resp.StatusCode, m)
+		}
+	}
+}
+
+// TestKModeResultKeys pins the key algebra: "" and "fixed" are the
+// same computation and share an entry; "adaptive" never collides with
+// either.
+func TestKModeResultKeys(t *testing.T) {
+	t.Parallel()
+	key := func(kmode string) string {
+		t.Helper()
+		spec := &JobSpec{PLA: tinyPLA, K: 0.001, KMode: kmode}
+		if err := spec.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		rk, err := spec.ResultKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rk
+	}
+	if key("") != key("fixed") {
+		t.Error(`k_mode "" and "fixed" produce different result keys`)
+	}
+	if key("") == key("adaptive") {
+		t.Error(`k_mode "" and "adaptive" share a result key`)
+	}
+}
+
+// TestAdaptiveJobJSONShape decodes the HTTP result body, pinning the
+// wire names.
+func TestAdaptiveJobJSONShape(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	_, m := postJob(t, ts, `{"pla":`+strconv.Quote(tinyPLA)+`,"k_mode":"adaptive"}`)
+	id := m["id"].(string)
+	waitTerminal(t, s, id)
+	rr, err := http.Get(ts.URL + "/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr.Body.Close()
+	var body struct {
+		Result map[string]any `json:"result"`
+	}
+	if err := json.NewDecoder(rr.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if rr.StatusCode != http.StatusOK || body.Result == nil {
+		t.Fatalf("result: %d %+v", rr.StatusCode, body)
+	}
+	n, ok := body.Result["adaptive_iterations"].(float64)
+	if !ok || n < 1 {
+		t.Errorf("adaptive_iterations missing or zero in wire result: %v",
+			body.Result["adaptive_iterations"])
+	}
+	if _, ok := body.Result["iterations"].([]any); !ok {
+		t.Error("iterations trajectory missing from wire result")
+	}
+}

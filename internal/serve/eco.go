@@ -143,6 +143,9 @@ func (s *Server) SubmitECO(parent *Job, spec *EcoSpec) (*Job, error) {
 	derived.K = k
 	derived.KSchedule = nil
 	derived.StopAtFirstRoutable = false
+	// The ECO chain is fixed-K (the incremental state is a fixed-K
+	// residue); an adaptive parent's edits run at its baseline K.
+	derived.KMode = ""
 	derived.Verilog = spec.Verilog
 	derived.NoResultCache = spec.NoResultCache
 	if spec.TimeoutMS > 0 {

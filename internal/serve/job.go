@@ -88,8 +88,14 @@ type JobResult struct {
 	// cache can serve either shape).
 	Verilog string `json:"verilog,omitempty"`
 	// Iterations and BestK describe a sweep job (empty for single-K).
+	// An adaptive job ("k_mode":"adaptive") also fills Iterations — one
+	// row per routed iteration of the closed loop, K fixed at the
+	// baseline — plus AdaptiveIterations.
 	Iterations []IterationSummary `json:"iterations,omitempty"`
 	BestK      *float64           `json:"best_k,omitempty"`
+	// AdaptiveIterations counts the closed loop's routed iterations
+	// (zero for fixed-K jobs).
+	AdaptiveIterations int `json:"adaptive_iterations,omitempty"`
 	// StageWallMS is the measured per-stage wall clock of the run that
 	// produced this result (empty on a result-cache hit).
 	StageWallMS map[string]float64 `json:"stage_wall_ms,omitempty"`

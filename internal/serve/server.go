@@ -549,9 +549,12 @@ func (s *Server) runJob(ctx context.Context, job *Job) (*JobResult, error) {
 	cfg.Hooks = s.cfg.Hooks
 
 	var res *JobResult
-	if len(spec.KSchedule) > 0 {
+	switch {
+	case spec.adaptive():
+		res, err = s.runAdaptive(ctx, entry, cfg, spec)
+	case len(spec.KSchedule) > 0:
 		res, err = s.runSweep(ctx, entry, cfg, spec)
-	} else {
+	default:
 		res, err = s.runSingle(ctx, entry, cfg, spec.K)
 	}
 	if err != nil {
@@ -671,6 +674,45 @@ func (s *Server) runSweep(ctx context.Context, entry *prepEntry, cfg flow.Config
 	}
 	best := res.Best()
 	return s.buildResult(entry, best, sums, &best.K)
+}
+
+// runAdaptive runs the closed-loop congestion controller: one baseline
+// iteration at spec.K (0 = the calibrated default) plus up to two
+// steered steps, the spatial K-field inflated from each routed
+// congestion map. The loop's operating mode is seeded placement — the
+// region-local feedback is meaningless if every iteration re-anneals —
+// so FreshPlacement is forced off, matching cmd/casyn -adaptive.
+func (s *Server) runAdaptive(ctx context.Context, entry *prepEntry, cfg flow.Config, spec *JobSpec) (*JobResult, error) {
+	cfg.FreshPlacement = false
+	ares, err := flow.RunAdaptive(ctx, entry.pc, cfg, flow.AdaptiveConfig{BaseK: spec.K})
+	if err != nil {
+		return nil, err
+	}
+	best := ares.Best()
+	if best == nil {
+		return nil, &runstage.StageError{Stage: StageServe,
+			Err: fmt.Errorf("adaptive loop completed no iterations")}
+	}
+	sums := make([]IterationSummary, 0, len(ares.Iterations))
+	for i := range ares.Iterations {
+		it := &ares.Iterations[i].Iteration
+		sums = append(sums, IterationSummary{
+			K:                 it.K,
+			NumCells:          it.NumCells,
+			CellArea:          it.CellArea,
+			Utilization:       it.Utilization,
+			Violations:        it.Violations,
+			FailedConnections: it.FailedConnections,
+			WireLength:        it.WireLength,
+			Routable:          it.Routable,
+		})
+	}
+	res, err := s.buildResult(entry, best, sums, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.AdaptiveIterations = ares.RoutedIterations()
+	return res, nil
 }
 
 // buildResult condenses an accepted iteration into the response shape.

@@ -56,6 +56,12 @@ type JobSpec struct {
 	KSchedule []float64 `json:"k_schedule,omitempty"`
 	// StopAtFirstRoutable ends a sweep at the first clean rung.
 	StopAtFirstRoutable bool `json:"stop_at_first_routable,omitempty"`
+	// KMode selects how K is chosen: "fixed" (default; single iteration
+	// at K, or the KSchedule sweep) or "adaptive" — the closed-loop
+	// congestion controller (flow.RunAdaptive), which fixes K as the
+	// baseline and steers a spatial K-field from the routed congestion
+	// map instead of sweeping. "adaptive" excludes k_schedule.
+	KMode string `json:"k_mode,omitempty"`
 
 	// DieArea fixes the floorplan in µm² (0 = auto-size at the
 	// calibrated 58% utilization); AspectRatio is width/height.
@@ -163,6 +169,15 @@ func (s *JobSpec) Validate() error {
 			return fmt.Errorf("k_schedule[%d]: %w", i, err)
 		}
 	}
+	switch s.KMode {
+	case "", "fixed":
+	case "adaptive":
+		if len(s.KSchedule) > 0 {
+			return fmt.Errorf("k_mode adaptive and k_schedule are mutually exclusive (the controller steers K itself)")
+		}
+	default:
+		return fmt.Errorf("unknown k_mode %q (want fixed, adaptive)", s.KMode)
+	}
 	if math.IsNaN(s.DieArea) || math.IsInf(s.DieArea, 0) || s.DieArea < 0 || s.DieArea > MaxDieArea {
 		return fmt.Errorf("die_area must be in [0, %g] (got %g)", MaxDieArea, s.DieArea)
 	}
@@ -186,6 +201,18 @@ func (s *JobSpec) Validate() error {
 	}
 	return nil
 }
+
+// kmode canonicalizes KMode so "" and "fixed" share a result-cache
+// entry (they run the identical computation).
+func (s *JobSpec) kmode() string {
+	if s.KMode == "" {
+		return "fixed"
+	}
+	return s.KMode
+}
+
+// adaptive reports the closed-loop mode.
+func (s *JobSpec) adaptive() bool { return s.KMode == "adaptive" }
 
 func benchClass(name string) (bench.Class, bool) {
 	switch name {
@@ -285,7 +312,7 @@ func (s *JobSpec) ResultKey() (string, error) {
 		return "", err
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "prep %s k %g sched %v stop %v timing %v verify %v\n",
-		pk, s.K, s.KSchedule, s.StopAtFirstRoutable, s.Timing, s.Verify)
+	fmt.Fprintf(h, "prep %s k %g sched %v stop %v kmode %s timing %v verify %v\n",
+		pk, s.K, s.KSchedule, s.StopAtFirstRoutable, s.kmode(), s.Timing, s.Verify)
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
