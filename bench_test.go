@@ -922,3 +922,79 @@ func BenchmarkECO(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkKWay measures direct k-way partitioning with cut-driver
+// replication against the recursive-bisection seed: the two bench
+// circuits end to end (cut nets, Steiner cost, replicas, routed
+// overflow over identical die regions) plus synthetic 100k/250k-gate
+// partition-only pressure points. Writes BENCH_partition.json so the
+// k-way trajectory is tracked across PRs. Set CASYN_KWAY_BENCH_FULL=1
+// to add a 1M-gate pressure point.
+func BenchmarkKWay(b *testing.B) {
+	type namedRow struct {
+		name string
+		run  func() (*experiments.KWayRow, error)
+	}
+	cases := []namedRow{
+		{"spla", func() (*experiments.KWayRow, error) {
+			return experiments.KWayVsBisect(context.Background(), bench.SPLA, benchScale, 2, 1)
+		}},
+		{"pdc", func() (*experiments.KWayRow, error) {
+			return experiments.KWayVsBisect(context.Background(), bench.PDC, benchScale, 2, 1)
+		}},
+		{"synthetic-100k", func() (*experiments.KWayRow, error) {
+			return experiments.KWayPressure(100_000, 64, 4, 1)
+		}},
+		{"synthetic-250k", func() (*experiments.KWayRow, error) {
+			return experiments.KWayPressure(250_000, 64, 4, 1)
+		}},
+	}
+	if os.Getenv("CASYN_KWAY_BENCH_FULL") != "" {
+		cases = append(cases, namedRow{"synthetic-1m", func() (*experiments.KWayRow, error) {
+			return experiments.KWayPressure(1_000_000, 64, 4, 1)
+		}})
+	}
+	rowBy := map[string]experiments.KWayRow{}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var row *experiments.KWayRow
+			var err error
+			for i := 0; i < b.N; i++ {
+				row, err = c.run()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if row.CutNetsKWay > row.CutNetsBisect || row.SteinerKWay > row.SteinerBisect {
+				b.Fatalf("k-way scored worse than its bisection seed: %+v", *row)
+			}
+			b.ReportMetric(float64(row.CutNetsBisect), "cut-bisect")
+			b.ReportMetric(float64(row.CutNetsKWay), "cut-kway")
+			b.ReportMetric(row.SteinerBisect, "steiner-bisect")
+			b.ReportMetric(row.SteinerKWay, "steiner-kway")
+			b.ReportMetric(float64(row.Replicas), "replicas")
+			rowBy[c.name] = *row
+		})
+	}
+	var rows []experiments.KWayRow
+	for _, c := range cases {
+		if r, ok := rowBy[c.name]; ok {
+			rows = append(rows, r)
+		}
+	}
+	if len(rows) == 0 {
+		return // sub-benchmark filter excluded everything
+	}
+	artifact := struct {
+		Bench string                `json:"bench"`
+		Rows  []experiments.KWayRow `json:"rows"`
+	}{Bench: "kway-vs-bisect", Rows: rows}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_partition.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

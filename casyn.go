@@ -59,6 +59,17 @@ type Options struct {
 	// iteration (the controller's operating mode).
 	// Result.AdaptiveIterations records the routed iterations used.
 	Adaptive bool
+	// Dies synthesizes for a multi-die target when > 1: the die is
+	// tiled into Dies regions, the subject is partitioned directly
+	// k-way with cut-driver replication (partition.KWay), and routing
+	// enforces the inter-die pin budget on region-crossing nets.
+	// Incompatible with Adaptive. 0 or 1 is the classic single-die
+	// flow.
+	Dies int
+	// InterDiePinBudget caps region-crossing nets at route admission
+	// when Dies > 1: 0 derives the budget from the derated boundary
+	// capacity, negative disables the check.
+	InterDiePinBudget int
 	// DieArea fixes the floorplan in µm². When 0, the die is sized so
 	// the minimum-area mapping sits at 58% utilization (the calibrated
 	// operating point of the paper's experiments).
@@ -146,6 +157,14 @@ type Result struct {
 	// AdaptiveIterations is the number of routed iterations the
 	// closed-loop controller used (0 for fixed-K synthesis).
 	AdaptiveIterations int
+	// Dies echoes the multi-die region count (0 or 1 for single-die).
+	Dies int
+	// ReplicatedGates counts subject gates the k-way partitioner
+	// duplicated across die regions (multi-die runs only).
+	ReplicatedGates int
+	// CrossRegionNets counts routed nets spanning more than one die
+	// region (multi-die runs only).
+	CrossRegionNets int
 }
 
 // Report formats the result like the paper's tables.
@@ -158,6 +177,10 @@ func (r *Result) Report() string {
 	fmt.Fprintf(&b, "routing violations: %d (routable: %v)\n", r.Violations, r.Routable)
 	if r.AdaptiveIterations > 0 {
 		fmt.Fprintf(&b, "adaptive:          %d routed iteration(s)\n", r.AdaptiveIterations)
+	}
+	if r.Dies > 1 {
+		fmt.Fprintf(&b, "dies:              %d (%d replicated gates, %d cross-region nets)\n",
+			r.Dies, r.ReplicatedGates, r.CrossRegionNets)
 	}
 	fmt.Fprintf(&b, "routed wirelength: %.0f µm\n", r.WireLength)
 	if r.CriticalPath != "" {
@@ -269,6 +292,12 @@ func SynthesizeSubject(dag *subject.DAG, opts Options) (*Result, error) {
 // SynthesizeSubjectContext is SynthesizeSubject with cooperative
 // cancellation (see SynthesizeContext).
 func SynthesizeSubjectContext(ctx context.Context, dag *subject.DAG, opts Options) (*Result, error) {
+	if opts.Adaptive && opts.Dies > 1 {
+		// The adaptive controller's K-field feedback is die-local; it
+		// has no multi-die model yet. Fail loudly instead of silently
+		// ignoring one of the two switches.
+		return nil, fmt.Errorf("casyn: Adaptive and Dies > 1 are mutually exclusive")
+	}
 	layout, err := LayoutFor(dag, opts)
 	if err != nil {
 		return nil, err
@@ -289,6 +318,14 @@ func SynthesizeSubjectContext(ctx context.Context, dag *subject.DAG, opts Option
 	if err != nil {
 		return nil, err
 	}
+	if opts.Dies > 1 {
+		// Prepare the k-way prefix here (rather than letting RunOnce do
+		// it on a private copy) so the replication outcome is visible
+		// for the Result.
+		if err := flow.PrepareMapping(ctx, pc, cfg); err != nil {
+			return nil, err
+		}
+	}
 	if opts.Adaptive {
 		ares, err := flow.RunAdaptive(ctx, pc, cfg, flow.AdaptiveConfig{BaseK: opts.K})
 		if err != nil {
@@ -307,7 +344,15 @@ func SynthesizeSubjectContext(ctx context.Context, dag *subject.DAG, opts Option
 		return nil, err
 	}
 	flow.MergeMetrics(ctx, it.Metrics)
-	return ResultFrom(dag, layout, &it), nil
+	res := ResultFrom(dag, layout, &it)
+	if opts.Dies > 1 {
+		res.Dies = opts.Dies
+		res.CrossRegionNets = it.CrossRegionNets
+		if pc.KWay != nil {
+			res.ReplicatedGates = pc.KWay.Replicas
+		}
+	}
+	return res, nil
 }
 
 // LayoutFor sizes the floorplan for a decomposed subject DAG under
@@ -336,18 +381,20 @@ func FlowConfig(layout place.Layout, opts Options) flow.Config {
 		seed = 1
 	}
 	return flow.Config{
-		Layout:         layout,
-		Method:         opts.Partition,
-		PlaceOpts:      place.Options{Seed: seed, RefinePasses: 8},
-		RouteOpts:      route.Options{GCellSize: 26.6, RipupIterations: 6, CapacityScale: 1.98},
-		FreshPlacement: true,
-		RunSTA:         opts.RunTiming,
-		STAOpts:        sta.Options{},
-		KSchedule:      []float64{opts.K},
-		StageTimeout:   opts.StageTimeout,
-		Workers:        opts.Workers,
-		Verify:         opts.Verify,
-		VerifyOpts:     opts.VerifyOpts,
+		Layout:            layout,
+		Method:            opts.Partition,
+		Dies:              opts.Dies,
+		InterDiePinBudget: opts.InterDiePinBudget,
+		PlaceOpts:         place.Options{Seed: seed, RefinePasses: 8},
+		RouteOpts:         route.Options{GCellSize: 26.6, RipupIterations: 6, CapacityScale: 1.98},
+		FreshPlacement:    true,
+		RunSTA:            opts.RunTiming,
+		STAOpts:           sta.Options{},
+		KSchedule:         []float64{opts.K},
+		StageTimeout:      opts.StageTimeout,
+		Workers:           opts.Workers,
+		Verify:            opts.Verify,
+		VerifyOpts:        opts.VerifyOpts,
 	}
 }
 

@@ -11,6 +11,7 @@
 //	casyn -pla design.pla -metrics run.jsonl -trace -pprof cpu
 //	casyn -bench spla -scale 0.05 -k 0.5 -eco edits.json -eco-fast
 //	casyn -bench spla -scale 0.05 -adaptive
+//	casyn -bench spla -scale 0.05 -dies 4
 //
 // Exit codes identify the failure: 0 success, 1 generic error, 2 usage,
 // 3 map stage, 4 place stage, 5 route stage, 6 sta stage, 7 timeout or
@@ -64,6 +65,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scale     = fs.Float64("scale", 1.0, "benchmark scale factor (1.0 = full size)")
 		k         = fs.Float64("k", 0, "congestion minimization factor K (Eq. 5)")
 		adaptive  = fs.Bool("adaptive", false, "closed-loop congestion control: steer a spatial K-field from the routed congestion map instead of fixing K (-k then sets the baseline; 0 = calibrated default)")
+		dies      = fs.Int("dies", 0, "multi-die synthesis: tile the die into N regions, partition directly k-way with cut-driver replication, enforce the inter-die pin budget at routing (0/1 = single die)")
+		pinBudget = fs.Int("die-pins", 0, "with -dies: inter-die pin budget on region-crossing nets (0 = derive from boundary capacity, negative = unchecked)")
 		dieArea   = fs.Float64("die", 0, "die area in µm² (0 = auto-size at 58% utilization)")
 		sis       = fs.Bool("sis", false, "run SIS-style technology-independent optimization first")
 		timing    = fs.Bool("timing", false, "run static timing analysis")
@@ -88,6 +91,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts := casyn.Options{
 		K:                       *k,
 		Adaptive:                *adaptive,
+		Dies:                    *dies,
+		InterDiePinBudget:       *pinBudget,
 		DieArea:                 *dieArea,
 		OptimizeTechIndependent: *sis,
 		RunTiming:               *timing,
@@ -109,6 +114,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *adaptive && *ecoPath != "" {
 		fail("-adaptive and -eco are mutually exclusive (the ECO chain is fixed-K)")
 		return exitUsage
+	}
+	if *dies > 1 {
+		if *adaptive {
+			fail("-adaptive and -dies are mutually exclusive (the K-field controller has no multi-die model)")
+			return exitUsage
+		}
+		if *ecoPath != "" {
+			fail("-eco and -dies are mutually exclusive (the ECO chain is single-die)")
+			return exitUsage
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

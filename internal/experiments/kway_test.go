@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"casyn/internal/bench"
+)
+
+// TestKWayVsBisect pins the PR's acceptance criterion: on at least
+// two bench circuits, direct k-way moves with replication strictly
+// reduce both the cut-net count and the Steiner cost relative to the
+// recursive-bisection seed, with the replicated subject proven
+// equivalent (KWayVsBisect runs the flow with Verify on, so an
+// inequivalent replication fails the call outright).
+func TestKWayVsBisect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full flow per circuit; skipped in -short")
+	}
+	for _, tc := range []struct {
+		class bench.Class
+		dies  int
+	}{
+		{bench.SPLA, 2},
+		{bench.PDC, 2},
+	} {
+		row, err := KWayVsBisect(context.Background(), tc.class, 0.05, tc.dies, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.class, err)
+		}
+		t.Logf("%v: %+v", tc.class, *row)
+		if row.CutNetsKWay >= row.CutNetsBisect {
+			t.Errorf("%v: cut nets %d not strictly below the bisection seed %d",
+				tc.class, row.CutNetsKWay, row.CutNetsBisect)
+		}
+		if row.SteinerKWay >= row.SteinerBisect {
+			t.Errorf("%v: Steiner cost %.1f not strictly below the bisection seed %.1f",
+				tc.class, row.SteinerKWay, row.SteinerBisect)
+		}
+		if row.Replicas > 0 && !row.Verified {
+			t.Errorf("%v: %d replicas but no equivalence proof recorded", tc.class, row.Replicas)
+		}
+		if !row.Routed {
+			t.Errorf("%v: end-to-end row not routed", tc.class)
+		}
+	}
+}
+
+// TestKWayPressure smoke-checks the synthetic scaling row: the
+// partitioner must complete and never score worse than its seed.
+func TestKWayPressure(t *testing.T) {
+	row, err := KWayPressure(20_000, 64, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.CutNetsKWay > row.CutNetsBisect || row.SteinerKWay > row.SteinerBisect {
+		t.Errorf("k-way scored worse than its seed: %+v", *row)
+	}
+	if !strings.HasPrefix(row.Circuit, "synthetic-") {
+		t.Errorf("circuit label %q", row.Circuit)
+	}
+}

@@ -54,6 +54,19 @@ type Config struct {
 	KSchedule []float64
 	// Method is the partitioning scheme (default PDP).
 	Method partition.Method
+	// Dies turns the run into a multi-die workload when > 1: the
+	// mapping prefix is built over a direct k-way partition of the die
+	// into Dies regions (partition.KWay, seeded from the Method
+	// forest) with cut-driver replication, and routing derates
+	// region-boundary edges and enforces the inter-die pin budget at
+	// admission. 0 or 1 is the classic single-die flow, byte-identical
+	// to before the field existed.
+	Dies int
+	// InterDiePinBudget caps boundary-crossing nets at route admission
+	// when Dies > 1: 0 derives the budget from the derated boundary
+	// capacity, negative disables the check. Forwarded to
+	// route.Options.RegionPinBudget unless RouteOpts sets its own.
+	InterDiePinBudget int
 	// PlaceOpts / RouteOpts forward to the placer and router.
 	PlaceOpts place.Options
 	RouteOpts route.Options
@@ -151,6 +164,15 @@ type Context struct {
 	// per K; results are byte-identical either way. Nil is always valid
 	// (the classic per-K path).
 	Prep *mapper.Prepared
+	// Regions are the die regions of a multi-die run, set by
+	// PrepareMapping when Config.Dies > 1 (nil otherwise). RunOnce
+	// forwards them to route admission.
+	Regions []geom.Rect
+	// KWay is the k-way partitioning outcome of a multi-die run
+	// (replica counts, cut metrics); nil for single-die. When it
+	// carries replicas, DAG and Pos have been swapped to the
+	// replicated clone and its extended placement.
+	KWay *partition.KWayResult
 }
 
 // Prepare places the subject DAG on the layout image. Cancellation of
@@ -191,18 +213,67 @@ func Prepare(ctx context.Context, d *subject.DAG, cfg Config) (*Context, error) 
 // runstage.StageMapPrepare.
 func PrepareMapping(ctx context.Context, pc *Context, cfg Config) error {
 	cfg.defaults()
-	prep, err := runstage.Run(ctx, runstage.StageMapPrepare, 0, cfg.StageTimeout, cfg.Hooks,
-		func(ctx context.Context) (*mapper.Prepared, error) {
-			return mapper.Prepare(ctx, pc.DAG, mapper.Input{Pos: pc.Pos, POPads: pc.POPads}, mapper.Options{
-				Method:  cfg.Method,
-				Lib:     cfg.Lib,
-				Workers: cfg.Workers,
-			})
+	mopts := mapper.Options{
+		Method:  cfg.Method,
+		Lib:     cfg.Lib,
+		Workers: cfg.Workers,
+	}
+	type mprep struct {
+		prep *mapper.Prepared
+		kway *partition.KWayResult
+	}
+	p, err := runstage.Run(ctx, runstage.StageMapPrepare, 0, cfg.StageTimeout, cfg.Hooks,
+		func(ctx context.Context) (mprep, error) {
+			if cfg.Dies > 1 {
+				// Multi-die: seed forest from the configured method, then
+				// direct k-way moves + replication over the die regions.
+				forest, err := partition.Partition(partition.Input{
+					DAG:    pc.DAG,
+					Pos:    pc.Pos,
+					POPads: pc.POPads,
+				}, cfg.Method)
+				if err != nil {
+					return mprep{}, err
+				}
+				kres, err := partition.KWay(pc.DAG, forest, partition.KWayOptions{
+					K:         cfg.Dies,
+					Die:       cfg.Layout.Die,
+					Pos:       pc.Pos,
+					POPads:    pc.POPads,
+					Replicate: true,
+				})
+				if err != nil {
+					return mprep{}, err
+				}
+				if cfg.Verify && kres.Replicas > 0 {
+					// Replication edits the subject itself, so prove the
+					// replicated DAG equivalent to the original before any
+					// mapping happens on it.
+					rep, err := verify.Equivalent(ctx, pc.DAG, kres.DAG, cfg.VerifyOpts)
+					if err != nil {
+						return mprep{}, err
+					}
+					if !rep.Equivalent {
+						return mprep{}, fmt.Errorf("replicated subject differs from original: %s", rep)
+					}
+				}
+				prep, err := mapper.PrepareForest(ctx, kres.DAG, kres.Forest,
+					mapper.Input{Pos: kres.Pos, POPads: pc.POPads}, mopts)
+				return mprep{prep: prep, kway: kres}, err
+			}
+			prep, err := mapper.Prepare(ctx, pc.DAG, mapper.Input{Pos: pc.Pos, POPads: pc.POPads}, mopts)
+			return mprep{prep: prep}, err
 		})
 	if err != nil {
 		return err
 	}
-	pc.Prep = prep
+	pc.Prep = p.prep
+	if p.kway != nil {
+		pc.DAG = p.kway.DAG
+		pc.Pos = p.kway.Pos
+		pc.Regions = p.kway.Regions
+		pc.KWay = p.kway
+	}
 	return nil
 }
 
@@ -220,6 +291,9 @@ type Iteration struct {
 	FailedConnections int
 	MaxCongestion     float64
 	WireLength        float64 // routed, µm
+	// CrossRegionNets counts nets spanning more than one die region
+	// (multi-die runs only; 0 otherwise).
+	CrossRegionNets int
 	// Routable is the flow's single routability definition: the global
 	// route completed with FailedConnections == 0 AND Violations == 0
 	// (route.Result.Routable). All consumers — the sweep's Best()
@@ -303,10 +377,14 @@ func Run(ctx context.Context, pc *Context, cfg Config) (*Result, error) {
 	// via PrepareMapping). A non-cancellation prep failure degrades to
 	// the classic per-K path, whose iterations surface the same error
 	// under the sweep's usual degrade rules.
-	if len(cfg.KSchedule) > 1 && !pc.Prep.Compatible(cfg.Method, cfg.Lib) {
+	if (len(cfg.KSchedule) > 1 || cfg.Dies > 1) && !dieAwarePrep(pc, cfg) {
 		run := *pc
 		if err := PrepareMapping(ctx, &run, cfg); err == nil {
 			pc = &run
+		} else if cfg.Dies > 1 {
+			// A multi-die run cannot degrade to the classic path: that
+			// would silently synthesize a single-die design.
+			return &Result{BestIndex: -1}, fmt.Errorf("flow: multi-die prepare failed: %w", err)
 		} else if cerr := ctx.Err(); cerr != nil {
 			return &Result{BestIndex: -1}, fmt.Errorf("flow: canceled at K=%g: %w", cfg.KSchedule[0], cerr)
 		}
@@ -497,9 +575,29 @@ func runParallel(ctx context.Context, pc *Context, cfg Config) (*Result, error) 
 // The child's events are not merged into the parent recorder here —
 // Run does that in ladder order (and direct callers use MergeMetrics)
 // so the parent stream is deterministic for any worker count.
+// dieAwarePrep reports whether pc already carries a mapping prefix
+// usable for this config: Method/Lib compatible, and — for a
+// multi-die run — built by the multi-die path (a single-die prefix
+// partitions the wrong hypergraph).
+func dieAwarePrep(pc *Context, cfg Config) bool {
+	if !pc.Prep.Compatible(cfg.Method, cfg.Lib) {
+		return false
+	}
+	return cfg.Dies <= 1 || pc.KWay != nil
+}
+
 func RunOnce(ctx context.Context, pc *Context, k float64, cfg Config) (it Iteration, err error) {
 	cfg.defaults()
 	it = Iteration{K: k}
+	if cfg.Dies > 1 && !dieAwarePrep(pc, cfg) {
+		// Direct RunOnce on a multi-die config: build the k-way prefix
+		// on a private copy so the caller's context is untouched.
+		run := *pc
+		if err := PrepareMapping(ctx, &run, cfg); err != nil {
+			return it, err
+		}
+		pc = &run
+	}
 	var hotspots []route.HotSpot
 	rec := obs.From(ctx).Child()
 	if rec != nil {
@@ -575,6 +673,12 @@ func RunOnce(ctx context.Context, pc *Context, k float64, cfg Config) (it Iterat
 	if ropts.Workers == 0 {
 		ropts.Workers = cfg.Workers
 	}
+	if cfg.Dies > 1 && len(pc.Regions) > 1 {
+		ropts.Regions = pc.Regions
+		if ropts.RegionPinBudget == 0 {
+			ropts.RegionPinBudget = cfg.InterDiePinBudget
+		}
+	}
 	rres, err := runstage.Run(ctx, runstage.StageRoute, k, cfg.StageTimeout, cfg.Hooks,
 		func(ctx context.Context) (*route.Result, error) {
 			return route.RouteNetlist(ctx, pn.Cells, pl, cfg.Layout, ropts)
@@ -586,6 +690,7 @@ func RunOnce(ctx context.Context, pc *Context, k float64, cfg Config) (it Iterat
 	it.FailedConnections = rres.FailedConnections
 	it.MaxCongestion = rres.MaxCongestion
 	it.WireLength = rres.WireLength
+	it.CrossRegionNets = rres.CrossRegionNets
 	it.Routable = rres.Routable()
 	if rec != nil {
 		hotspots = rres.Grid.HotSpots(maxHotSpots)

@@ -181,6 +181,107 @@ func HPWL(pts []Point) float64 {
 	return BoundingBox(pts).HalfPerimeter()
 }
 
+// SteinerLength estimates the rectilinear Steiner minimal tree length
+// of pts. For up to three terminals the bounding-box half-perimeter is
+// the exact RSMT length; above that it builds the rectilinear minimum
+// spanning tree (Prim) and greedily inserts Hanan grid points while
+// any single insertion shortens the tree — the classic 1-Steiner
+// heuristic, deterministic for a fixed point order. Duplicate points
+// are ignored.
+func SteinerLength(pts []Point) float64 {
+	pts = dedupPoints(pts)
+	if len(pts) < 2 {
+		return 0
+	}
+	if len(pts) <= 3 {
+		return BoundingBox(pts).HalfPerimeter()
+	}
+	best := mstLength(pts)
+	// Bounded 1-Steiner improvement: try every Hanan point, keep the
+	// single best insertion, repeat until no insertion helps. The pin
+	// counts here are small (net terminals, die regions), so the
+	// O(n³ log n) worst case stays trivial.
+	work := append([]Point(nil), pts...)
+	for iter := 0; iter < len(pts); iter++ {
+		bestGain := 0.0
+		var bestPt Point
+		for _, hx := range pts {
+			for _, hy := range pts {
+				h := Point{X: hx.X, Y: hy.Y}
+				if containsPoint(work, h) {
+					continue
+				}
+				l := mstLength(append(work, h))
+				if g := best - l; g > bestGain+1e-9 {
+					bestGain = g
+					bestPt = h
+				}
+			}
+		}
+		if bestGain <= 0 {
+			break
+		}
+		work = append(work, bestPt)
+		best -= bestGain
+	}
+	return best
+}
+
+func dedupPoints(pts []Point) []Point {
+	out := pts[:0:0]
+	for _, p := range pts {
+		if !containsPoint(out, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func containsPoint(pts []Point, q Point) bool {
+	for _, p := range pts {
+		if p == q {
+			return true
+		}
+	}
+	return false
+}
+
+// mstLength returns the length of the Manhattan-distance minimum
+// spanning tree of pts (Prim's algorithm). A tree spanning terminals
+// plus any extra Steiner points is itself a Steiner tree of the
+// terminals, so the value is always a valid RSMT upper bound.
+func mstLength(pts []Point) float64 {
+	n := len(pts)
+	if n < 2 {
+		return 0
+	}
+	inTree := make([]bool, n)
+	dist := make([]float64, n)
+	for i := 1; i < n; i++ {
+		dist[i] = pts[0].Manhattan(pts[i])
+	}
+	inTree[0] = true
+	total := 0.0
+	for added := 1; added < n; added++ {
+		best := -1
+		for i := 1; i < n; i++ {
+			if !inTree[i] && (best < 0 || dist[i] < dist[best]) {
+				best = i
+			}
+		}
+		inTree[best] = true
+		total += dist[best]
+		for i := 1; i < n; i++ {
+			if !inTree[i] {
+				if d := pts[best].Manhattan(pts[i]); d < dist[i] {
+					dist[i] = d
+				}
+			}
+		}
+	}
+	return total
+}
+
 // CenterOfMass returns the unweighted centroid of pts. It returns the
 // origin when pts is empty. The paper's covering algorithm replaces
 // the positions of all base gates covered by a selected match with

@@ -93,6 +93,28 @@ func Prepare(ctx context.Context, d *subject.DAG, in Input, opts Options) (*Prep
 	return prep, nil
 }
 
+// PrepareForest builds the K-invariant prefix over a prebuilt
+// partition forest — the direct k-way partitioner's output, possibly
+// carrying replica gates — instead of running the partition stage.
+// The DAG, placement, and forest must be mutually consistent (the
+// k-way result's DAG/Pos/Forest triple is, by construction).
+func PrepareForest(ctx context.Context, d *subject.DAG, forest *partition.Forest, in Input, opts Options) (*Prepared, error) {
+	if forest == nil {
+		return nil, fmt.Errorf("mapper: PrepareForest needs a forest")
+	}
+	opts.defaults()
+	rec := obs.From(ctx)
+	pctx, span := rec.StartSpan(ctx, "map.prepare")
+	prefix, err := cover.BuildPrefix(pctx, d, forest, opts.Lib, in.Pos, opts.Metric, opts.Workers)
+	span.End(err)
+	if err != nil {
+		return nil, err
+	}
+	prep := &Prepared{dag: d, forest: forest, prefix: prefix, opts: opts, in: in}
+	rec.Add("map.prepare.matches", int64(prep.prefix.NumMatches()))
+	return prep, nil
+}
+
 func prepare(ctx context.Context, d *subject.DAG, in Input, opts Options) (*Prepared, error) {
 	rec := obs.From(ctx)
 	_, pSpan := rec.StartSpan(ctx, "map.partition")

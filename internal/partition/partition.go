@@ -77,6 +77,18 @@ type Forest struct {
 	Father []int
 	// Roots lists tree roots in ascending gate-ID order.
 	Roots []int
+
+	// Caches computed once at finish() time. Every partitioner funnels
+	// through finish, so Trees/RootOf/Stats serve these instead of
+	// re-deriving liveness and tree membership per call — the repeated
+	// per-tree sweeps in mapper.Prepare were paying that recomputation
+	// on every prefix build. The caches are populated eagerly (never
+	// lazily) because a Forest is shared read-only across the
+	// concurrent K ladder; a lazy memo would race.
+	trees  []Tree
+	rootOf []int
+	stats  Stats
+	cached bool
 }
 
 // Partition cuts the subject DAG with the chosen method.
@@ -118,7 +130,8 @@ func poDrivers(d *subject.DAG) []bool {
 	return set
 }
 
-// finish fills Roots from Father and returns the forest.
+// finish fills Roots from Father, precomputes the tree/root-of/stats
+// caches, and returns the forest.
 func finish(d *subject.DAG, father []int) *Forest {
 	f := &Forest{Father: father}
 	for _, g := range d.LiveGates() {
@@ -127,6 +140,10 @@ func finish(d *subject.DAG, father []int) *Forest {
 		}
 	}
 	sort.Ints(f.Roots)
+	f.trees = f.materializeTrees()
+	f.rootOf = f.computeRootOf(len(father))
+	f.stats = statsOf(f.trees)
+	f.cached = true
 	return f
 }
 
@@ -154,9 +171,26 @@ func partitionCone(d *subject.DAG) *Forest {
 	father := newFatherSlice(d)
 	assigned := make([]bool, d.NumGates())
 	isPODriver := poDrivers(d)
-	var grow func(g int)
-	grow = func(g int) {
-		for _, fi := range d.Fanins(g) {
+	// Explicit-stack pre-order DFS, frame-for-frame equivalent to the
+	// recursive closure it replaces: each frame resumes at the next
+	// fanin, so sibling order (and therefore which cone reaches a
+	// shared gate first) is unchanged. The recursion blew the
+	// goroutine stack on deep million-gate chains.
+	type coneFrame struct {
+		g, next int
+	}
+	var stack []coneFrame
+	grow := func(root int) {
+		stack = append(stack[:0], coneFrame{g: root})
+		for len(stack) > 0 {
+			fr := &stack[len(stack)-1]
+			fis := d.Fanins(fr.g)
+			if fr.next >= len(fis) {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			fi := fis[fr.next]
+			fr.next++
 			if !isTreeGate(d.Gate(fi).Type) || assigned[fi] {
 				continue
 			}
@@ -164,8 +198,8 @@ func partitionCone(d *subject.DAG) *Forest {
 				continue // PO drivers stay roots of their own cones
 			}
 			assigned[fi] = true
-			father[fi] = g
-			grow(fi)
+			father[fi] = fr.g
+			stack = append(stack, coneFrame{g: fi})
 		}
 	}
 	for _, o := range d.Outputs() {
@@ -271,47 +305,90 @@ type Tree struct {
 	Children map[int][]int
 }
 
-// Trees materializes the forest's trees.
+// Trees returns the forest's trees. The result is the finish()-time
+// cache and must be treated read-only (it is shared by every caller,
+// including the concurrent covering fan-out).
 func (f *Forest) Trees(d *subject.DAG) []Tree {
+	if f.cached {
+		return f.trees
+	}
+	return f.materializeTrees()
+}
+
+// materializeTrees builds the tree list from Father/Roots with an
+// explicit-stack post-order DFS (children before parents, sibling
+// order by ascending gate ID — identical to the recursive visit it
+// replaces, which could blow the stack on deep million-gate chains).
+func (f *Forest) materializeTrees() []Tree {
 	kids := make(map[int][]int)
 	for g, fa := range f.Father {
 		if fa >= 0 {
 			kids[fa] = append(kids[fa], g)
 		}
 	}
+	type treeFrame struct {
+		g, next int
+	}
+	var stack []treeFrame
 	trees := make([]Tree, 0, len(f.Roots))
 	for _, root := range f.Roots {
 		t := Tree{Root: root, Children: make(map[int][]int)}
-		// Post-order DFS so children precede parents.
-		var visit func(g int)
-		visit = func(g int) {
-			for _, k := range kids[g] {
-				visit(k)
+		stack = append(stack[:0], treeFrame{g: root})
+		for len(stack) > 0 {
+			fr := &stack[len(stack)-1]
+			ks := kids[fr.g]
+			if fr.next < len(ks) {
+				fr.next++
+				stack = append(stack, treeFrame{g: ks[fr.next-1]})
+				continue
 			}
-			t.Children[g] = kids[g]
-			t.Gates = append(t.Gates, g)
+			t.Children[fr.g] = ks
+			t.Gates = append(t.Gates, fr.g)
+			stack = stack[:len(stack)-1]
 		}
-		visit(root)
 		trees = append(trees, t)
 	}
 	return trees
 }
 
 // RootOf returns, per gate ID, the root of the tree the gate belongs
-// to (-1 for PIs, constants, and dead gates). The father of a tree
-// vertex always has a larger ID (gates are created fanins-first), so
-// one descending pass resolves every father chain.
+// to (-1 for PIs, constants, and dead gates). The result is the
+// finish()-time cache and must be treated read-only.
 func (f *Forest) RootOf(d *subject.DAG) []int {
-	rootOf := make([]int, d.NumGates())
+	if f.cached {
+		return f.rootOf
+	}
+	return f.computeRootOf(d.NumGates())
+}
+
+// computeRootOf resolves every father chain by iterative path walking
+// with memoization. It makes no assumption about ID ordering along a
+// chain: gates are normally created fanins-first (father ID > child
+// ID), but replicas appended by the k-way partitioner have IDs larger
+// than every other vertex while their father — when attached into a
+// sink's tree — is smaller.
+func (f *Forest) computeRootOf(n int) []int {
+	rootOf := make([]int, n)
 	for g := range rootOf {
 		rootOf[g] = -1
 	}
 	for _, r := range f.Roots {
 		rootOf[r] = r
 	}
-	for g := d.NumGates() - 1; g >= 0; g-- {
-		if fa := f.Father[g]; fa >= 0 {
-			rootOf[g] = rootOf[fa]
+	var path []int
+	for g := 0; g < n; g++ {
+		if rootOf[g] >= 0 || f.Father[g] < 0 {
+			continue
+		}
+		path = path[:0]
+		v := g
+		for rootOf[v] < 0 && f.Father[v] >= 0 {
+			path = append(path, v)
+			v = f.Father[v]
+		}
+		r := rootOf[v] // -1 on a dead chain, matching the old pass
+		for _, p := range path {
+			rootOf[p] = r
 		}
 	}
 	return rootOf
@@ -334,9 +411,16 @@ type Stats struct {
 	MeanTreeSize float64
 }
 
-// Stats computes forest statistics.
+// Stats returns forest statistics (the finish()-time cache when
+// available).
 func (f *Forest) Stats(d *subject.DAG) Stats {
-	trees := f.Trees(d)
+	if f.cached {
+		return f.stats
+	}
+	return statsOf(f.Trees(d))
+}
+
+func statsOf(trees []Tree) Stats {
 	s := Stats{Trees: len(trees)}
 	for _, t := range trees {
 		s.TreeGates += len(t.Gates)

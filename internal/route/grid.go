@@ -61,6 +61,21 @@ type Options struct {
 	// partition never depends on the worker count — so only wall-clock
 	// time changes.
 	Workers int
+	// Regions, when it holds more than one rectangle, declares the die
+	// regions of a multi-die workload (partition.DieRegions). Grid
+	// edges crossing a region boundary are derated by
+	// RegionBoundaryDerate — inter-die connections are scarcer than
+	// on-die tracks — and nets spanning more than one region are
+	// checked against RegionPinBudget before routing starts.
+	Regions []geom.Rect
+	// RegionPinBudget caps how many nets may cross region boundaries
+	// when Regions is set: 0 derives the budget from the derated
+	// capacity of the boundary-crossing edges, a negative value
+	// disables the admission check.
+	RegionPinBudget int
+	// RegionBoundaryDerate scales the capacity of boundary-crossing
+	// edges (default 0.5).
+	RegionBoundaryDerate float64
 }
 
 func (o *Options) defaults(layout place.Layout) {
@@ -89,6 +104,9 @@ func (o *Options) defaults(layout place.Layout) {
 	if o.CapacityScale == 0 {
 		o.CapacityScale = 1
 	}
+	if o.RegionBoundaryDerate == 0 {
+		o.RegionBoundaryDerate = 0.5
+	}
 }
 
 // Grid is the global-routing graph: NX×NY gcells with capacitated
@@ -104,6 +122,11 @@ type Grid struct {
 	capH, capV     [][]float64
 	usageH, usageV [][]float64
 	histH, histV   [][]float64 // rip-up history cost
+
+	// CrossRegionCapacity is the summed (derated) track capacity of
+	// the edges crossing die-region boundaries — the auto inter-die
+	// pin budget. Zero unless Options.Regions held > 1 region.
+	CrossRegionCapacity float64
 
 	// Congestion-map cache: congMap is the last map computed by
 	// CongestionMap, valid while congDirty is false. Every usage write
@@ -165,7 +188,53 @@ func NewGrid(layout place.Layout, opts Options, cellDensity [][]float64) (*Grid,
 			g.capV[y][x] = baseV * derate
 		}
 	}
+	if len(opts.Regions) > 1 {
+		g.derateRegionBoundaries(opts)
+	}
 	return g, nil
+}
+
+// derateRegionBoundaries scales down the capacity of every edge whose
+// two gcells sit in different die regions and accumulates the
+// remaining cross-boundary capacity (the auto inter-die pin budget).
+func (g *Grid) derateRegionBoundaries(opts Options) {
+	regionAt := make([]int, g.NY*g.NX)
+	for y := 0; y < g.NY; y++ {
+		for x := 0; x < g.NX; x++ {
+			regionAt[y*g.NX+x] = regionIndexOf(g.Center(x, y), opts.Regions)
+		}
+	}
+	for y := 0; y < g.NY; y++ {
+		for x := 0; x < g.NX; x++ {
+			if x+1 < g.NX && regionAt[y*g.NX+x] != regionAt[y*g.NX+x+1] {
+				g.capH[y][x] *= opts.RegionBoundaryDerate
+				g.CrossRegionCapacity += g.capH[y][x]
+			}
+			if y+1 < g.NY && regionAt[y*g.NX+x] != regionAt[(y+1)*g.NX+x] {
+				g.capV[y][x] *= opts.RegionBoundaryDerate
+				g.CrossRegionCapacity += g.capV[y][x]
+			}
+		}
+	}
+}
+
+// regionIndexOf returns the first region containing p, or the region
+// with the nearest center when p lies outside all of them (perimeter
+// pads sit exactly on the die edge, which Contains covers; the
+// fallback handles out-of-die coordinates).
+func regionIndexOf(p geom.Point, regions []geom.Rect) int {
+	for i, r := range regions {
+		if r.Contains(p) {
+			return i
+		}
+	}
+	best, bestD := 0, math.Inf(1)
+	for i, r := range regions {
+		if d := p.Manhattan(r.Center()); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
 }
 
 func max0(v int) int {

@@ -78,6 +78,9 @@ type Result struct {
 	MaxCongestion float64
 	// RipupRounds is the number of negotiation rounds that ran.
 	RipupRounds int
+	// CrossRegionNets counts nets whose pins span more than one die
+	// region (0 unless Options.Regions was set).
+	CrossRegionNets int
 }
 
 // Routable reports whether the layout routed without violations: no
@@ -130,6 +133,31 @@ func routeNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, l
 	}
 	r := newRouter(g, opts)
 
+	// Multi-die admission: count the nets whose pins span more than
+	// one die region and reject the run up front when they exceed the
+	// inter-die pin budget — crossing nets consume scarce derated
+	// boundary tracks, and a netlist that cannot fit them is better
+	// failed loudly than routed into guaranteed overflow.
+	crossRegion := 0
+	if len(opts.Regions) > 1 {
+		for ni := range nl.Nets {
+			if netSpansRegions(nl, pl, ni, opts.Regions) {
+				crossRegion++
+			}
+		}
+		if opts.RegionPinBudget >= 0 {
+			budget := opts.RegionPinBudget
+			if budget == 0 {
+				budget = int(g.CrossRegionCapacity)
+			}
+			if crossRegion > budget {
+				return nil, nil, fmt.Errorf(
+					"route: %d nets cross die-region boundaries, inter-die pin budget is %d",
+					crossRegion, budget)
+			}
+		}
+	}
+
 	// Decompose every net into two-pin segments over gcell terminals.
 	// The terminal buffer is reused across nets (profile-driven: a
 	// fresh dedup map per net dominated setup time at 100k+ nets).
@@ -180,6 +208,7 @@ func routeNetlist(ctx context.Context, nl *place.Netlist, pl *place.Placement, l
 	}
 
 	res := collectResult(g, nl, segs, rounds)
+	res.CrossRegionNets = crossRegion
 	if rec != nil {
 		recordRouteMetrics(rec, nl, pl, g, res)
 	}
@@ -442,6 +471,31 @@ func recordRouteMetrics(rec *obs.Recorder, nl *place.Netlist, pl *place.Placemen
 	rec.Add("route.overflow_tracks", int64(res.Violations))
 	rec.Add("route.overflow_edges", int64(res.OverflowEdges))
 	rec.Add("route.failed_connections", int64(res.FailedConnections))
+}
+
+// netSpansRegions reports whether net ni has pins (cells or pads) in
+// more than one die region.
+func netSpansRegions(nl *place.Netlist, pl *place.Placement, ni int, regions []geom.Rect) bool {
+	first := -1
+	check := func(p geom.Point) bool {
+		r := regionIndexOf(p, regions)
+		if first < 0 {
+			first = r
+			return false
+		}
+		return r != first
+	}
+	for _, c := range nl.Nets[ni].Cells {
+		if check(pl.Pos[c]) {
+			return true
+		}
+	}
+	for _, p := range nl.Nets[ni].Pads {
+		if check(p) {
+			return true
+		}
+	}
+	return false
 }
 
 // cellDensity bins cell area into gcells, normalized by gcell area.

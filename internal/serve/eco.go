@@ -92,12 +92,22 @@ var ErrParentNotDone = fmt.Errorf("eco: parent job is not done")
 // compose into one set against the original job instead.
 var ErrEcoParent = fmt.Errorf("eco: parent is itself an eco job; submit the combined edits against the original job")
 
+// ErrEcoMultiDie rejects an ECO against a multi-die parent; the ECO
+// chain's incremental state (covering and routing residue) is
+// single-die and has no model of the replicated, region-assigned
+// forest.
+var ErrEcoMultiDie = fmt.Errorf("eco: parent is a multi-die job; the eco chain is single-die")
+
 // ecoJob is the ECO payload riding on a queued Job.
 type ecoJob struct {
 	parent string
 	edits  mapper.EditSet
 	k      float64
 	fast   bool
+	// parentKMode is the parent job's canonical k_mode, carried so the
+	// result can state how the effective fixed K relates to the
+	// parent's mode (an adaptive parent's edits run at its baseline K).
+	parentKMode string
 }
 
 // ECOInfo annotates an ECO job's result.
@@ -109,6 +119,15 @@ type ECOInfo struct {
 	Edits int `json:"edits"`
 	// K is the congestion factor the incremental synthesis ran at.
 	K float64 `json:"k"`
+	// KMode is the effective K-selection mode of the incremental run.
+	// Always "fixed": the ECO chain diffs against a fixed-K residue,
+	// whatever mode the parent ran in.
+	KMode string `json:"k_mode"`
+	// ParentKMode records the parent's mode when it differed from the
+	// effective one — an adaptive parent's edits run open-loop at the
+	// fixed K above, and the result must say so rather than silently
+	// dropping the mode.
+	ParentKMode string `json:"parent_k_mode,omitempty"`
 	// FastRoute reports the incremental (territory-scoped) reroute.
 	FastRoute bool `json:"fast_route,omitempty"`
 }
@@ -127,6 +146,10 @@ func (s *Server) SubmitECO(parent *Job, spec *EcoSpec) (*Job, error) {
 		s.rec.Add("serve.jobs_invalid", 1)
 		return nil, ErrParentNotDone
 	}
+	if parent.Spec.Dies > 1 {
+		s.rec.Add("serve.jobs_invalid", 1)
+		return nil, ErrEcoMultiDie
+	}
 	k := parent.Spec.K
 	if res, _ := parent.Result(); res != nil && res.BestK != nil {
 		k = *res.BestK
@@ -144,7 +167,9 @@ func (s *Server) SubmitECO(parent *Job, spec *EcoSpec) (*Job, error) {
 	derived.KSchedule = nil
 	derived.StopAtFirstRoutable = false
 	// The ECO chain is fixed-K (the incremental state is a fixed-K
-	// residue); an adaptive parent's edits run at its baseline K.
+	// residue); an adaptive parent's edits run at its baseline K. The
+	// mode change is not silent: the result's ECOInfo reports the
+	// effective k_mode and, when it differed, the parent's.
 	derived.KMode = ""
 	derived.Verilog = spec.Verilog
 	derived.NoResultCache = spec.NoResultCache
@@ -159,12 +184,16 @@ func (s *Server) SubmitECO(parent *Job, spec *EcoSpec) (*Job, error) {
 		return nil, err
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "eco %s k %g fast %v timing %v verify %v edits %s\n",
-		parent.prepKey, k, spec.Fast, derived.Timing, derived.Verify, canon)
+	// The parent's k_mode rides in the key: it is annotated on the
+	// result (ECOInfo.ParentKMode), so two otherwise-identical ECOs
+	// off differently-moded parents must not share a cache entry.
+	fmt.Fprintf(h, "eco %s k %g fast %v timing %v verify %v kmode %s edits %s\n",
+		parent.prepKey, k, spec.Fast, derived.Timing, derived.Verify, parent.Spec.kmode(), canon)
 	resultKey := hex.EncodeToString(h.Sum(nil))
 
 	return s.admit(derived, parent.prepKey, resultKey,
-		&ecoJob{parent: parent.ID, edits: spec.edits, k: k, fast: spec.Fast})
+		&ecoJob{parent: parent.ID, edits: spec.edits, k: k, fast: spec.Fast,
+			parentKMode: parent.Spec.kmode()})
 }
 
 // runJobECO executes one incremental job: result cache, prepared
@@ -213,7 +242,12 @@ func (s *Server) runJobECO(ctx context.Context, job *Job) (*JobResult, error) {
 		return nil, err
 	}
 	res.Cache = cacheTag
-	res.ECO = &ECOInfo{Parent: job.eco.parent, Edits: len(job.eco.edits.Edits), K: job.eco.k, FastRoute: job.eco.fast}
+	info := &ECOInfo{Parent: job.eco.parent, Edits: len(job.eco.edits.Edits),
+		K: job.eco.k, KMode: "fixed", FastRoute: job.eco.fast}
+	if job.eco.parentKMode != "fixed" {
+		info.ParentKMode = job.eco.parentKMode
+	}
+	res.ECO = info
 	s.resCache.add(job.resultKey, res.clone())
 	return res, nil
 }

@@ -82,7 +82,14 @@ type JobResult struct {
 	CriticalPathNs float64 `json:"critical_path_ns,omitempty"`
 	CriticalPath   string  `json:"critical_path,omitempty"`
 	Verified       bool    `json:"verified,omitempty"`
-	Report         string  `json:"report"`
+	// Dies, ReplicatedGates, and CrossRegionNets describe a multi-die
+	// job ("dies" > 1 in the spec): the region count, the cut drivers
+	// cloned across the partition boundary, and the routed nets that
+	// cross a region boundary (all zero for single-die jobs).
+	Dies            int    `json:"dies,omitempty"`
+	ReplicatedGates int    `json:"replicated_gates,omitempty"`
+	CrossRegionNets int    `json:"cross_region_nets,omitempty"`
+	Report          string `json:"report"`
 	// Verilog is the mapped netlist (populated in responses only when
 	// the spec asked for it; always carried internally so the result
 	// cache can serve either shape).

@@ -718,20 +718,30 @@ func (s *Server) runAdaptive(ctx context.Context, entry *prepEntry, cfg flow.Con
 // buildResult condenses an accepted iteration into the response shape.
 func (s *Server) buildResult(entry *prepEntry, it *flow.Iteration, sums []IterationSummary, bestK *float64) (*JobResult, error) {
 	r := casyn.ResultFrom(entry.dag, entry.layout, it)
+	if kw := entry.pc.KWay; kw != nil {
+		// Multi-die job: fill the k-way facts before Report() renders
+		// so the daemon's report stays byte-identical to cmd/casyn.
+		r.Dies = len(kw.Regions)
+		r.ReplicatedGates = kw.Replicas
+		r.CrossRegionNets = it.CrossRegionNets
+	}
 	res := &JobResult{
-		BaseGates:      r.BaseGates,
-		NumCells:       r.NumCells,
-		CellArea:       r.CellArea,
-		Utilization:    r.Utilization,
-		Violations:     r.Violations,
-		Routable:       r.Routable,
-		WireLength:     r.WireLength,
-		CriticalPathNs: r.CriticalPathNs,
-		CriticalPath:   r.CriticalPath,
-		Verified:       r.Verify != nil && r.Verify.Equivalent,
-		Report:         r.Report(),
-		Iterations:     sums,
-		BestK:          bestK,
+		BaseGates:       r.BaseGates,
+		NumCells:        r.NumCells,
+		CellArea:        r.CellArea,
+		Utilization:     r.Utilization,
+		Violations:      r.Violations,
+		Routable:        r.Routable,
+		WireLength:      r.WireLength,
+		CriticalPathNs:  r.CriticalPathNs,
+		CriticalPath:    r.CriticalPath,
+		Verified:        r.Verify != nil && r.Verify.Equivalent,
+		Dies:            r.Dies,
+		ReplicatedGates: r.ReplicatedGates,
+		CrossRegionNets: r.CrossRegionNets,
+		Report:          r.Report(),
+		Iterations:      sums,
+		BestK:           bestK,
 	}
 	var vb writerBuilder
 	if err := r.Mapped.WriteVerilog(&vb, "casyn_top"); err != nil {

@@ -35,6 +35,10 @@ const (
 	MaxDieArea = 1e12
 	// MaxWorkers bounds the per-job fan-out a client may request.
 	MaxWorkers = 64
+	// MaxDies bounds the multi-die region count.
+	MaxDies = 64
+	// MaxDiePins bounds an explicit inter-die pin budget.
+	MaxDiePins = 1 << 20
 )
 
 // JobSpec is the JSON body of a job submission: what to synthesize and
@@ -62,6 +66,15 @@ type JobSpec struct {
 	// baseline and steers a spatial K-field from the routed congestion
 	// map instead of sweeping. "adaptive" excludes k_schedule.
 	KMode string `json:"k_mode,omitempty"`
+
+	// Dies tiles the die into N regions and partitions the subject
+	// directly k-way with cut-driver replication; routing enforces the
+	// inter-die pin budget on region-crossing nets (0/1 = single die).
+	// Excludes adaptive k_mode and the ECO chain.
+	Dies int `json:"dies,omitempty"`
+	// DiePinBudget overrides the inter-die pin budget with dies > 1
+	// (0 = derive from the derated boundary capacity, -1 = unchecked).
+	DiePinBudget int `json:"die_pin_budget,omitempty"`
 
 	// DieArea fixes the floorplan in µm² (0 = auto-size at the
 	// calibrated 58% utilization); AspectRatio is width/height.
@@ -175,8 +188,22 @@ func (s *JobSpec) Validate() error {
 		if len(s.KSchedule) > 0 {
 			return fmt.Errorf("k_mode adaptive and k_schedule are mutually exclusive (the controller steers K itself)")
 		}
+		if s.Dies > 1 {
+			return fmt.Errorf("k_mode adaptive and dies are mutually exclusive (the K-field controller has no multi-die model)")
+		}
 	default:
 		return fmt.Errorf("unknown k_mode %q (want fixed, adaptive)", s.KMode)
+	}
+	if s.Dies < 0 || s.Dies > MaxDies {
+		return fmt.Errorf("dies must be in [0, %d] (got %d)", MaxDies, s.Dies)
+	}
+	if s.DiePinBudget != 0 {
+		if s.Dies <= 1 {
+			return fmt.Errorf("die_pin_budget needs dies > 1")
+		}
+		if s.DiePinBudget < -1 || s.DiePinBudget > MaxDiePins {
+			return fmt.Errorf("die_pin_budget must be in [-1, %d] (got %d)", MaxDiePins, s.DiePinBudget)
+		}
 	}
 	if math.IsNaN(s.DieArea) || math.IsInf(s.DieArea, 0) || s.DieArea < 0 || s.DieArea > MaxDieArea {
 		return fmt.Errorf("die_area must be in [0, %g] (got %g)", MaxDieArea, s.DieArea)
@@ -244,6 +271,8 @@ func (s *JobSpec) partitionMethod() partition.Method {
 func (s *JobSpec) options() casyn.Options {
 	return casyn.Options{
 		K:                       s.K,
+		Dies:                    s.Dies,
+		InterDiePinBudget:       s.DiePinBudget,
 		DieArea:                 s.DieArea,
 		AspectRatio:             s.AspectRatio,
 		OptimizeTechIndependent: s.SIS,
@@ -299,6 +328,13 @@ func (s *JobSpec) PrepKey() (string, error) {
 	}
 	fmt.Fprintf(h, "sis %v partition %s seed %d die %g aspect %g\n",
 		s.SIS, s.Partition, s.Seed, s.DieArea, s.AspectRatio)
+	if s.Dies > 1 {
+		// Multi-die prep partitions the forest k-way, replicates cut
+		// drivers, and — with verify — proves the replicated subject
+		// equivalent; all of that lives in the prepared prefix, so both
+		// knobs shape the key. Single-die keys are unchanged.
+		fmt.Fprintf(h, "dies %d verify %v\n", s.Dies, s.Verify)
+	}
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
@@ -314,5 +350,9 @@ func (s *JobSpec) ResultKey() (string, error) {
 	h := sha256.New()
 	fmt.Fprintf(h, "prep %s k %g sched %v stop %v kmode %s timing %v verify %v\n",
 		pk, s.K, s.KSchedule, s.StopAtFirstRoutable, s.kmode(), s.Timing, s.Verify)
+	if s.DiePinBudget != 0 {
+		// The pin budget gates route admission, not the prefix.
+		fmt.Fprintf(h, "diepins %d\n", s.DiePinBudget)
+	}
 	return hex.EncodeToString(h.Sum(nil)), nil
 }

@@ -82,6 +82,10 @@ type DAG struct {
 	outputs []Output
 	hash    map[[3]int]int
 	fanouts [][]int // lazily built; nil means stale
+	// replicaOf maps a replica gate to the original it was cloned
+	// from (see replica.go). Non-empty means ascending IDs are no
+	// longer a topological order.
+	replicaOf map[int]int
 }
 
 // New returns an empty subject DAG.
@@ -263,6 +267,11 @@ func (d *DAG) IsMultiFanout(id int) bool {
 // TopoOrder returns all gate IDs in topological order (fanins first).
 // The DAG is acyclic by construction, so no error case exists.
 func (d *DAG) TopoOrder() []int {
+	if d.Replicated() {
+		// Replica fanin rewires point sinks at larger IDs; fall back
+		// to a genuine DFS topological order.
+		return d.topoDFS()
+	}
 	// Gates are created fanins-first, so IDs are already topological.
 	order := make([]int, len(d.gates))
 	for i := range order {
@@ -282,7 +291,7 @@ func (d *DAG) Eval(piValues []bool) ([]bool, error) {
 	for i, id := range d.pis {
 		piIndex[id] = i
 	}
-	for id := range d.gates {
+	for _, id := range d.TopoOrder() {
 		g := &d.gates[id]
 		switch g.Type {
 		case PI:

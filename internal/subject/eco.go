@@ -17,6 +17,12 @@ func (d *DAG) Clone() *DAG {
 	for k, v := range d.hash {
 		cp.hash[k] = v
 	}
+	if len(d.replicaOf) > 0 {
+		cp.replicaOf = make(map[int]int, len(d.replicaOf))
+		for k, v := range d.replicaOf {
+			cp.replicaOf[k] = v
+		}
+	}
 	return cp
 }
 

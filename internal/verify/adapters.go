@@ -92,9 +92,9 @@ func FromNetwork(n *bnet.Network) (*Circuit, error) {
 func FromDAG(d *subject.DAG) (*Circuit, error) {
 	c := NewCircuit("subject")
 	sig := make([]int32, d.NumGates())
-	// Gate IDs are created fanins-first, so ascending order is
-	// topological.
-	for id := 0; id < d.NumGates(); id++ {
+	// TopoOrder is ascending IDs on a replica-free DAG and a genuine
+	// DFS order once the k-way partitioner has replicated gates.
+	for _, id := range d.TopoOrder() {
 		g := d.Gate(id)
 		switch g.Type {
 		case subject.PI:
