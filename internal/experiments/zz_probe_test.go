@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// Probe: run KWayPressure across several seeds to see whether chained
+// replication ever aborts the run.
+func TestKWayChainProbe(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		row, err := KWayPressure(20_000, 64, 4, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		t.Logf("seed %d: replicas=%d moves=%d cut %d->%d", seed, row.Replicas, row.Moves, row.CutNetsBisect, row.CutNetsKWay)
+	}
+}
